@@ -1,0 +1,60 @@
+// Ablation: voxels-per-task vs cluster speedup.  The master's task
+// granularity trades load balance (small tasks) against per-task overhead
+// and the memory model's per-node limits (large tasks).  This sweep shows
+// why the paper's 240-voxel optimized tasks sit in the sweet spot at 96
+// nodes.
+#include "bench_common.hpp"
+#include "cluster/sim.hpp"
+#include "fcma/task.hpp"
+
+using namespace fcma;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_ablation_task_size",
+          "ablation: task granularity vs 96-node speedup");
+  cli.add_flag("voxels", "1024", "scaled brain size for calibration");
+  cli.add_flag("subjects", "6", "scaled subject count for calibration");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_preamble("Ablation: voxels-per-task vs cluster efficiency");
+  const auto arch = archsim::Phi5110P();
+  const fmri::DatasetSpec paper = fmri::face_scene_spec();
+  const bench::Workload w = bench::make_workload(
+      paper, static_cast<std::size_t>(cli.get_int("voxels")),
+      static_cast<std::int32_t>(cli.get_int("subjects")));
+  const auto cost = bench::calibrate(w, core::PipelineConfig::optimized());
+  const std::size_t s = static_cast<std::size_t>(paper.subjects);
+
+  Table t("task-size sweep, face-scene offline on 96 virtual nodes");
+  t.header({"voxels/task", "tasks/fold", "elapsed (s)", "speedup vs 1 node",
+            "worker efficiency"});
+  for (const std::size_t task_size : {30u, 60u, 120u, 240u, 480u, 1200u,
+                                      4800u}) {
+    cluster::TaskDims dims = bench::paper_dims(paper, task_size);
+    dims.epochs = paper.epochs_total / s * (s - 1);
+    dims.subjects = paper.subjects - 1;
+    const auto tasks = core::partition_voxels(paper.voxels, task_size);
+    std::vector<double> task_seconds;
+    for (const auto& task : tasks) {
+      cluster::TaskDims d = dims;
+      d.task_voxels = task.count;
+      task_seconds.push_back(cost.task_seconds(d, arch, 240));
+    }
+    cluster::FarmConfig farm;
+    farm.broadcast_bytes =
+        static_cast<double>(paper.voxels) *
+        static_cast<double>(paper.epochs_total * paper.epoch_length) * 4.0;
+    farm.result_bytes = static_cast<double>(task_size) * 8.0;
+    farm.workers = 1;
+    const double t1 =
+        cluster::simulate_task_farm(farm, task_seconds, s).makespan_s;
+    farm.workers = 96;
+    const auto o96 = cluster::simulate_task_farm(farm, task_seconds, s);
+    t.row({Table::count(static_cast<long long>(task_size)),
+           Table::count(static_cast<long long>(tasks.size())),
+           Table::num(o96.makespan_s, 0), Table::num(t1 / o96.makespan_s, 1),
+           Table::num(o96.efficiency(96), 2)});
+  }
+  t.print();
+  return 0;
+}

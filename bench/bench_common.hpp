@@ -1,0 +1,103 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper.  Since the
+// paper's machines are modeled (see archsim/) and full-size instrumented
+// runs through the cache simulator would take hours, benches run at reduced
+// brain sizes by default (--voxels, --subjects) and extrapolate to paper
+// dimensions through the calibrated cost model where a paper-scale number
+// is required.  Every table prints the paper's values alongside ours.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "archsim/arch_model.hpp"
+#include "cluster/cost_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "fcma/pipeline.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+namespace fcma::bench {
+
+/// A generated dataset plus its normalized epochs, ready for the pipeline.
+struct Workload {
+  fmri::DatasetSpec spec;       ///< the (possibly scaled) generation spec
+  fmri::DatasetSpec paper_spec; ///< the unscaled Table 2 spec
+  fmri::Dataset dataset;
+  fmri::NormalizedEpochs epochs;
+};
+
+/// Builds a scaled instance of `paper` with ~`target_voxels` voxels and
+/// (optionally) a reduced subject count.
+inline Workload make_workload(const fmri::DatasetSpec& paper,
+                              std::size_t target_voxels,
+                              std::int32_t subjects = 0) {
+  fmri::DatasetSpec spec = paper;
+  if (subjects > 0) spec = spec.scaled_subjects(subjects);
+  const double factor =
+      std::min(1.0, static_cast<double>(target_voxels) /
+                        static_cast<double>(spec.voxels));
+  spec = spec.scaled_voxels(factor);
+  Workload w{spec, paper, fmri::generate_synthetic(spec), {}};
+  w.epochs = fmri::normalize_epochs(w.dataset);
+  return w;
+}
+
+/// Task dimensions of one scaled workload run with `task_voxels` voxels.
+inline cluster::TaskDims dims_of(const Workload& w, std::size_t task_voxels) {
+  return cluster::TaskDims{
+      .task_voxels = task_voxels,
+      .brain_voxels = w.dataset.voxels(),
+      .epochs = w.dataset.epochs().size(),
+      .subjects = w.dataset.subjects()};
+}
+
+/// Paper-scale task dimensions (full brain, full subject count).
+inline cluster::TaskDims paper_dims(const fmri::DatasetSpec& paper,
+                                    std::size_t task_voxels) {
+  return cluster::TaskDims{.task_voxels = task_voxels,
+                           .brain_voxels = paper.voxels,
+                           .epochs = paper.epochs_total,
+                           .subjects = paper.subjects};
+}
+
+/// Runs the instrumented pipeline for a leading task of `task_voxels`.
+inline core::InstrumentedTaskResult instrumented_task(
+    const Workload& w, std::size_t task_voxels,
+    const core::PipelineConfig& config, unsigned model_lanes = 16,
+    memsim::Machine machine = memsim::Machine::kPhi5110P) {
+  memsim::Instrument ins(machine);
+  return core::run_task_instrumented(
+      w.epochs,
+      core::VoxelTask{0, static_cast<std::uint32_t>(task_voxels)}, config,
+      ins, model_lanes);
+}
+
+/// Calibrates the cost model from one instrumented task run at the scaled
+/// workload's dimensions (see cluster/cost_model.hpp for the scaling laws).
+inline cluster::CalibratedCost calibrate(const Workload& w,
+                                         const core::PipelineConfig& config,
+                                         std::size_t calib_task_voxels = 8,
+                                         unsigned model_lanes = 16,
+                                         memsim::Machine machine =
+                                             memsim::Machine::kPhi5110P) {
+  const auto run =
+      instrumented_task(w, calib_task_voxels, config, model_lanes, machine);
+  return cluster::CalibratedCost(run, dims_of(w, calib_task_voxels));
+}
+
+/// Standard preamble: describes the modeled-machine methodology once per
+/// bench so table outputs are self-explanatory.
+inline void print_preamble(const std::string& what) {
+  std::printf(
+      "\n%s\n"
+      "(event counts from the deterministic cache/VPU simulator; times and\n"
+      " GFLOPS are modeled for the paper's machines via archsim — absolute\n"
+      " 2015 wall-clock is not reproducible, shapes and ratios are)\n\n",
+      what.c_str());
+}
+
+}  // namespace fcma::bench

@@ -1,0 +1,69 @@
+// Reproduces Fig 11: baseline and optimized implementations compared across
+// the Xeon E5-2670 processor and the Xeon Phi 5110P coprocessor, for both
+// datasets, normalized to the E5-2670 baseline.
+//
+// Paper shape: on both datasets the optimized coprocessor implementation is
+// the fastest configuration; the baseline on the coprocessor is *not*
+// clearly better than the processor (the coprocessor punishes unoptimized
+// code).
+#include "bench_common.hpp"
+
+using namespace fcma;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig11_cross_arch",
+          "Fig 11: processor vs coprocessor, baseline and optimized");
+  cli.add_flag("voxels", "4096", "scaled brain size for calibration");
+  cli.add_flag("subjects", "6", "scaled subject count for calibration");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_preamble(
+      "Fig 11 reproduction: cross-architecture comparison");
+  for (const auto& paper :
+       {fmri::face_scene_spec(), fmri::attention_spec()}) {
+    const bench::Workload w = bench::make_workload(
+        paper, static_cast<std::size_t>(cli.get_int("voxels")),
+        static_cast<std::int32_t>(cli.get_int("subjects")));
+
+    struct Config {
+      const char* label;
+      core::PipelineConfig pipeline;
+      archsim::ArchModel arch;
+      memsim::Machine machine;
+      unsigned lanes;
+      std::size_t task;
+      int threads;
+    };
+    const std::size_t base_task = paper.name == "face-scene" ? 120 : 60;
+    const Config configs[] = {
+        {"E5-2670 baseline", core::PipelineConfig::baseline(),
+         archsim::XeonE5_2670(), memsim::Machine::kXeonE5_2670, 8, base_task,
+         16},
+        {"E5-2670 optimized", core::PipelineConfig::optimized(),
+         archsim::XeonE5_2670(), memsim::Machine::kXeonE5_2670, 8, base_task,
+         16},
+        {"Phi 5110P baseline", core::PipelineConfig::baseline(),
+         archsim::Phi5110P(), memsim::Machine::kPhi5110P, 16, base_task,
+         static_cast<int>(base_task)},
+        {"Phi 5110P optimized", core::PipelineConfig::optimized(),
+         archsim::Phi5110P(), memsim::Machine::kPhi5110P, 16, 240, 240},
+    };
+
+    double reference_pv = 0.0;
+    Table t("Fig 11 (" + paper.name +
+            "): relative performance, E5-2670 baseline = 1");
+    t.header({"configuration", "ms/voxel", "relative performance"});
+    for (const Config& c : configs) {
+      const auto cost = bench::calibrate(w, c.pipeline, 8, c.lanes,
+                                         c.machine);
+      const auto dims = bench::paper_dims(paper, c.task);
+      const double pv = cost.task_seconds(dims, c.arch, c.threads) /
+                        static_cast<double>(c.task) * 1e3;
+      if (reference_pv == 0.0) reference_pv = pv;
+      t.row({c.label, Table::num(pv, 1), Table::num(reference_pv / pv, 2)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

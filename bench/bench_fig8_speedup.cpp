@@ -1,0 +1,80 @@
+// Reproduces Fig 8: speedup of the offline analysis as a function of the
+// number of coprocessors, for both datasets.
+//
+// Paper values at 96 nodes: 59.8x (face-scene), 73.5x (attention) — the
+// larger dataset scales further because it has more tasks per fold, so
+// per-fold load imbalance bites later.
+#include "bench_common.hpp"
+#include "cluster/sim.hpp"
+#include "fcma/task.hpp"
+
+using namespace fcma;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig8_speedup", "Fig 8: offline-analysis speedup curves");
+  cli.add_flag("voxels", "1024", "scaled brain size for calibration");
+  cli.add_flag("subjects", "6", "scaled subject count for calibration");
+  cli.add_flag("task-size", "0",
+               "voxels per task (0 = the paper's per-dataset assignment: 120 "
+               "for face-scene, 60 for attention)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_preamble("Fig 8 reproduction: cluster speedup curves");
+  const auto arch = archsim::Phi5110P();
+  const std::size_t task_size_flag =
+      static_cast<std::size_t>(cli.get_int("task-size"));
+  const std::size_t node_counts[] = {1, 8, 16, 32, 64, 96};
+  const struct {
+    fmri::DatasetSpec paper;
+    double paper_96;
+  } datasets[] = {
+      {fmri::face_scene_spec(), 59.8},
+      {fmri::attention_spec(), 73.5},
+  };
+
+  Table t("Fig 8: speedup vs coprocessor count (ideal = node count)");
+  t.header({"dataset", "8", "16", "32", "64", "96", "paper @96"});
+  for (const auto& ds : datasets) {
+    const bench::Workload w = bench::make_workload(
+        ds.paper, static_cast<std::size_t>(cli.get_int("voxels")),
+        static_cast<std::int32_t>(cli.get_int("subjects")));
+    const auto cost =
+        bench::calibrate(w, core::PipelineConfig::optimized());
+    const std::size_t task_size =
+        task_size_flag != 0 ? task_size_flag
+                            : (ds.paper.name == "face-scene" ? 120 : 60);
+    const std::size_t s = static_cast<std::size_t>(ds.paper.subjects);
+    cluster::TaskDims dims = bench::paper_dims(ds.paper, task_size);
+    dims.epochs = ds.paper.epochs_total / s * (s - 1);
+    dims.subjects = ds.paper.subjects - 1;
+    const auto tasks = core::partition_voxels(ds.paper.voxels, task_size);
+    std::vector<double> task_seconds;
+    for (const auto& task : tasks) {
+      cluster::TaskDims d = dims;
+      d.task_voxels = task.count;
+      task_seconds.push_back(cost.task_seconds(d, arch, 240));
+    }
+    cluster::FarmConfig farm;
+    farm.fold_overhead_s = 1.0;  // serial master work per fold (see sim.hpp)
+    farm.broadcast_bytes =
+        static_cast<double>(ds.paper.voxels) *
+        static_cast<double>(ds.paper.epochs_total * ds.paper.epoch_length) *
+        4.0;
+    farm.result_bytes = static_cast<double>(task_size) * 8.0;
+    farm.workers = 1;
+    const double t1 =
+        cluster::simulate_task_farm(farm, task_seconds, s).makespan_s;
+    std::vector<std::string> row{ds.paper.name};
+    for (const std::size_t nodes : node_counts) {
+      if (nodes == 1) continue;
+      farm.workers = nodes;
+      const double tn =
+          cluster::simulate_task_farm(farm, task_seconds, s).makespan_s;
+      row.push_back(Table::num(t1 / tn, 1) + "x");
+    }
+    row.push_back(Table::num(ds.paper_96, 1) + "x");
+    t.row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Table 2: the datasets used in the experiments.  Since the
+// human data are private, the table is regenerated from the synthetic
+// presets and verified against the generator's actual output.
+#include "bench_common.hpp"
+#include "fmri/synthetic.hpp"
+
+using namespace fcma;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table2_datasets", "Table 2: dataset descriptions");
+  cli.add_flag("generate", "true",
+               "actually generate scaled instances to verify the specs");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_preamble("Table 2 reproduction: datasets");
+  Table t("Table 2: datasets used in the experiments (synthetic stand-ins "
+          "with the paper's dimensions)");
+  t.header({"dataset", "voxels", "subjects", "epochs", "epoch length",
+            "planted informative"});
+  for (const auto& spec : {fmri::face_scene_spec(), fmri::attention_spec()}) {
+    t.row({spec.name, Table::count(static_cast<long long>(spec.voxels)),
+           Table::count(spec.subjects),
+           Table::count(static_cast<long long>(spec.epochs_total)),
+           Table::count(static_cast<long long>(spec.epoch_length)),
+           Table::count(static_cast<long long>(spec.informative))});
+  }
+  t.print();
+
+  if (cli.get_bool("generate")) {
+    Table v("generator verification (1/16-scale instances)");
+    v.header({"dataset", "voxels", "epochs", "time points", "label balance"});
+    for (const auto& paper : {fmri::face_scene_spec(),
+                              fmri::attention_spec()}) {
+      const fmri::Dataset d =
+          fmri::generate_synthetic(paper.scaled_voxels(1.0 / 16.0));
+      std::size_t ones = 0;
+      for (const auto& e : d.epochs()) ones += (e.label == 1);
+      v.row({d.name(), Table::count(static_cast<long long>(d.voxels())),
+             Table::count(static_cast<long long>(d.epochs().size())),
+             Table::count(static_cast<long long>(d.timepoints())),
+             Table::num(static_cast<double>(ones) /
+                            static_cast<double>(d.epochs().size()),
+                        2)});
+    }
+    v.print();
+  }
+  return 0;
+}

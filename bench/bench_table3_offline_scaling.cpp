@@ -1,0 +1,87 @@
+// Reproduces Table 3: elapsed time of the offline (nested leave-one-
+// subject-out) analysis as a function of coprocessor count, for both
+// datasets, on the virtual-time cluster simulator.
+//
+// Paper values (seconds):
+//   face-scene: 5101 / 694 / 385 / 242 / 124 / 85   at 1/8/16/32/64/96
+//   attention: 54506 / 6813 / 3620 / 2172 / 1099 / 741
+#include "bench_common.hpp"
+#include "cluster/sim.hpp"
+#include "fcma/task.hpp"
+
+using namespace fcma;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table3_offline_scaling",
+          "Table 3: offline analysis scaling across coprocessors");
+  cli.add_flag("voxels", "1024", "scaled brain size for calibration");
+  cli.add_flag("subjects", "6", "scaled subject count for calibration");
+  cli.add_flag("task-size", "0",
+               "voxels per task (0 = the paper's per-dataset assignment: 120 "
+               "for face-scene, 60 for attention)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_preamble(
+      "Table 3 reproduction: offline analysis elapsed time vs node count");
+  const auto arch = archsim::Phi5110P();
+  const std::size_t task_size_flag =
+      static_cast<std::size_t>(cli.get_int("task-size"));
+  const std::size_t node_counts[] = {1, 8, 16, 32, 64, 96};
+  const struct {
+    fmri::DatasetSpec paper;
+    const char* paper_row;
+  } datasets[] = {
+      {fmri::face_scene_spec(), "5101 / 694 / 385 / 242 / 124 / 85"},
+      {fmri::attention_spec(), "54506 / 6813 / 3620 / 2172 / 1099 / 741"},
+  };
+
+  Table t("Table 3: offline analysis elapsed time (s) on the virtual "
+          "cluster");
+  t.header({"dataset", "1", "8", "16", "32", "64", "96", "paper row"});
+  for (const auto& ds : datasets) {
+    const bench::Workload w = bench::make_workload(
+        ds.paper, static_cast<std::size_t>(cli.get_int("voxels")),
+        static_cast<std::int32_t>(cli.get_int("subjects")));
+    const auto cost =
+        bench::calibrate(w, core::PipelineConfig::optimized());
+    const std::size_t task_size =
+        task_size_flag != 0 ? task_size_flag
+                            : (ds.paper.name == "face-scene" ? 120 : 60);
+
+    // Each outer fold selects voxels with the remaining S-1 subjects:
+    // M_train epochs per analysis, every brain voxel covered by tasks.
+    const std::size_t s = static_cast<std::size_t>(ds.paper.subjects);
+    const std::size_t m_train =
+        ds.paper.epochs_total / s * (s - 1);
+    cluster::TaskDims dims = bench::paper_dims(ds.paper, task_size);
+    dims.epochs = m_train;
+    dims.subjects = ds.paper.subjects - 1;
+    const auto tasks =
+        core::partition_voxels(ds.paper.voxels, task_size);
+    std::vector<double> task_seconds;
+    for (const auto& task : tasks) {
+      cluster::TaskDims d = dims;
+      d.task_voxels = task.count;
+      task_seconds.push_back(cost.task_seconds(d, arch, 240));
+    }
+
+    cluster::FarmConfig farm;
+    farm.fold_overhead_s = 1.0;  // serial master work per fold (see sim.hpp)
+    farm.broadcast_bytes =
+        static_cast<double>(ds.paper.voxels) *
+        static_cast<double>(ds.paper.epochs_total * ds.paper.epoch_length) *
+        4.0;
+    farm.result_bytes = static_cast<double>(task_size) * 8.0;
+    std::vector<std::string> row{ds.paper.name};
+    for (const std::size_t nodes : node_counts) {
+      farm.workers = nodes;
+      const auto outcome =
+          cluster::simulate_task_farm(farm, task_seconds, s);
+      row.push_back(Table::num(outcome.makespan_s, 0));
+    }
+    row.push_back(ds.paper_row);
+    t.row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Table 4: elapsed time of online (single-subject) voxel
+// selection as a function of coprocessor count.  The workload is tiny, so
+// scaling saturates early on communication overheads — the paper's point is
+// that 96 nodes still select voxels within ~3 seconds, fast enough to close
+// the real-time feedback loop.
+//
+// Paper values (seconds): face-scene 12.00 at 1 node -> 2.21 at 96;
+//                         attention 16.50 at 1 node -> 2.51 at 96.
+#include "bench_common.hpp"
+#include "cluster/sim.hpp"
+#include "fcma/task.hpp"
+
+using namespace fcma;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table4_online_scaling",
+          "Table 4: online voxel-selection scaling across coprocessors");
+  cli.add_flag("voxels", "1024", "scaled brain size for calibration");
+  cli.add_flag("task-size", "240", "voxels per task");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_preamble(
+      "Table 4 reproduction: online voxel selection time vs node count");
+  const auto arch = archsim::Phi5110P();
+  const std::size_t task_size =
+      static_cast<std::size_t>(cli.get_int("task-size"));
+  const std::size_t node_counts[] = {1, 8, 16, 32, 64, 96};
+  const struct {
+    fmri::DatasetSpec paper;
+    const char* paper_1;
+    const char* paper_96;
+  } datasets[] = {
+      {fmri::face_scene_spec(), "12.00", "2.21"},
+      {fmri::attention_spec(), "16.50", "2.51"},
+  };
+
+  Table t("Table 4: online voxel-selection elapsed time (s)");
+  t.header({"dataset", "1", "8", "16", "32", "64", "96", "paper 1 node",
+            "paper 96"});
+  for (const auto& ds : datasets) {
+    // Calibrate on a single-subject-like workload: few epochs, k-fold CV.
+    bench::Workload w = bench::make_workload(
+        ds.paper, static_cast<std::size_t>(cli.get_int("voxels")), 2);
+    const auto cost =
+        bench::calibrate(w, core::PipelineConfig::optimized());
+
+    // Online dims: one subject's epochs, 4 pseudo-folds.
+    const std::size_t eps =
+        ds.paper.epochs_total / static_cast<std::size_t>(ds.paper.subjects);
+    cluster::TaskDims dims = bench::paper_dims(ds.paper, task_size);
+    dims.epochs = eps;
+    dims.subjects = 4;  // k-fold groups play the role of subjects
+    const auto tasks = core::partition_voxels(ds.paper.voxels, task_size);
+    std::vector<double> task_seconds;
+    for (const auto& task : tasks) {
+      cluster::TaskDims d = dims;
+      d.task_voxels = task.count;
+      task_seconds.push_back(cost.task_seconds(d, arch, 240));
+    }
+
+    cluster::FarmConfig farm;
+    farm.fold_overhead_s = 2.0;  // serial master work per fold (see sim.hpp)
+    // Only the scanned subject's data is broadcast in the online setting.
+    farm.broadcast_bytes = static_cast<double>(ds.paper.voxels) *
+                           static_cast<double>(eps * ds.paper.epoch_length) *
+                           4.0;
+    farm.result_bytes = static_cast<double>(task_size) * 8.0;
+    farm.task_overhead_s = 5e-3;  // per-task startup is visible at this scale
+    std::vector<std::string> row{ds.paper.name};
+    for (const std::size_t nodes : node_counts) {
+      farm.workers = nodes;
+      const auto outcome = cluster::simulate_task_farm(farm, task_seconds, 1);
+      row.push_back(Table::num(outcome.makespan_s, 2));
+    }
+    row.push_back(ds.paper_1);
+    row.push_back(ds.paper_96);
+    t.row(row);
+  }
+  t.print();
+  return 0;
+}

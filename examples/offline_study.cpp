@@ -1,0 +1,63 @@
+// Offline study: the paper's SS5.2.1 protocol on a synthetic face-scene-like
+// dataset — nested leave-one-subject-out cross-validation with per-fold
+// voxel selection and a final classifier tested on the held-out subject.
+//
+// Build & run:  ./build/examples/offline_study [--voxels N] [--subjects S]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "fcma/offline.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fcma;
+  Cli cli("offline_study", "nested LOSO FCMA study on synthetic data");
+  cli.add_flag("voxels", "512", "brain size");
+  cli.add_flag("subjects", "8", "subject count");
+  cli.add_flag("top-k", "16", "voxels selected per fold");
+  if (!cli.parse(argc, argv)) return 0;
+
+  fmri::DatasetSpec spec =
+      fmri::face_scene_spec()
+          .scaled_subjects(static_cast<std::int32_t>(cli.get_int("subjects")))
+          .scaled_voxels(static_cast<double>(cli.get_int("voxels")) / 34470.0);
+  std::printf("dataset: %zu voxels, %d subjects, %zu epochs, %zu planted\n",
+              spec.voxels, spec.subjects, spec.epochs_total,
+              spec.informative);
+  const fmri::Dataset dataset = fmri::generate_synthetic(spec);
+
+  core::OfflineOptions options;
+  options.top_k = static_cast<std::size_t>(cli.get_int("top-k"));
+  WallTimer timer;
+  const core::OfflineResult result =
+      core::run_offline_analysis(dataset, options);
+  std::printf("nested LOSO (%d folds) finished in %.1f s\n\n",
+              dataset.subjects(), timer.seconds());
+
+  std::printf("fold | held-out | selected-voxel CV acc | test acc\n");
+  for (const core::FoldResult& fold : result.folds) {
+    std::printf("%4d | %8d | %21.3f | %.3f\n", fold.left_out_subject,
+                fold.left_out_subject, fold.mean_selected_cv_accuracy,
+                fold.test_accuracy);
+  }
+  std::printf("\nmean held-out accuracy: %.3f (chance = 0.5)\n",
+              result.mean_test_accuracy());
+
+  const auto reliable =
+      result.reliable_voxels(result.folds.size(), dataset.voxels());
+  std::size_t hits = 0;
+  for (const std::uint32_t v : reliable) {
+    for (const std::uint32_t t : dataset.informative_voxels()) {
+      if (t == v) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  std::printf("reliable ROIs (selected in every fold): %zu, of which %zu "
+              "are planted informative voxels\n",
+              reliable.size(), hits);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the smallest complete FCMA analysis.
+//
+//   1. generate a synthetic multi-subject fMRI dataset with planted
+//      condition-dependent connectivity;
+//   2. run the three-stage FCMA pipeline (correlate -> normalize -> SVM
+//      cross-validate) over every voxel;
+//   3. rank voxels by cross-validation accuracy and check how well the
+//      planted "informative" voxels were recovered.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "fcma/pipeline.hpp"
+#include "fcma/scoreboard.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+int main() {
+  using namespace fcma;
+
+  // A small brain: 256 voxels, 6 subjects, 12 epochs each (2 conditions).
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 256;
+  spec.informative = 32;
+  spec.subjects = 6;
+  spec.epochs_total = 72;
+  std::printf("generating '%s': %zu voxels, %d subjects, %zu epochs...\n",
+              spec.name.c_str(), spec.voxels, spec.subjects,
+              spec.epochs_total);
+  const fmri::Dataset dataset = fmri::generate_synthetic(spec);
+
+  // Stage 0: eq.2-normalize every labeled epoch so that stage 1 reduces
+  // Pearson correlation to matrix multiplication.
+  const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(dataset);
+
+  // Run the optimized pipeline for all voxels as one task.
+  WallTimer timer;
+  const core::VoxelTask all{0, static_cast<std::uint32_t>(dataset.voxels())};
+  const core::TaskResult result =
+      core::run_task(epochs, all, core::PipelineConfig::optimized());
+  std::printf("pipeline done in %.2f s (%ld SMO iterations)\n",
+              timer.seconds(), result.svm_iterations);
+
+  // Rank voxels and report.
+  core::Scoreboard board(dataset.voxels());
+  board.add(result);
+  std::printf("\ntop 10 voxels by cross-validation accuracy:\n");
+  const auto ranked = board.ranked();
+  for (int i = 0; i < 10; ++i) {
+    std::printf("  voxel %4u  accuracy %.3f\n", ranked[i].voxel,
+                ranked[i].accuracy);
+  }
+  std::printf("\nplanted informative voxels recovered in top-%zu: %.0f%%\n",
+              dataset.informative_voxels().size(),
+              100.0 * board.recovery_rate(dataset.informative_voxels()));
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "archsim/arch_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fcma::archsim {
+
+double ArchModel::modeled_seconds(const memsim::KernelEvents& events,
+                                  int threads_used) const {
+  if (threads_used <= 0) threads_used = max_threads();
+  // Cores are the throughput resource; a core is "active" if at least one of
+  // its hardware threads has work.  Threads beyond one per core add latency
+  // hiding, which the mlp/overlap parameters already absorb, so utilization
+  // is expressed as active cores.
+  const double active_cores =
+      std::min<double>(cores, static_cast<double>(threads_used) /
+                                  threads_per_core +
+                              1e-9);
+  // In-order cores additionally need >=2 threads per core to keep the VPU
+  // pipeline full; scale issue rate by the per-core thread occupancy.
+  const double occupancy = std::min(
+      1.0, static_cast<double>(threads_used) /
+               (active_cores * std::min(threads_per_core, 2)));
+  const double hz = freq_ghz * 1e9;
+  const double compute_s =
+      static_cast<double>(events.vpu_instructions) /
+      (active_cores * vpu_issue_per_cycle * occupancy * hz);
+  const double memory_s = static_cast<double>(events.l2_misses) *
+                          l2_miss_latency_cycles / (active_cores * mlp * hz);
+  const double hi = std::max(compute_s, memory_s);
+  const double lo = std::min(compute_s, memory_s);
+  return hi + (1.0 - overlap) * lo;
+}
+
+double ArchModel::modeled_gflops(const memsim::KernelEvents& events,
+                                 int threads_used) const {
+  const double s = modeled_seconds(events, threads_used);
+  FCMA_CHECK(s > 0.0, "modeled time must be positive");
+  return static_cast<double>(events.flops) / s / 1e9;
+}
+
+ArchModel Phi5110P() {
+  return ArchModel{.name = "Xeon Phi 5110P",
+                   .freq_ghz = 1.053,
+                   .cores = 60,
+                   .threads_per_core = 4,
+                   .vpu_lanes_f32 = 16,
+                   .vpu_issue_per_cycle = 1.0,
+                   .l2_miss_latency_cycles = 300.0,
+                   .mlp = 4.0,
+                   .overlap = 0.6};
+}
+
+ArchModel XeonE5_2670() {
+  // Sandy Bridge has no FMA; its separate 8-wide mul and add ports deliver
+  // one FMA-*equivalent* per cycle, which is the unit the instrumented
+  // kernels count, so issue is 1.0 (peak: 2.6 * 8 * 8 * 2 = 332.8 GFLOPS).
+  return ArchModel{.name = "Xeon E5-2670",
+                   .freq_ghz = 2.6,
+                   .cores = 8,
+                   .threads_per_core = 2,
+                   .vpu_lanes_f32 = 8,
+                   .vpu_issue_per_cycle = 1.0,
+                   .l2_miss_latency_cycles = 180.0,
+                   .mlp = 10.0,
+                   .overlap = 0.9};
+}
+
+ArchModel PhiKnl7250() {
+  return ArchModel{.name = "Xeon Phi 7250 (KNL)",
+                   .freq_ghz = 1.4,
+                   .cores = 68,
+                   .threads_per_core = 4,
+                   .vpu_lanes_f32 = 16,
+                   .vpu_issue_per_cycle = 2.0,
+                   .l2_miss_latency_cycles = 150.0,
+                   .mlp = 10.0,
+                   .overlap = 0.8};
+}
+
+}  // namespace fcma::archsim

@@ -1,0 +1,75 @@
+// Analytic machine performance model.
+//
+// The paper's hardware (Xeon Phi 5110P coprocessors, Xeon E5-2670 hosts) is
+// not available, so absolute wall-clock numbers cannot be re-measured.  What
+// *can* be reproduced exactly are the event counts the paper's analysis is
+// built on (memory references, L2 misses, VPU instructions and lanes — see
+// memsim/).  ArchModel converts those counts into modeled execution time on
+// a described machine, which is how every "time (ms)" and "GFLOPS" column in
+// the bench harness is produced for the Phi and the Xeon.
+//
+// The model is deliberately simple and fully documented:
+//
+//   compute_s = vpu_instructions / (cores_used * issue_rate * freq)
+//   memory_s  = l2_misses * miss_latency / (cores_used * mlp * freq)
+//   time      = max(compute_s, memory_s) + (1 - overlap) * min(...)
+//
+// i.e. bulk-synchronous cores with in-flight miss parallelism `mlp`, and an
+// `overlap` factor describing how well the smaller of the two terms hides
+// behind the larger (in-order KNC hides poorly, out-of-order Xeon well).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "memsim/instrument.hpp"
+
+namespace fcma::archsim {
+
+/// Parameters of one modeled machine.
+struct ArchModel {
+  std::string name;
+  double freq_ghz = 1.0;            ///< core clock
+  int cores = 1;                    ///< physical cores
+  int threads_per_core = 1;         ///< hardware threads per core
+  int vpu_lanes_f32 = 16;           ///< SIMD width in floats
+  double vpu_issue_per_cycle = 1.0; ///< VPU instructions retired/cycle/core
+  double l2_miss_latency_cycles = 300.0;
+  double mlp = 4.0;                 ///< overlapped outstanding misses/core
+  double overlap = 0.7;             ///< compute/memory overlap [0,1]
+
+  /// Peak single-precision GFLOPS (FMA counted as two FLOPs per lane).
+  [[nodiscard]] double peak_sp_gflops() const {
+    return freq_ghz * cores * vpu_lanes_f32 * 2.0 * vpu_issue_per_cycle;
+  }
+
+  /// Maximum concurrent hardware threads.
+  [[nodiscard]] int max_threads() const { return cores * threads_per_core; }
+
+  /// Modeled execution time in seconds for `events`, spread over
+  /// `threads_used` hardware threads (defaults to the full machine).
+  /// Fewer threads than the machine offers models the thread-starvation
+  /// regime the paper describes for baseline SVM cross-validation (§3.3.3).
+  [[nodiscard]] double modeled_seconds(const memsim::KernelEvents& events,
+                                       int threads_used = 0) const;
+
+  /// GFLOPS implied by `events` under this model.
+  [[nodiscard]] double modeled_gflops(const memsim::KernelEvents& events,
+                                      int threads_used = 0) const;
+};
+
+/// Intel Xeon Phi 5110P: 60 in-order cores @1.053GHz, 4 threads/core,
+/// 512-bit VPU, ~300-cycle L2 miss (ring + GDDR5), weak miss overlap.
+ArchModel Phi5110P();
+
+/// Intel Xeon E5-2670: 8 OoO cores @2.6GHz, 2 threads/core, 256-bit AVX,
+/// large LLC, deep miss parallelism and good overlap.
+ArchModel XeonE5_2670();
+
+/// Intel Xeon Phi 7250 "Knights Landing": the paper's conclusion projects a
+/// migration "with moderate effort".  68 out-of-order-ish cores @1.4GHz,
+/// 4 threads/core, two 512-bit VPUs per core, and MCDRAM giving far deeper
+/// memory-level parallelism than KNC's GDDR5 ring.
+ArchModel PhiKnl7250();
+
+}  // namespace fcma::archsim

@@ -1,0 +1,129 @@
+#include "cluster/comm.hpp"
+
+#include <cstring>
+#include <memory>
+
+namespace fcma::cluster {
+
+Comm::Comm(std::size_t ranks) {
+  FCMA_CHECK(ranks >= 1, "communicator needs at least one rank");
+  inboxes_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void Comm::send(std::size_t from, std::size_t to, Tag tag,
+                std::vector<std::uint8_t> payload) {
+  FCMA_CHECK(from < size() && to < size(), "rank out of range");
+  Inbox& inbox = *inboxes_[to];
+  {
+    const std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.queue.push_back(Message{from, tag, std::move(payload)});
+  }
+  inbox.cv.notify_one();
+}
+
+Message Comm::recv(std::size_t rank) {
+  FCMA_CHECK(rank < size(), "rank out of range");
+  Inbox& inbox = *inboxes_[rank];
+  std::unique_lock<std::mutex> lock(inbox.mutex);
+  inbox.cv.wait(lock, [&inbox] { return !inbox.queue.empty(); });
+  Message m = std::move(inbox.queue.front());
+  inbox.queue.pop_front();
+  return m;
+}
+
+Message Comm::recv(std::size_t rank, Tag tag) {
+  FCMA_CHECK(rank < size(), "rank out of range");
+  Inbox& inbox = *inboxes_[rank];
+  std::unique_lock<std::mutex> lock(inbox.mutex);
+  for (;;) {
+    for (auto it = inbox.queue.begin(); it != inbox.queue.end(); ++it) {
+      if (it->tag == tag) {
+        Message m = std::move(*it);
+        inbox.queue.erase(it);
+        return m;
+      }
+    }
+    inbox.cv.wait(lock);
+  }
+}
+
+bool Comm::has_message(std::size_t rank) {
+  FCMA_CHECK(rank < size(), "rank out of range");
+  Inbox& inbox = *inboxes_[rank];
+  const std::lock_guard<std::mutex> lock(inbox.mutex);
+  return !inbox.queue.empty();
+}
+
+namespace collective {
+
+namespace {
+// Internal tags, outside the application range.
+constexpr Tag kBcast = static_cast<Tag>(-1);
+constexpr Tag kGather = static_cast<Tag>(-2);
+constexpr Tag kBarrierUp = static_cast<Tag>(-3);
+constexpr Tag kBarrierDown = static_cast<Tag>(-4);
+
+Message recv_tag(Comm& comm, std::size_t rank, Tag tag) {
+  // Tag-selective receive: messages of a *different* collective (e.g. the
+  // next round's broadcast overtaking this round's barrier release) stay
+  // queued instead of faulting.
+  return comm.recv(rank, tag);
+}
+}  // namespace
+
+std::vector<std::uint8_t> broadcast(Comm& comm, std::size_t rank,
+                                    std::size_t root,
+                                    std::vector<std::uint8_t> payload) {
+  FCMA_CHECK(root < comm.size(), "root out of range");
+  // Flat fan-out: the root sends to everyone.  The virtual-time simulator
+  // (sim.hpp) models the pipelined tree; the functional layer favors
+  // simplicity.
+  if (rank == root) {
+    for (std::size_t r = 0; r < comm.size(); ++r) {
+      if (r != root) comm.send(root, r, kBcast, payload);
+    }
+    return payload;
+  }
+  return recv_tag(comm, rank, kBcast).payload;
+}
+
+std::vector<std::vector<std::uint8_t>> gather(
+    Comm& comm, std::size_t rank, std::size_t root,
+    std::vector<std::uint8_t> payload) {
+  FCMA_CHECK(root < comm.size(), "root out of range");
+  if (rank != root) {
+    comm.send(rank, root, kGather, std::move(payload));
+    return {};
+  }
+  std::vector<std::vector<std::uint8_t>> out(comm.size());
+  out[root] = std::move(payload);
+  for (std::size_t i = 1; i < comm.size(); ++i) {
+    Message m = recv_tag(comm, root, kGather);
+    FCMA_CHECK(out[m.source].empty() && m.source != root,
+               "duplicate gather contribution");
+    out[m.source] = std::move(m.payload);
+  }
+  return out;
+}
+
+void barrier(Comm& comm, std::size_t rank) {
+  // All-to-root then root-to-all.
+  if (rank == 0) {
+    for (std::size_t i = 1; i < comm.size(); ++i) {
+      (void)recv_tag(comm, 0, kBarrierUp);
+    }
+    for (std::size_t r = 1; r < comm.size(); ++r) {
+      comm.send(0, r, kBarrierDown, {});
+    }
+  } else {
+    comm.send(rank, 0, kBarrierUp, {});
+    (void)recv_tag(comm, rank, kBarrierDown);
+  }
+}
+
+}  // namespace collective
+
+}  // namespace fcma::cluster

@@ -1,0 +1,133 @@
+// In-process message-passing layer.
+//
+// The paper's cluster runs master-worker FCMA over MPI.  This communicator
+// reproduces the message-passing programming model inside one process: a
+// fixed set of ranks, each with a thread-safe inbox, blocking tagged
+// send/recv, and a barrier.  The FCMA cluster driver (driver.hpp) runs the
+// real protocol over it; the virtual-time simulator (sim.hpp) models its
+// timing at scale.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fcma::cluster {
+
+/// Well-known message tags of the FCMA protocol.
+enum class Tag : std::int32_t {
+  kTaskAssign = 1,   ///< master -> worker: VoxelTask payload
+  kTaskResult = 2,   ///< worker -> master: accuracies payload
+  kShutdown = 3,     ///< master -> worker: no more tasks
+  kUser = 100,       ///< first tag available to applications
+};
+
+/// One delivered message.
+struct Message {
+  std::size_t source = 0;
+  Tag tag = Tag::kUser;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Fixed-size communicator: ranks 0..size()-1 with blocking mailboxes.
+class Comm {
+ public:
+  explicit Comm(std::size_t ranks);
+
+  [[nodiscard]] std::size_t size() const { return inboxes_.size(); }
+
+  /// Enqueues a message into `to`'s inbox (copies the payload).
+  void send(std::size_t from, std::size_t to, Tag tag,
+            std::vector<std::uint8_t> payload);
+
+  /// Blocks until a message is available for `rank`, FIFO order.
+  [[nodiscard]] Message recv(std::size_t rank);
+
+  /// Blocks until a message with `tag` is available for `rank` and removes
+  /// the first such message (other tags stay queued in order).  Collectives
+  /// need this: a fast rank's next-operation message can arrive before the
+  /// current operation's message from a slower rank.
+  [[nodiscard]] Message recv(std::size_t rank, Tag tag);
+
+  /// Non-blocking probe: true if `rank` has a pending message.
+  [[nodiscard]] bool has_message(std::size_t rank);
+
+ private:
+  struct Inbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+};
+
+/// MPI-style collectives over a Comm.  Every rank (0..size-1) must call the
+/// collective exactly once per logical operation, like MPI; tags in the
+/// collective range are reserved internally.
+namespace collective {
+
+/// Root's payload is delivered to every rank (including the root's own
+/// return value).  Non-roots pass an empty payload.
+[[nodiscard]] std::vector<std::uint8_t> broadcast(
+    Comm& comm, std::size_t rank, std::size_t root,
+    std::vector<std::uint8_t> payload);
+
+/// Every rank contributes a payload; the root receives all of them ordered
+/// by rank (others get an empty vector).
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> gather(
+    Comm& comm, std::size_t rank, std::size_t root,
+    std::vector<std::uint8_t> payload);
+
+/// Blocks until every rank has entered the barrier.
+void barrier(Comm& comm, std::size_t rank);
+
+}  // namespace collective
+
+/// Payload codecs for POD-like structures.
+template <typename T>
+std::vector<std::uint8_t> encode(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+template <typename T>
+T decode(const std::vector<std::uint8_t>& payload) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  FCMA_CHECK(payload.size() == sizeof(T), "payload size mismatch");
+  T value;
+  std::memcpy(&value, payload.data(), sizeof(T));
+  return value;
+}
+
+/// Vector codecs (element count inferred from the byte length).
+template <typename T>
+std::vector<std::uint8_t> encode_vector(const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> out(values.size() * sizeof(T));
+  if (!values.empty()) {
+    std::memcpy(out.data(), values.data(), out.size());
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> decode_vector(const std::vector<std::uint8_t>& payload) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  FCMA_CHECK(payload.size() % sizeof(T) == 0, "payload size mismatch");
+  std::vector<T> values(payload.size() / sizeof(T));
+  if (!values.empty()) {
+    std::memcpy(values.data(), payload.data(), payload.size());
+  }
+  return values;
+}
+
+}  // namespace fcma::cluster

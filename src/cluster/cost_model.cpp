@@ -1,0 +1,68 @@
+#include "cluster/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fcma::cluster {
+
+StageWork work_units(const TaskDims& dims) {
+  const auto v = static_cast<double>(dims.task_voxels);
+  const auto n = static_cast<double>(dims.brain_voxels);
+  const auto m = static_cast<double>(dims.epochs);
+  const auto s = static_cast<double>(dims.subjects);
+  return StageWork{.corr_norm = v * m * n,
+                   .kernel = v * m * m * n,
+                   .svm = v * s * m * m};
+}
+
+CalibratedCost::CalibratedCost(const core::InstrumentedTaskResult& events,
+                               const TaskDims& calib_dims)
+    : corr_norm_(events.corr_norm),
+      kernel_(events.kernel),
+      svm_(events.svm),
+      calib_work_(work_units(calib_dims)) {
+  FCMA_CHECK(calib_work_.corr_norm > 0 && calib_work_.kernel > 0 &&
+                 calib_work_.svm > 0,
+             "calibration dims must be non-degenerate");
+}
+
+memsim::KernelEvents CalibratedCost::scale(const memsim::KernelEvents& e,
+                                           double factor) {
+  auto s = [factor](std::uint64_t v) {
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(v) * factor));
+  };
+  return memsim::KernelEvents{.flops = s(e.flops),
+                              .vpu_instructions = s(e.vpu_instructions),
+                              .vpu_elements = s(e.vpu_elements),
+                              .mem_refs = s(e.mem_refs),
+                              .l1_misses = s(e.l1_misses),
+                              .l2_misses = s(e.l2_misses)};
+}
+
+memsim::KernelEvents CalibratedCost::estimate_events(
+    const TaskDims& dims) const {
+  const StageWork w = work_units(dims);
+  memsim::KernelEvents total =
+      scale(corr_norm_, w.corr_norm / calib_work_.corr_norm);
+  total += scale(kernel_, w.kernel / calib_work_.kernel);
+  total += scale(svm_, w.svm / calib_work_.svm);
+  return total;
+}
+
+double CalibratedCost::task_seconds(const TaskDims& dims,
+                                    const archsim::ArchModel& arch,
+                                    int svm_threads) const {
+  const StageWork w = work_units(dims);
+  const double t_corr = arch.modeled_seconds(
+      scale(corr_norm_, w.corr_norm / calib_work_.corr_norm));
+  const double t_kernel =
+      arch.modeled_seconds(scale(kernel_, w.kernel / calib_work_.kernel));
+  const double t_svm = arch.modeled_seconds(
+      scale(svm_, w.svm / calib_work_.svm),
+      svm_threads > 0 ? svm_threads : arch.max_threads());
+  return t_corr + t_kernel + t_svm;
+}
+
+}  // namespace fcma::cluster

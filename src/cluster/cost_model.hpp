@@ -1,0 +1,69 @@
+// Calibrated per-task cost model.
+//
+// Running the instrumented pipeline at the paper's full dimensions (34,470
+// voxels x 216 epochs) through the cache simulator would take hours, so the
+// cluster benches calibrate instead: one instrumented task runs at reduced
+// dimensions, and its per-stage event counts are scaled to target dimensions
+// by each stage's asymptotic work term (epoch length is held fixed, so the
+// scaling is exact in V, N and M up to cache-boundary effects):
+//
+//   corr+norm : V * M * N        (stage-1 outputs dominate; T fixed)
+//   kernel    : V * M^2 * N      (per-voxel syrk)
+//   svm       : V * S * M^2      (S folds; SMO iterations and per-iteration
+//                                 cost both scale with M)
+//
+// ArchModel then converts scaled events into modeled node-seconds.  The
+// thread-starvation regime of the baseline (§3.3.3) enters through
+// `svm_threads`: the baseline runs one CV per voxel, so only min(V, threads)
+// hardware threads are busy during stage 3.
+#pragma once
+
+#include "archsim/arch_model.hpp"
+#include "fcma/pipeline.hpp"
+
+namespace fcma::cluster {
+
+/// Dimensions describing one voxel-range task of a dataset analysis.
+struct TaskDims {
+  std::size_t task_voxels = 0;   ///< V: voxels assigned to the node
+  std::size_t brain_voxels = 0;  ///< N: whole-brain voxels
+  std::size_t epochs = 0;        ///< M: epochs in the analysis
+  std::int32_t subjects = 0;     ///< S: CV folds
+};
+
+/// Per-stage scaling work terms for `dims` (see header comment).
+struct StageWork {
+  double corr_norm = 0.0;
+  double kernel = 0.0;
+  double svm = 0.0;
+};
+[[nodiscard]] StageWork work_units(const TaskDims& dims);
+
+/// Event model calibrated from one instrumented pipeline run.
+class CalibratedCost {
+ public:
+  /// `events` must come from run_task_instrumented at `calib_dims`.
+  CalibratedCost(const core::InstrumentedTaskResult& events,
+                 const TaskDims& calib_dims);
+
+  /// Scaled event estimate for a task of `dims`.
+  [[nodiscard]] memsim::KernelEvents estimate_events(
+      const TaskDims& dims) const;
+
+  /// Modeled node-seconds for a task of `dims` on `arch`.  `svm_threads`
+  /// caps stage-3 thread occupancy (baseline: one thread per task voxel).
+  [[nodiscard]] double task_seconds(const TaskDims& dims,
+                                    const archsim::ArchModel& arch,
+                                    int svm_threads = 0) const;
+
+ private:
+  static memsim::KernelEvents scale(const memsim::KernelEvents& e,
+                                    double factor);
+
+  memsim::KernelEvents corr_norm_;
+  memsim::KernelEvents kernel_;
+  memsim::KernelEvents svm_;
+  StageWork calib_work_;
+};
+
+}  // namespace fcma::cluster

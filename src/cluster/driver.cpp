@@ -1,0 +1,102 @@
+#include "cluster/driver.hpp"
+
+#include <thread>
+
+#include "fcma/task.hpp"
+
+namespace fcma::cluster {
+
+namespace {
+
+/// Worker loop: receive tasks, run the pipeline, return accuracies, until
+/// shutdown.  Workers share the read-only normalized epoch data, exactly as
+/// the paper's workers share the broadcast dataset.
+void worker_main(Comm& comm, std::size_t rank,
+                 const fmri::NormalizedEpochs& epochs,
+                 const core::PipelineConfig& pipeline) {
+  for (;;) {
+    const Message m = comm.recv(rank);
+    if (m.tag == Tag::kShutdown) return;
+    FCMA_CHECK(m.tag == Tag::kTaskAssign, "worker expected a task");
+    const auto task = decode<core::VoxelTask>(m.payload);
+    const core::TaskResult result = core::run_task(epochs, task, pipeline);
+    // Result message: the task descriptor followed by the accuracies.
+    std::vector<double> packed;
+    packed.reserve(2 + result.accuracy.size());
+    packed.push_back(static_cast<double>(task.first));
+    packed.push_back(static_cast<double>(task.count));
+    packed.insert(packed.end(), result.accuracy.begin(),
+                  result.accuracy.end());
+    comm.send(rank, 0, Tag::kTaskResult, encode_vector(packed));
+  }
+}
+
+}  // namespace
+
+core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
+                                      std::size_t total_voxels,
+                                      const DriverOptions& options,
+                                      DriverStats* stats) {
+  FCMA_CHECK(options.workers >= 1, "need at least one worker");
+  const std::size_t per_task =
+      options.voxels_per_task != 0
+          ? options.voxels_per_task
+          : (total_voxels + options.workers - 1) / options.workers;
+  auto tasks = core::partition_voxels(total_voxels, per_task);
+
+  Comm comm(options.workers + 1);  // rank 0 = master
+  std::vector<std::thread> workers;
+  workers.reserve(options.workers);
+  for (std::size_t w = 1; w <= options.workers; ++w) {
+    workers.emplace_back(worker_main, std::ref(comm), w, std::cref(epochs),
+                         std::cref(options.pipeline));
+  }
+
+  core::Scoreboard board(total_voxels);
+  DriverStats local_stats;
+  std::size_t next_task = 0;
+  std::size_t in_flight = 0;
+
+  // Prime every worker with one task (or shut it down if none remain).
+  for (std::size_t w = 1; w <= options.workers; ++w) {
+    if (next_task < tasks.size()) {
+      comm.send(0, w, Tag::kTaskAssign, encode(tasks[next_task++]));
+      ++in_flight;
+      ++local_stats.tasks_dispatched;
+      ++local_stats.messages;
+    } else {
+      comm.send(0, w, Tag::kShutdown, {});
+      ++local_stats.messages;
+    }
+  }
+
+  // Collect results; a finishing worker immediately gets the next task.
+  while (in_flight > 0) {
+    const Message m = comm.recv(0);
+    FCMA_CHECK(m.tag == Tag::kTaskResult, "master expected a result");
+    ++local_stats.messages;
+    const auto packed = decode_vector<double>(m.payload);
+    FCMA_CHECK(packed.size() >= 2, "malformed result payload");
+    core::TaskResult result;
+    result.task.first = static_cast<std::uint32_t>(packed[0]);
+    result.task.count = static_cast<std::uint32_t>(packed[1]);
+    result.accuracy.assign(packed.begin() + 2, packed.end());
+    board.add(result);
+    --in_flight;
+    if (next_task < tasks.size()) {
+      comm.send(0, m.source, Tag::kTaskAssign, encode(tasks[next_task++]));
+      ++in_flight;
+      ++local_stats.tasks_dispatched;
+      ++local_stats.messages;
+    } else {
+      comm.send(0, m.source, Tag::kShutdown, {});
+      ++local_stats.messages;
+    }
+  }
+
+  for (auto& t : workers) t.join();
+  if (stats != nullptr) *stats = local_stats;
+  return board;
+}
+
+}  // namespace fcma::cluster

@@ -1,0 +1,39 @@
+// Functional master-worker FCMA driver over the in-process communicator.
+//
+// Runs the real distribution protocol of paper §3.1.1 with real threads:
+// rank 0 (master) partitions the brain into voxel-range tasks and hands one
+// to each worker; a worker runs the three-stage pipeline on its task and
+// returns the accuracies; the master feeds the scoreboard and keeps
+// dispatching until all voxels are scored.  Used by tests and examples to
+// validate that the distributed analysis is bit-identical to the
+// single-node one; the virtual-time simulator (sim.hpp) answers the timing
+// questions at 96-node scale.
+#pragma once
+
+#include "cluster/comm.hpp"
+#include "fcma/pipeline.hpp"
+#include "fcma/scoreboard.hpp"
+#include "fmri/dataset.hpp"
+
+namespace fcma::cluster {
+
+/// Options of one distributed analysis run.
+struct DriverOptions {
+  std::size_t workers = 2;
+  std::size_t voxels_per_task = 0;  ///< 0 = one task per worker
+  core::PipelineConfig pipeline;
+};
+
+/// Statistics of a driver run.
+struct DriverStats {
+  std::size_t tasks_dispatched = 0;
+  std::size_t messages = 0;
+};
+
+/// Runs the task farm over `epochs` (already normalized), scoring every
+/// voxel of the brain.  Returns the populated scoreboard.
+[[nodiscard]] core::Scoreboard run_cluster_analysis(
+    const fmri::NormalizedEpochs& epochs, std::size_t total_voxels,
+    const DriverOptions& options, DriverStats* stats = nullptr);
+
+}  // namespace fcma::cluster

@@ -1,0 +1,91 @@
+// RAII buffer with cache-line alignment.
+//
+// All numeric working sets in FCMA (voxel matrices, correlation blocks,
+// kernel matrices) are allocated through AlignedBuffer so that SIMD loads
+// never straddle cache lines and the blocking arithmetic in the optimized
+// kernels can assume line-aligned rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "common/platform.hpp"
+
+namespace fcma {
+
+/// Owning, movable, 64-byte-aligned array of trivially-copyable T.
+///
+/// Unlike std::vector this never default-constructs elements on resize and
+/// guarantees the alignment required by the AVX-512 kernels.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer only supports trivially copyable types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Discards contents and reallocates for `count` elements (uninitialized).
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    const std::size_t bytes =
+        round_up(count * sizeof(T), kDefaultAlignment);
+    void* p = std::aligned_alloc(kDefaultAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    data_ = static_cast<T*>(p);
+    size_ = count;
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, size_};
+  }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+    return (v + a - 1) / a * a;
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fcma

@@ -1,0 +1,48 @@
+// Error handling helpers.
+//
+// Library code throws fcma::Error on contract violations that depend on
+// runtime input (bad file, inconsistent dimensions supplied by a caller).
+// Internal invariants use FCMA_ASSERT, which is compiled in all build types
+// because the kernels are heavily tested against references and a silent
+// out-of-bounds write would invalidate every benchmark downstream.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fcma {
+
+/// Exception type thrown by all FCMA libraries for recoverable errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& msg) { throw Error(msg); }
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+              std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace fcma
+
+/// Checks a runtime condition; throws fcma::Error with location on failure.
+#define FCMA_CHECK(cond, msg)                                   \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::fcma::raise(std::string(msg) + " (" #cond ") at " +     \
+                    __FILE__ + ":" + std::to_string(__LINE__)); \
+    }                                                           \
+  } while (0)
+
+/// Internal invariant check, active in every build type.
+#define FCMA_ASSERT(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::fcma::detail::assert_fail(#expr, __FILE__, __LINE__);   \
+    }                                                           \
+  } while (0)

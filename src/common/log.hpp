@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing by default; examples and benches raise the
+// level to Info to narrate progress.  Logging goes through a single mutex so
+// multi-threaded examples produce readable output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fcma::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+/// Emits one line at `level` (thread safe, appends '\n').
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace fcma::log

@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fcma {
+
+void Table::header(std::vector<std::string> cells) {
+  FCMA_CHECK(rows_.empty(), "Table::header must precede rows");
+  header_ = std::move(cells);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  FCMA_CHECK(header_.empty() || cells.size() == header_.size(),
+             "Table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::count(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    if (width.size() < cells.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  os << "== " << caption_ << " ==\n";
+  auto emit = [&os, &width](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << cells[i]
+         << std::string(width[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto rule = [&os, &width] {
+    for (std::size_t w : width) os << "+" << std::string(w + 2, '-');
+    os << "+\n";
+  };
+  if (!header_.empty()) {
+    rule();
+    emit(header_);
+  }
+  rule();
+  for (const auto& r : rows_) emit(r);
+  rule();
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace fcma

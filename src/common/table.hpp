@@ -1,0 +1,48 @@
+// ASCII table printer for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper and prints
+// its rows through this formatter so that all outputs look alike and are
+// trivially diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fcma {
+
+/// Column-aligned ASCII table with an optional caption.
+///
+/// Usage:
+///   Table t("Table 5: matmul GFLOPS");
+///   t.header({"impl", "function", "time (ms)", "GFLOPS"});
+///   t.row({"ours", "corr gemm", Table::num(ms), Table::num(gf)});
+///   t.print();
+class Table {
+ public:
+  explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+  /// Sets the header row; must be called before the first row().
+  void header(std::vector<std::string> cells);
+
+  /// Appends one data row; the cell count must match the header.
+  void row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double v, int digits = 2);
+
+  /// Formats an integer with thousands separators (1,234,567).
+  static std::string count(long long v);
+
+  /// Renders the table to stdout.
+  void print() const;
+
+  /// Renders the table into a string (used by tests).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fcma

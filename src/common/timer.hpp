@@ -1,0 +1,43 @@
+// Wall-clock timing utilities used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace fcma {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace fcma

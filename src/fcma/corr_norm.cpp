@@ -1,0 +1,212 @@
+#include "fcma/corr_norm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "linalg/baseline.hpp"
+#include "linalg/opt.hpp"
+#include "stats/normalization.hpp"
+
+namespace fcma::core {
+
+namespace {
+
+/// Contiguous run of epochs belonging to one subject: [first, last).
+struct SubjectRun {
+  std::size_t first;
+  std::size_t last;
+};
+
+// Datasets store epochs subject-major, so each subject is one run; this
+// helper also guards that assumption.
+std::vector<SubjectRun> subject_runs(const std::vector<fmri::Epoch>& meta) {
+  std::vector<SubjectRun> runs;
+  std::size_t start = 0;
+  for (std::size_t m = 1; m <= meta.size(); ++m) {
+    if (m == meta.size() || meta[m].subject != meta[start].subject) {
+      runs.push_back(SubjectRun{start, m});
+      start = m;
+    }
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    FCMA_CHECK(meta[runs[r].first].subject != meta[runs[r - 1].first].subject,
+               "epochs must be grouped by subject");
+  }
+  return runs;
+}
+
+// View of epoch m's interleaved destination: rows = task voxels, ld jumps
+// one whole voxel group (the cblas ldc trick of §3.2).
+linalg::MatrixView epoch_slice(linalg::MatrixView out, const VoxelTask& task,
+                               std::size_t epochs, std::size_t m) {
+  return linalg::MatrixView{out.data + m * out.ld, task.count, out.cols,
+                            epochs * out.ld};
+}
+
+// View of the task's rows of epoch e's normalized activity.
+linalg::ConstMatrixView task_rows(const linalg::Matrix& epoch,
+                                  const VoxelTask& task) {
+  return linalg::ConstMatrixView{epoch.row(task.first), task.count,
+                                 epoch.cols(), epoch.ld()};
+}
+
+}  // namespace
+
+linalg::Matrix make_corr_buffer(const VoxelTask& task, std::size_t epochs,
+                                std::size_t brain_voxels) {
+  return linalg::Matrix(static_cast<std::size_t>(task.count) * epochs,
+                        brain_voxels);
+}
+
+void normalize_corr_buffer(const std::vector<fmri::Epoch>& meta,
+                           const VoxelTask& task, linalg::MatrixView buf) {
+  const std::size_t m_total = meta.size();
+  const auto runs = subject_runs(meta);
+  for (std::size_t v = 0; v < task.count; ++v) {
+    for (const SubjectRun& run : runs) {
+      float* block = buf.row(v * m_total + run.first);
+      stats::fisher_zscore_block(block, run.last - run.first, buf.cols,
+                                 buf.ld);
+    }
+  }
+}
+
+void baseline_correlate_normalize(const fmri::NormalizedEpochs& epochs,
+                                  const VoxelTask& task,
+                                  linalg::MatrixView out) {
+  const std::size_t m_total = epochs.per_epoch.size();
+  FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
+  for (std::size_t m = 0; m < m_total; ++m) {
+    linalg::baseline::gemm_nt(task_rows(epochs.per_epoch[m], task),
+                              epochs.per_epoch[m].view(),
+                              epoch_slice(out, task, m_total, m));
+  }
+  normalize_corr_buffer(epochs.meta, task, out);
+}
+
+void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
+                                   const VoxelTask& task,
+                                   linalg::MatrixView out, NormMode mode) {
+  const std::size_t m_total = epochs.per_epoch.size();
+  FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
+  if (mode == NormMode::kSeparated) {
+    for (std::size_t m = 0; m < m_total; ++m) {
+      linalg::opt::gemm_nt(task_rows(epochs.per_epoch[m], task),
+                           epochs.per_epoch[m].view(),
+                           epoch_slice(out, task, m_total, m));
+    }
+    normalize_corr_buffer(epochs.meta, task, out);
+    return;
+  }
+
+  // Merged (idea #2): per subject and per column panel, compute that
+  // subject's E epoch rows for each voxel and normalize them immediately,
+  // while the freshly-written panel is still cache resident.
+  const std::size_t n = out.cols;
+  const auto runs = subject_runs(epochs.meta);
+  std::size_t max_e = 0;
+  for (const SubjectRun& r : runs) max_e = std::max(max_e, r.last - r.first);
+  const std::size_t t_len = epochs.per_epoch.front().cols();
+  AlignedBuffer<float> bt(max_e * t_len * linalg::opt::kGemmPanelCols);
+  for (const SubjectRun& run : runs) {
+    const std::size_t e_count = run.last - run.first;
+    for (std::size_t j0 = 0; j0 < n; j0 += linalg::opt::kGemmPanelCols) {
+      const std::size_t j1 =
+          std::min(n, j0 + linalg::opt::kGemmPanelCols);
+      const std::size_t width = j1 - j0;
+      for (std::size_t e = 0; e < e_count; ++e) {
+        linalg::opt::pack_bt_panel(epochs.per_epoch[run.first + e].view(), j0,
+                                   j1, bt.data() + e * t_len * width);
+      }
+      for (std::size_t v = 0; v < task.count; ++v) {
+        for (std::size_t e = 0; e < e_count; ++e) {
+          const linalg::Matrix& act = epochs.per_epoch[run.first + e];
+          linalg::opt::gemm_row_panel(
+              act.row(task.first + v), act.cols(),
+              bt.data() + e * t_len * width, width,
+              out.row(v * m_total + run.first + e) + j0);
+        }
+        stats::fisher_zscore_block(out.row(v * m_total + run.first) + j0,
+                                   e_count, width, out.ld);
+      }
+    }
+  }
+}
+
+void baseline_correlate_normalize_instrumented(
+    const fmri::NormalizedEpochs& epochs, const VoxelTask& task,
+    linalg::MatrixView out, memsim::Instrument& ins, unsigned model_lanes) {
+  const std::size_t m_total = epochs.per_epoch.size();
+  FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
+  for (std::size_t m = 0; m < m_total; ++m) {
+    linalg::baseline::gemm_nt_instrumented(
+        task_rows(epochs.per_epoch[m], task), epochs.per_epoch[m].view(),
+        epoch_slice(out, task, m_total, m), ins, model_lanes);
+  }
+  const auto runs = subject_runs(epochs.meta);
+  for (std::size_t v = 0; v < task.count; ++v) {
+    for (const SubjectRun& run : runs) {
+      stats::fisher_zscore_block_instrumented(
+          out.row(v * m_total + run.first), run.last - run.first, out.cols,
+          out.ld, ins, model_lanes);
+    }
+  }
+}
+
+void optimized_correlate_normalize_instrumented(
+    const fmri::NormalizedEpochs& epochs, const VoxelTask& task,
+    linalg::MatrixView out, NormMode mode, memsim::Instrument& ins,
+    unsigned model_lanes) {
+  const std::size_t m_total = epochs.per_epoch.size();
+  FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
+  if (mode == NormMode::kSeparated) {
+    for (std::size_t m = 0; m < m_total; ++m) {
+      linalg::opt::gemm_nt_instrumented(
+          task_rows(epochs.per_epoch[m], task), epochs.per_epoch[m].view(),
+          epoch_slice(out, task, m_total, m), ins, model_lanes);
+    }
+    const auto runs = subject_runs(epochs.meta);
+    for (std::size_t v = 0; v < task.count; ++v) {
+      for (const SubjectRun& run : runs) {
+        stats::fisher_zscore_block_instrumented(
+            out.row(v * m_total + run.first), run.last - run.first, out.cols,
+            out.ld, ins, model_lanes);
+      }
+    }
+    return;
+  }
+
+  const std::size_t n = out.cols;
+  const auto runs = subject_runs(epochs.meta);
+  std::size_t max_e = 0;
+  for (const SubjectRun& r : runs) max_e = std::max(max_e, r.last - r.first);
+  const std::size_t t_len = epochs.per_epoch.front().cols();
+  AlignedBuffer<float> bt(max_e * t_len * linalg::opt::kGemmPanelCols);
+  for (const SubjectRun& run : runs) {
+    const std::size_t e_count = run.last - run.first;
+    for (std::size_t j0 = 0; j0 < n; j0 += linalg::opt::kGemmPanelCols) {
+      const std::size_t j1 = std::min(n, j0 + linalg::opt::kGemmPanelCols);
+      const std::size_t width = j1 - j0;
+      for (std::size_t e = 0; e < e_count; ++e) {
+        linalg::opt::pack_bt_panel_instrumented(
+            epochs.per_epoch[run.first + e].view(), j0, j1,
+            bt.data() + e * t_len * width, ins, model_lanes);
+      }
+      for (std::size_t v = 0; v < task.count; ++v) {
+        for (std::size_t e = 0; e < e_count; ++e) {
+          const linalg::Matrix& act = epochs.per_epoch[run.first + e];
+          linalg::opt::gemm_row_panel_instrumented(
+              act.row(task.first + v), act.cols(),
+              bt.data() + e * t_len * width, width,
+              out.row(v * m_total + run.first + e) + j0, ins, model_lanes);
+        }
+        stats::fisher_zscore_block_instrumented(
+            out.row(v * m_total + run.first) + j0, e_count, width, out.ld,
+            ins, model_lanes);
+      }
+    }
+  }
+}
+
+}  // namespace fcma::core

@@ -1,0 +1,63 @@
+// Pipeline stages 1 & 2: correlation computation + within-subject
+// normalization (paper §4.2, §4.3).
+//
+// Input: the eq.2-normalized per-epoch activity (fmri::NormalizedEpochs).
+// Output: the task's correlation data in the voxel-grouped layout of Fig 4 —
+// a matrix of V*M rows by N columns where row v*M + m holds the (Fisher- and
+// z-transformed) correlations of assigned voxel v with the whole brain in
+// epoch m.
+//
+// Three implementations:
+//   baseline           — per-epoch generic gemm into the interleaved layout
+//                        (the cblas_sgemm ldc trick), then a separate
+//                        normalization pass (the paper's baseline).
+//   optimized          — panel-blocked tall-skinny gemm; NormMode selects
+//                        whether normalization runs as a separate pass
+//                        (Separated) or fused into the gemm panels while
+//                        they are cache-resident (Merged, idea #2).
+//   *_instrumented     — event-counted twins.
+#pragma once
+
+#include "fmri/dataset.hpp"
+#include "fcma/task.hpp"
+#include "linalg/matrix.hpp"
+#include "memsim/instrument.hpp"
+
+namespace fcma::core {
+
+/// Whether stage 2 is fused into stage 1 (paper Table 7's ablation).
+enum class NormMode { kSeparated, kMerged };
+
+/// Correlation output buffer for one task: rows = task.count * epochs,
+/// row v_local * epochs + m = voxel (task.first + v_local)'s correlations in
+/// epoch m against all N voxels.
+[[nodiscard]] linalg::Matrix make_corr_buffer(const VoxelTask& task,
+                                              std::size_t epochs,
+                                              std::size_t brain_voxels);
+
+/// Baseline stages 1+2 (always separated — the baseline has no fusion).
+void baseline_correlate_normalize(const fmri::NormalizedEpochs& epochs,
+                                  const VoxelTask& task, linalg::MatrixView out);
+
+/// Optimized stages 1+2.
+void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
+                                   const VoxelTask& task,
+                                   linalg::MatrixView out, NormMode mode);
+
+/// Instrumented twins; `model_lanes` selects the modeled VPU width.
+void baseline_correlate_normalize_instrumented(
+    const fmri::NormalizedEpochs& epochs, const VoxelTask& task,
+    linalg::MatrixView out, memsim::Instrument& ins,
+    unsigned model_lanes = 16);
+
+void optimized_correlate_normalize_instrumented(
+    const fmri::NormalizedEpochs& epochs, const VoxelTask& task,
+    linalg::MatrixView out, NormMode mode, memsim::Instrument& ins,
+    unsigned model_lanes = 16);
+
+/// Applies stage 2 alone (Fisher + within-subject z-score) to a correlation
+/// buffer laid out as above.  Exposed for the Table 7 ablation and tests.
+void normalize_corr_buffer(const std::vector<fmri::Epoch>& meta,
+                           const VoxelTask& task, linalg::MatrixView buf);
+
+}  // namespace fcma::core

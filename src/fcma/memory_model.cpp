@@ -1,0 +1,32 @@
+#include "fcma/memory_model.hpp"
+
+#include <algorithm>
+
+namespace fcma::core {
+
+std::size_t corr_bytes_per_voxel(std::size_t epochs,
+                                 std::size_t brain_voxels) {
+  return epochs * brain_voxels * sizeof(float);
+}
+
+std::size_t kernel_bytes_per_voxel(std::size_t epochs) {
+  return epochs * epochs * sizeof(float);
+}
+
+std::size_t baseline_max_voxels(std::size_t epochs, std::size_t brain_voxels,
+                                std::size_t available_bytes) {
+  const std::size_t per_voxel = corr_bytes_per_voxel(epochs, brain_voxels);
+  return per_voxel == 0 ? 0 : available_bytes / per_voxel;
+}
+
+std::size_t optimized_max_voxels(std::size_t epochs, std::size_t brain_voxels,
+                                 std::size_t available_bytes,
+                                 std::size_t group) {
+  const std::size_t in_flight =
+      group * corr_bytes_per_voxel(epochs, brain_voxels);
+  if (in_flight >= available_bytes) return 0;
+  const std::size_t per_voxel = kernel_bytes_per_voxel(epochs);
+  return per_voxel == 0 ? 0 : (available_bytes - in_flight) / per_voxel;
+}
+
+}  // namespace fcma::core

@@ -1,0 +1,41 @@
+// Device-memory feasibility model (paper §3.3.3, §4.4, §5.4.1).
+//
+// The Xeon Phi 5110P leaves ~6GB to applications.  The baseline pipeline
+// must keep every assigned voxel's full correlation data (M x N floats)
+// resident through SVM cross-validation, which caps a task at 120 voxels
+// (face-scene) or 60 (attention) — starving the coprocessor's 240 hardware
+// threads during stage 3.  The optimized pipeline reduces each voxel's
+// correlation block to an M x M kernel matrix portion by portion, so >= 240
+// voxels' problems fit and every thread has work.
+//
+// These helpers quantify both regimes; the cluster simulator and the Fig 9
+// bench use them to reproduce the thread-starvation effect.
+#pragma once
+
+#include <cstddef>
+
+namespace fcma::core {
+
+/// Memory available to applications on the modeled coprocessor (~6GB).
+inline constexpr std::size_t kPhiAvailableBytes = 6ull << 30;
+
+/// Bytes of correlation data one voxel contributes (M epochs x N voxels).
+[[nodiscard]] std::size_t corr_bytes_per_voxel(std::size_t epochs,
+                                               std::size_t brain_voxels);
+
+/// Bytes of one voxel's precomputed kernel matrix (M x M).
+[[nodiscard]] std::size_t kernel_bytes_per_voxel(std::size_t epochs);
+
+/// Largest task the *baseline* can accept: all correlation data resident.
+[[nodiscard]] std::size_t baseline_max_voxels(std::size_t epochs,
+                                              std::size_t brain_voxels,
+                                              std::size_t available_bytes);
+
+/// Largest task the *optimized* pipeline can accept: `group` voxels'
+/// correlation blocks in flight plus one kernel matrix per assigned voxel.
+[[nodiscard]] std::size_t optimized_max_voxels(std::size_t epochs,
+                                               std::size_t brain_voxels,
+                                               std::size_t available_bytes,
+                                               std::size_t group = 8);
+
+}  // namespace fcma::core

@@ -1,0 +1,151 @@
+#include "fcma/offline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/opt.hpp"
+#include "stats/normalization.hpp"
+
+namespace fcma::core {
+
+namespace {
+
+// Subject runs over a feature matrix's epoch rows (the offline features are
+// built over all epochs, subject-major).
+void zscore_features_within_subject(linalg::Matrix& features,
+                                    const std::vector<fmri::Epoch>& meta) {
+  std::size_t start = 0;
+  for (std::size_t m = 1; m <= meta.size(); ++m) {
+    if (m == meta.size() || meta[m].subject != meta[start].subject) {
+      stats::fisher_zscore_block(features.row(start), m - start,
+                                 features.cols(), features.ld());
+      start = m;
+    }
+  }
+}
+
+}  // namespace
+
+double OfflineResult::mean_test_accuracy() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FoldResult& f : folds) sum += f.test_accuracy;
+  return sum / static_cast<double>(folds.size());
+}
+
+std::vector<std::uint32_t> OfflineResult::reliable_voxels(
+    std::size_t min_folds, std::size_t total_voxels) const {
+  std::vector<std::size_t> counts(total_voxels, 0);
+  for (const FoldResult& f : folds) {
+    for (const std::uint32_t v : f.selected) ++counts[v];
+  }
+  std::vector<std::uint32_t> out;
+  for (std::size_t v = 0; v < total_voxels; ++v) {
+    if (counts[v] >= min_folds) out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+linalg::Matrix selected_correlation_features(
+    const fmri::NormalizedEpochs& epochs,
+    std::span<const std::uint32_t> selected) {
+  const std::size_t k = selected.size();
+  FCMA_CHECK(k >= 2, "need at least two selected voxels");
+  const std::size_t m = epochs.per_epoch.size();
+  const std::size_t dim = k * (k - 1) / 2;
+  linalg::Matrix features(m, dim);
+  for (std::size_t e = 0; e < m; ++e) {
+    const linalg::Matrix& act = epochs.per_epoch[e];
+    float* row = features.row(e);
+    std::size_t f = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const float* vi = act.row(selected[i]);
+      for (std::size_t j = i + 1; j < k; ++j) {
+        const float* vj = act.row(selected[j]);
+        float acc = 0.0f;
+        for (std::size_t t = 0; t < act.cols(); ++t) acc += vi[t] * vj[t];
+        row[f++] = acc;  // already a Pearson r (eq. 2/3 normalization)
+      }
+    }
+  }
+  return features;
+}
+
+double train_and_test_classifier(const linalg::Matrix& features,
+                                 const std::vector<fmri::Epoch>& meta,
+                                 std::span<const std::size_t> train_idx,
+                                 std::span<const std::size_t> test_idx,
+                                 const svm::TrainOptions& options) {
+  FCMA_CHECK(features.rows() == meta.size(), "feature/epoch mismatch");
+  // Gram matrix over all epochs: K = F F^T via the optimized syrk.
+  linalg::Matrix gram(features.rows(), features.rows());
+  linalg::opt::syrk(features.view(), gram.view());
+  std::vector<std::int8_t> labels(meta.size());
+  for (std::size_t e = 0; e < meta.size(); ++e) {
+    labels[e] = meta[e].label == 1 ? std::int8_t{1} : std::int8_t{-1};
+  }
+  const svm::Model model = svm::phisvm_train(gram.view(), labels, train_idx,
+                                             options);
+  std::size_t correct = 0;
+  for (const std::size_t t : test_idx) {
+    const double f = svm::decision_value(model, gram.view(), t, train_idx);
+    const std::int8_t predicted = f >= 0.0 ? 1 : -1;
+    correct += (predicted == labels[t]);
+  }
+  return test_idx.empty()
+             ? 0.0
+             : static_cast<double>(correct) /
+                   static_cast<double>(test_idx.size());
+}
+
+OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
+                                   const OfflineOptions& options) {
+  OfflineResult result;
+  const std::size_t v_total = dataset.voxels();
+  const std::size_t per_task =
+      options.voxels_per_task == 0 ? v_total : options.voxels_per_task;
+
+  for (std::int32_t fold = 0; fold < dataset.subjects(); ++fold) {
+    // Training epochs: everything not belonging to the held-out subject.
+    std::vector<std::size_t> train_epochs;
+    for (std::size_t e = 0; e < dataset.epochs().size(); ++e) {
+      if (dataset.epochs()[e].subject != fold) train_epochs.push_back(e);
+    }
+    const fmri::NormalizedEpochs training =
+        fmri::normalize_epochs(dataset, train_epochs);
+
+    // Voxel selection: full FCMA over the training subjects.
+    Scoreboard board(v_total);
+    for (const VoxelTask& task : partition_voxels(v_total, per_task)) {
+      board.add(run_task(training, task, options.pipeline));
+    }
+    FoldResult fr;
+    fr.left_out_subject = fold;
+    fr.selected = board.top_voxels(options.top_k);
+    double acc_sum = 0.0;
+    for (const std::uint32_t v : fr.selected) acc_sum += board.accuracy_of(v);
+    fr.mean_selected_cv_accuracy =
+        fr.selected.empty()
+            ? 0.0
+            : acc_sum / static_cast<double>(fr.selected.size());
+
+    // Final classifier: selected-voxel correlation patterns over *all*
+    // epochs; train on the training subjects, test on the held-out one.
+    const fmri::NormalizedEpochs all = fmri::normalize_epochs(dataset);
+    linalg::Matrix features =
+        selected_correlation_features(all, fr.selected);
+    zscore_features_within_subject(features, all.meta);
+    std::vector<std::size_t> train_idx;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t e = 0; e < all.meta.size(); ++e) {
+      (all.meta[e].subject == fold ? test_idx : train_idx).push_back(e);
+    }
+    fr.test_accuracy = train_and_test_classifier(
+        features, all.meta, train_idx, test_idx,
+        options.pipeline.svm_options);
+    result.folds.push_back(std::move(fr));
+  }
+  return result;
+}
+
+}  // namespace fcma::core

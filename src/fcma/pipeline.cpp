@@ -1,0 +1,128 @@
+#include "fcma/pipeline.hpp"
+
+#include <atomic>
+
+namespace fcma::core {
+
+TaskResult run_task(const fmri::NormalizedEpochs& epochs,
+                    const VoxelTask& task, const PipelineConfig& config) {
+  FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
+  const std::size_t m = epochs.per_epoch.size();
+  const std::size_t n = epochs.per_epoch.front().rows();
+  linalg::Matrix corr = make_corr_buffer(task, m, n);
+  if (config.impl == Impl::kBaseline) {
+    baseline_correlate_normalize(epochs, task, corr.view());
+  } else {
+    optimized_correlate_normalize(epochs, task, corr.view(),
+                                  config.norm_mode);
+  }
+  const auto folds = config.cv_folds != nullptr
+                         ? *config.cv_folds
+                         : epoch_loso_folds(epochs.meta);
+  const SvmStageResult stage3 =
+      svm_stage(corr.view(), epochs.meta, folds, task, config.impl,
+                config.solver, config.svm_options, config.pool);
+  TaskResult result;
+  result.task = task;
+  result.accuracy = stage3.accuracy;
+  result.svm_iterations = stage3.svm_iterations;
+  return result;
+}
+
+TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
+                            const VoxelTask& task,
+                            const PipelineConfig& config,
+                            std::size_t group_voxels) {
+  FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
+  FCMA_CHECK(group_voxels > 0, "group size must be positive");
+  const std::size_t m = epochs.per_epoch.size();
+  const std::size_t n = epochs.per_epoch.front().rows();
+
+  // Phase 1: per group, correlate+normalize into a reusable buffer and
+  // reduce each voxel to its kernel matrix.
+  std::vector<linalg::Matrix> kernels;
+  kernels.reserve(task.count);
+  linalg::Matrix corr;  // allocated lazily to the group size
+  for (std::uint32_t g0 = 0; g0 < task.count; g0 += group_voxels) {
+    const VoxelTask group{
+        task.first + g0,
+        static_cast<std::uint32_t>(
+            std::min<std::size_t>(group_voxels, task.count - g0))};
+    if (corr.rows() != static_cast<std::size_t>(group.count) * m) {
+      corr = make_corr_buffer(group, m, n);
+    }
+    if (config.impl == Impl::kBaseline) {
+      baseline_correlate_normalize(epochs, group, corr.view());
+    } else {
+      optimized_correlate_normalize(epochs, group, corr.view(),
+                                    config.norm_mode);
+    }
+    for (std::uint32_t v = 0; v < group.count; ++v) {
+      linalg::Matrix kernel(m, m);
+      compute_voxel_kernel(corr.view(), m, v, config.impl, kernel.view());
+      kernels.push_back(std::move(kernel));
+    }
+  }
+
+  // Phase 2: cross-validate the accumulated kernel matrices — all voxels at
+  // once, the regime where every hardware thread has a problem to solve.
+  const auto folds = config.cv_folds != nullptr
+                         ? *config.cv_folds
+                         : epoch_loso_folds(epochs.meta);
+  const auto labels = epoch_labels(epochs.meta);
+  TaskResult result;
+  result.task = task;
+  result.accuracy.assign(task.count, 0.0);
+  std::atomic<long> iterations{0};
+  auto run_voxel = [&](std::size_t v) {
+    const svm::CvResult cv =
+        svm::cross_validate(config.solver, kernels[v].view(), labels, folds,
+                            config.svm_options);
+    result.accuracy[v] = cv.accuracy();
+    iterations.fetch_add(cv.iterations, std::memory_order_relaxed);
+  };
+  if (config.pool != nullptr) {
+    threading::parallel_for_each(*config.pool, 0, task.count, run_voxel);
+  } else {
+    for (std::size_t v = 0; v < task.count; ++v) run_voxel(v);
+  }
+  result.svm_iterations = iterations.load();
+  return result;
+}
+
+InstrumentedTaskResult run_task_instrumented(
+    const fmri::NormalizedEpochs& epochs, const VoxelTask& task,
+    const PipelineConfig& config, memsim::Instrument& ins,
+    unsigned model_lanes) {
+  FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
+  const std::size_t m = epochs.per_epoch.size();
+  const std::size_t n = epochs.per_epoch.front().rows();
+  linalg::Matrix corr = make_corr_buffer(task, m, n);
+
+  InstrumentedTaskResult out;
+  const memsim::KernelEvents at_start = ins.events();
+  if (config.impl == Impl::kBaseline) {
+    baseline_correlate_normalize_instrumented(epochs, task, corr.view(), ins,
+                                              model_lanes);
+  } else {
+    optimized_correlate_normalize_instrumented(
+        epochs, task, corr.view(), config.norm_mode, ins, model_lanes);
+  }
+  const memsim::KernelEvents after_corr = ins.events();
+  out.corr_norm = after_corr - at_start;
+
+  const auto folds = config.cv_folds != nullptr
+                         ? *config.cv_folds
+                         : epoch_loso_folds(epochs.meta);
+  const SvmStageResult stage3 = svm_stage_instrumented(
+      corr.view(), epochs.meta, folds, task, config.impl, config.solver,
+      config.svm_options, ins, model_lanes, &out.kernel);
+  out.svm = (ins.events() - after_corr) - out.kernel;
+
+  out.result.task = task;
+  out.result.accuracy = stage3.accuracy;
+  out.result.svm_iterations = stage3.svm_iterations;
+  return out;
+}
+
+}  // namespace fcma::core

@@ -1,0 +1,92 @@
+// The full three-stage FCMA worker pipeline (paper Fig 3).
+//
+// run_task executes stages 1-3 for one voxel-range task against
+// pre-normalized epoch data, returning one cross-validation accuracy per
+// assigned voxel.  PipelineConfig selects the baseline or optimized
+// implementation of every stage; run_task_instrumented additionally collects
+// the per-stage event counts that drive the Table 1/7 and Fig 9/10/11
+// reproductions.
+#pragma once
+
+#include "fcma/corr_norm.hpp"
+#include "fcma/svm_stage.hpp"
+
+namespace fcma::core {
+
+/// Stage-implementation selection for one pipeline run.
+struct PipelineConfig {
+  Impl impl = Impl::kOptimized;
+  /// Stage 1/2 fusion; only meaningful for the optimized implementation
+  /// (the baseline is inherently separated).
+  NormMode norm_mode = NormMode::kMerged;
+  svm::SolverKind solver = svm::SolverKind::kPhiSvm;
+  svm::TrainOptions svm_options;
+  /// Optional pool for voxel-parallel stage 3 and panel-parallel kernels.
+  threading::ThreadPool* pool = nullptr;
+  /// Optional custom cross-validation folds (test-index groups).  When
+  /// null, leave-one-subject-out folds are derived from the epoch metadata.
+  const std::vector<std::vector<std::size_t>>* cv_folds = nullptr;
+
+  /// The paper's baseline configuration: generic kernels + LibSVM.
+  [[nodiscard]] static PipelineConfig baseline() {
+    PipelineConfig c;
+    c.impl = Impl::kBaseline;
+    c.norm_mode = NormMode::kSeparated;
+    c.solver = svm::SolverKind::kLibSvm;
+    return c;
+  }
+
+  /// The paper's fully optimized configuration.
+  [[nodiscard]] static PipelineConfig optimized() { return {}; }
+};
+
+/// Outcome of one task: per-voxel accuracies (index i corresponds to voxel
+/// task.first + i).
+struct TaskResult {
+  VoxelTask task;
+  std::vector<double> accuracy;
+  long svm_iterations = 0;
+};
+
+/// Runs the three-stage pipeline for `task`.
+[[nodiscard]] TaskResult run_task(const fmri::NormalizedEpochs& epochs,
+                                  const VoxelTask& task,
+                                  const PipelineConfig& config);
+
+/// Per-stage event breakdown of an instrumented task run.
+struct InstrumentedTaskResult {
+  TaskResult result;
+  memsim::KernelEvents corr_norm;  ///< stages 1+2 (fused or not)
+  memsim::KernelEvents kernel;     ///< per-voxel syrk precompute
+  memsim::KernelEvents svm;        ///< SMO cross-validation
+  [[nodiscard]] memsim::KernelEvents total() const {
+    memsim::KernelEvents t = corr_norm;
+    t += kernel;
+    t += svm;
+    return t;
+  }
+};
+
+/// Instrumented (serial, event-counted) pipeline run.
+[[nodiscard]] InstrumentedTaskResult run_task_instrumented(
+    const fmri::NormalizedEpochs& epochs, const VoxelTask& task,
+    const PipelineConfig& config, memsim::Instrument& ins,
+    unsigned model_lanes = 16);
+
+/// Memory-bounded variant of run_task — the paper's §4.4 workflow.
+///
+/// run_task keeps the whole task's correlation buffer (task.count x M x N
+/// floats) alive through stage 3; at the paper's dimensions that caps a
+/// coprocessor task at ~120 voxels.  run_task_grouped instead processes the
+/// task in groups of `group_voxels`: stages 1+2 run for one group, each
+/// group voxel's M x N block is immediately reduced to its M x M kernel
+/// matrix, and the correlation buffer is reused for the next group.  Only
+/// the small kernel matrices accumulate, so a task of 240+ voxels fits the
+/// modeled 6GB — the enabler for full thread occupancy during SVM
+/// cross-validation.  Peak correlation memory: group_voxels * M * N floats.
+[[nodiscard]] TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
+                                          const VoxelTask& task,
+                                          const PipelineConfig& config,
+                                          std::size_t group_voxels);
+
+}  // namespace fcma::core

@@ -1,0 +1,126 @@
+#include "fcma/report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "fcma/selection.hpp"
+#include "stats/significance.hpp"
+
+namespace fcma::core {
+
+namespace {
+
+void append_cluster_table(std::ostringstream& os,
+                          const fmri::BrainMask& mask,
+                          const std::vector<std::uint32_t>& selected,
+                          std::size_t min_cluster_size) {
+  const auto clusters =
+      fmri::find_clusters(mask, selected, min_cluster_size);
+  Table t("ROI clusters (6-connected, >= " +
+          std::to_string(min_cluster_size) + " voxels)");
+  t.header({"rank", "voxels", "peak (x,y,z)", "centroid"});
+  std::size_t rank = 1;
+  for (const auto& c : clusters) {
+    std::ostringstream peak;
+    peak << "(" << c.peak.x << "," << c.peak.y << "," << c.peak.z << ")";
+    std::ostringstream centroid;
+    centroid.setf(std::ios::fixed);
+    centroid.precision(1);
+    centroid << "(" << c.centroid_x << "," << c.centroid_y << ","
+             << c.centroid_z << ")";
+    t.row({std::to_string(rank++),
+           std::to_string(c.size()), peak.str(), centroid.str()});
+  }
+  os << t.str();
+  if (clusters.empty()) {
+    os << "(no clusters at this threshold)\n";
+  }
+}
+
+}  // namespace
+
+std::string render_report(const Scoreboard& board,
+                          const std::vector<std::uint32_t>& selected,
+                          const fmri::BrainMask* mask,
+                          const ReportOptions& options) {
+  std::ostringstream os;
+  os << "FCMA analysis report\n";
+  os << "====================\n\n";
+  os << "voxels scored: " << board.scored() << "\n";
+  os << "voxels selected: " << selected.size() << "\n\n";
+
+  std::vector<double> pvalues;
+  if (options.cv_total > 0) {
+    pvalues = accuracy_pvalues(board, options.cv_total);
+  }
+  Table t("top voxels by cross-validation accuracy");
+  if (pvalues.empty()) {
+    t.header({"voxel", "accuracy"});
+  } else {
+    t.header({"voxel", "accuracy", "p (binomial)"});
+  }
+  const auto ranked = board.ranked();
+  const std::size_t rows =
+      std::min(options.top_voxels, ranked.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row{std::to_string(ranked[i].voxel),
+                                 Table::num(ranked[i].accuracy, 3)};
+    if (!pvalues.empty()) {
+      std::ostringstream p;
+      p.precision(2);
+      p << std::scientific << pvalues[ranked[i].voxel];
+      row.push_back(p.str());
+    }
+    t.row(std::move(row));
+  }
+  os << t.str();
+
+  if (mask != nullptr) {
+    os << "\n";
+    append_cluster_table(os, *mask, selected, options.min_cluster_size);
+  }
+  return os.str();
+}
+
+std::string render_offline_report(const OfflineResult& result,
+                                  std::size_t total_voxels,
+                                  const fmri::BrainMask* mask,
+                                  const ReportOptions& options) {
+  std::ostringstream os;
+  os << "FCMA offline study report (nested leave-one-subject-out)\n";
+  os << "=========================================================\n\n";
+  Table folds("per-fold results");
+  folds.header({"held-out subject", "selected", "mean selection CV acc",
+                "held-out accuracy"});
+  for (const FoldResult& f : result.folds) {
+    folds.row({std::to_string(f.left_out_subject),
+               std::to_string(f.selected.size()),
+               Table::num(f.mean_selected_cv_accuracy, 3),
+               Table::num(f.test_accuracy, 3)});
+  }
+  os << folds.str();
+  os << "\nmean held-out accuracy: "
+     << Table::num(result.mean_test_accuracy(), 3)
+     << "  (chance = 0.500)\n";
+
+  const auto reliable =
+      result.reliable_voxels(result.folds.size(), total_voxels);
+  os << "reliable voxels (selected in every fold): " << reliable.size()
+     << "\n";
+  if (mask != nullptr && !reliable.empty()) {
+    os << "\n";
+    append_cluster_table(os, *mask, reliable, options.min_cluster_size);
+  }
+  return os.str();
+}
+
+void write_report(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  FCMA_CHECK(out.good(), "cannot open " + path);
+  out << content;
+  FCMA_CHECK(out.good(), "write failed for " + path);
+}
+
+}  // namespace fcma::core

@@ -1,0 +1,43 @@
+// Human-readable analysis reports.
+//
+// After an offline study the neuroscientist wants one artifact: which
+// regions were selected, how reliably, with what accuracies and p-values.
+// This module renders that summary (and a machine-parsable voxel table)
+// from the analysis results, optionally with spatial ROI clustering when a
+// brain mask is available.
+#pragma once
+
+#include <string>
+
+#include "fcma/offline.hpp"
+#include "fcma/scoreboard.hpp"
+#include "fmri/volume.hpp"
+
+namespace fcma::core {
+
+/// Options controlling report contents.
+struct ReportOptions {
+  std::size_t top_voxels = 20;      ///< entries in the per-voxel table
+  std::size_t cv_total = 0;         ///< CV sample count for p-values
+                                    ///< (0 = omit p-values)
+  std::size_t min_cluster_size = 2; ///< ROI cluster threshold
+};
+
+/// Renders a single-analysis report: ranked voxels (+ binomial p-values if
+/// cv_total is set) and, when `mask` is non-null, the ROI clusters formed
+/// by the `selected` voxels.
+[[nodiscard]] std::string render_report(
+    const Scoreboard& board, const std::vector<std::uint32_t>& selected,
+    const fmri::BrainMask* mask, const ReportOptions& options);
+
+/// Renders the offline (nested LOSO) study summary: per-fold selection
+/// quality and held-out accuracy, reliable voxels, and their ROI clusters
+/// when a mask is available.
+[[nodiscard]] std::string render_offline_report(
+    const OfflineResult& result, std::size_t total_voxels,
+    const fmri::BrainMask* mask, const ReportOptions& options);
+
+/// Writes `content` to `path` (throws fcma::Error on failure).
+void write_report(const std::string& path, const std::string& content);
+
+}  // namespace fcma::core

@@ -1,0 +1,54 @@
+// Voxel scoreboard: collects per-voxel accuracies and ranks them.
+//
+// The master node "collects all voxels and sorts them by their resulting
+// accuracies of cross validation" (paper §3.1.2); the top voxels form the
+// ROIs used by the final classifier and the neuroscientific analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fcma/pipeline.hpp"
+
+namespace fcma::core {
+
+/// One voxel's selection score.
+struct VoxelScore {
+  std::uint32_t voxel = 0;
+  double accuracy = 0.0;
+};
+
+/// Accumulates task results; thread-compatible (external synchronization).
+class Scoreboard {
+ public:
+  explicit Scoreboard(std::size_t total_voxels);
+
+  /// Records one task's accuracies.
+  void add(const TaskResult& result);
+
+  /// True once every voxel has been scored.
+  [[nodiscard]] bool complete() const { return scored_ == scores_.size(); }
+  [[nodiscard]] std::size_t scored() const { return scored_; }
+
+  /// All scores, sorted by accuracy descending (ties: lower voxel id first,
+  /// for determinism).
+  [[nodiscard]] std::vector<VoxelScore> ranked() const;
+
+  /// The top-k voxel ids, sorted ascending for stable downstream use.
+  [[nodiscard]] std::vector<std::uint32_t> top_voxels(std::size_t k) const;
+
+  /// Accuracy of one voxel.
+  [[nodiscard]] double accuracy_of(std::uint32_t voxel) const;
+
+  /// Fraction of `truth` present in the top-|truth| ranked voxels — the
+  /// recovery metric used to validate planted synthetic structure.
+  [[nodiscard]] double recovery_rate(
+      const std::vector<std::uint32_t>& truth) const;
+
+ private:
+  std::vector<double> scores_;
+  std::vector<bool> seen_;
+  std::size_t scored_ = 0;
+};
+
+}  // namespace fcma::core

@@ -1,0 +1,46 @@
+// Seed-based functional connectivity — the classical comparator.
+//
+// Before FCMA, task-related connectivity was studied by picking a *seed*
+// voxel (or averaging a seed ROI), correlating it with every other voxel
+// per epoch, and t-testing the per-voxel correlation difference between
+// conditions.  The paper's motivation (§1, citing [27]) is exactly that
+// this approach is biased: it only finds interactions involving the chosen
+// seed.  This module implements the classical method so the claim is
+// testable in-repo: with a seed inside a planted ROI, the seed map lights
+// up its partners; with a seed elsewhere, the planted structure is
+// invisible — while FCMA finds it regardless (see test_seed_analysis.cpp
+// and bench_seed_vs_fcma).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fmri/dataset.hpp"
+#include "stats/significance.hpp"
+
+namespace fcma::core {
+
+/// Per-voxel outcome of a seed contrast analysis.
+struct SeedContrast {
+  std::uint32_t seed = 0;
+  /// Fisher-z seed correlation averaged over label-1 minus label-0 epochs,
+  /// one value per brain voxel (the seed's own entry is 0).
+  std::vector<double> delta_z;
+  /// Paired-t statistic and two-sided p-value of that contrast per voxel.
+  std::vector<double> t;
+  std::vector<double> pvalue;
+};
+
+/// Runs the classical seed analysis: correlate `seed` with every voxel in
+/// every epoch (eq. 2 reduction), Fisher-transform, pair label-1 vs label-0
+/// epochs within subject in temporal order, and t-test the differences.
+[[nodiscard]] SeedContrast seed_contrast_map(
+    const fmri::NormalizedEpochs& epochs, std::uint32_t seed);
+
+/// Voxels whose seed-contrast survives Benjamini-Hochberg FDR at level `q`
+/// (ascending indices).
+[[nodiscard]] std::vector<std::uint32_t> seed_significant_voxels(
+    const SeedContrast& contrast, double q);
+
+}  // namespace fcma::core

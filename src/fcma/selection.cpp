@@ -1,0 +1,93 @@
+#include "fcma/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/significance.hpp"
+
+namespace fcma::core {
+
+std::vector<double> accuracy_pvalues(const Scoreboard& board,
+                                     std::size_t cv_total, double chance) {
+  FCMA_CHECK(cv_total > 0, "cv_total must be positive");
+  const auto ranked = board.ranked();
+  std::vector<double> pvalues(ranked.size());
+  for (const VoxelScore& score : ranked) {
+    const auto correct = static_cast<std::size_t>(
+        std::llround(score.accuracy * static_cast<double>(cv_total)));
+    pvalues[score.voxel] =
+        stats::accuracy_pvalue(correct, cv_total, chance);
+  }
+  return pvalues;
+}
+
+std::vector<std::uint32_t> significant_voxels(const Scoreboard& board,
+                                              std::size_t cv_total,
+                                              double alpha,
+                                              Correction correction,
+                                              double chance) {
+  const std::vector<double> pvalues =
+      accuracy_pvalues(board, cv_total, chance);
+  std::vector<bool> pass;
+  switch (correction) {
+    case Correction::kNone: {
+      pass.resize(pvalues.size());
+      for (std::size_t v = 0; v < pvalues.size(); ++v) {
+        pass[v] = pvalues[v] <= alpha;
+      }
+      break;
+    }
+    case Correction::kBonferroni:
+      pass = stats::bonferroni(pvalues, alpha);
+      break;
+    case Correction::kFdr:
+      pass = stats::benjamini_hochberg(pvalues, alpha);
+      break;
+  }
+  std::vector<std::uint32_t> out;
+  for (std::size_t v = 0; v < pass.size(); ++v) {
+    if (pass[v]) out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+std::vector<double> permutation_null_accuracies(
+    linalg::ConstMatrixView kernel, const std::vector<fmri::Epoch>& meta,
+    const std::vector<std::vector<std::size_t>>& folds,
+    svm::SolverKind solver, const svm::TrainOptions& options,
+    std::size_t permutations, Rng& rng) {
+  FCMA_CHECK(permutations > 0, "need at least one permutation");
+  // Group epoch indices by subject so shuffles respect exchangeability.
+  std::vector<std::vector<std::size_t>> by_subject;
+  {
+    std::int32_t current = -1;
+    for (std::size_t e = 0; e < meta.size(); ++e) {
+      if (by_subject.empty() || meta[e].subject != current) {
+        current = meta[e].subject;
+        by_subject.emplace_back();
+      }
+      by_subject.back().push_back(e);
+    }
+  }
+
+  const auto base_labels = epoch_labels(meta);
+  std::vector<double> nulls;
+  nulls.reserve(permutations);
+  std::vector<std::int8_t> labels(base_labels.begin(), base_labels.end());
+  for (std::size_t p = 0; p < permutations; ++p) {
+    // Fisher-Yates within each subject's epochs.
+    labels.assign(base_labels.begin(), base_labels.end());
+    for (const auto& group : by_subject) {
+      for (std::size_t i = group.size(); i > 1; --i) {
+        const std::size_t j = rng.uniform_index(i);
+        std::swap(labels[group[i - 1]], labels[group[j]]);
+      }
+    }
+    const svm::CvResult cv =
+        svm::cross_validate(solver, kernel, labels, folds, options);
+    nulls.push_back(cv.accuracy());
+  }
+  return nulls;
+}
+
+}  // namespace fcma::core

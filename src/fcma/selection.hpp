@@ -1,0 +1,45 @@
+// Statistically principled voxel selection.
+//
+// Ranking by raw accuracy (Scoreboard::top_voxels) is what the paper's
+// pipeline does online; for publication-grade offline analyses the selected
+// set should control a false-positive rate over the ~35k simultaneous
+// tests.  This layer turns scoreboard accuracies into p-values (exact
+// binomial, or label-permutation when the binomial's independence
+// assumptions are in doubt) and applies Bonferroni or FDR control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fcma/scoreboard.hpp"
+#include "fcma/svm_stage.hpp"
+
+namespace fcma::core {
+
+/// Multiple-comparison control method.
+enum class Correction { kNone, kBonferroni, kFdr };
+
+/// Exact binomial p-values for every voxel's accuracy, assuming each of the
+/// `cv_total` cross-validated epochs is an independent Bernoulli trial at
+/// `chance` under the null.
+[[nodiscard]] std::vector<double> accuracy_pvalues(const Scoreboard& board,
+                                                   std::size_t cv_total,
+                                                   double chance = 0.5);
+
+/// Voxels surviving the chosen correction at level `alpha`, ascending.
+[[nodiscard]] std::vector<std::uint32_t> significant_voxels(
+    const Scoreboard& board, std::size_t cv_total, double alpha,
+    Correction correction, double chance = 0.5);
+
+/// Label-permutation null for ONE voxel: re-runs the voxel's
+/// cross-validation `permutations` times with labels shuffled *within
+/// subject* (preserving the exchangeability structure), returning the null
+/// accuracies.  The p-value is stats::permutation_pvalue(observed, nulls).
+[[nodiscard]] std::vector<double> permutation_null_accuracies(
+    linalg::ConstMatrixView kernel, const std::vector<fmri::Epoch>& meta,
+    const std::vector<std::vector<std::size_t>>& folds,
+    svm::SolverKind solver, const svm::TrainOptions& options,
+    std::size_t permutations, Rng& rng);
+
+}  // namespace fcma::core

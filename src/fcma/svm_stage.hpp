@@ -1,0 +1,62 @@
+// Pipeline stage 3: per-voxel kernel precomputation + SVM cross-validation
+// (paper §3.2 baseline, §4.4 optimized).
+//
+// For every assigned voxel, its M x N correlation block is reduced to an
+// M x M linear-kernel matrix (a syrk), and a leave-one-subject-out
+// cross-validation assigns the voxel an accuracy score.  The baseline uses
+// the generic syrk and the LibSVM solver; the optimized path uses the
+// panel-blocked syrk and PhiSVM.
+#pragma once
+
+#include <vector>
+
+#include "fcma/task.hpp"
+#include "fmri/dataset.hpp"
+#include "linalg/matrix.hpp"
+#include "memsim/instrument.hpp"
+#include "svm/cross_validation.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace fcma::core {
+
+/// Which kernel implementations stage 3 uses.
+enum class Impl { kBaseline, kOptimized };
+
+/// Per-voxel outcome of stage 3.
+struct SvmStageResult {
+  std::vector<double> accuracy;  ///< CV accuracy per task voxel
+  long svm_iterations = 0;       ///< total SMO iterations across voxels
+};
+
+/// Computes voxel `v_local`'s kernel matrix from the task's correlation
+/// buffer into `kernel` (must be M x M).
+void compute_voxel_kernel(linalg::ConstMatrixView corr, std::size_t epochs,
+                          std::size_t v_local, Impl impl,
+                          linalg::MatrixView kernel);
+
+/// Runs stage 3 for every voxel of the task.  `corr` is the stage-1/2
+/// output buffer (task.count * M rows by N); `folds` are the CV test groups
+/// (leave-one-subject-out for multi-subject analysis, k-fold over epochs for
+/// online single-subject selection).  If `pool` is non-null, voxels are
+/// cross-validated in parallel, one problem per thread (the paper's scheme).
+[[nodiscard]] SvmStageResult svm_stage(
+    linalg::ConstMatrixView corr, const std::vector<fmri::Epoch>& meta,
+    const std::vector<std::vector<std::size_t>>& folds, const VoxelTask& task,
+    Impl impl, svm::SolverKind solver, const svm::TrainOptions& options,
+    threading::ThreadPool* pool = nullptr);
+
+/// Instrumented twin (serial; events accumulate into `ins`).
+[[nodiscard]] SvmStageResult svm_stage_instrumented(
+    linalg::ConstMatrixView corr, const std::vector<fmri::Epoch>& meta,
+    const std::vector<std::vector<std::size_t>>& folds, const VoxelTask& task,
+    Impl impl, svm::SolverKind solver, const svm::TrainOptions& options,
+    memsim::Instrument& ins, unsigned model_lanes = 16,
+    memsim::KernelEvents* kernel_events = nullptr);
+
+/// Builds the +1/-1 label vector and LOSO folds from epoch metadata.
+[[nodiscard]] std::vector<std::int8_t> epoch_labels(
+    const std::vector<fmri::Epoch>& meta);
+[[nodiscard]] std::vector<std::vector<std::size_t>> epoch_loso_folds(
+    const std::vector<fmri::Epoch>& meta);
+
+}  // namespace fcma::core

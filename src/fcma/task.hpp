@@ -1,0 +1,36 @@
+// Voxel-range tasks: the unit of cluster-level parallelism.
+//
+// The master partitions the full correlation matrix along its rows (paper
+// §3.1.1); a task is "run the three-stage pipeline for voxels
+// [first, first+count)".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fcma::core {
+
+/// A contiguous range of assigned voxels.
+struct VoxelTask {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Splits `total_voxels` into tasks of at most `voxels_per_task`.
+[[nodiscard]] inline std::vector<VoxelTask> partition_voxels(
+    std::size_t total_voxels, std::size_t voxels_per_task) {
+  FCMA_CHECK(voxels_per_task > 0, "voxels_per_task must be positive");
+  std::vector<VoxelTask> tasks;
+  tasks.reserve((total_voxels + voxels_per_task - 1) / voxels_per_task);
+  for (std::size_t v = 0; v < total_voxels; v += voxels_per_task) {
+    tasks.push_back(VoxelTask{
+        static_cast<std::uint32_t>(v),
+        static_cast<std::uint32_t>(
+            std::min(voxels_per_task, total_voxels - v))});
+  }
+  return tasks;
+}
+
+}  // namespace fcma::core

@@ -1,0 +1,77 @@
+#include "fmri/dataset.hpp"
+
+#include <map>
+
+#include "stats/stats.hpp"
+
+namespace fcma::fmri {
+
+Dataset::Dataset(std::string name, linalg::Matrix data,
+                 std::vector<Epoch> epochs, std::int32_t subjects)
+    : name_(std::move(name)),
+      data_(std::move(data)),
+      epochs_(std::move(epochs)),
+      subjects_(subjects) {
+  validate();
+}
+
+std::vector<std::size_t> Dataset::epochs_of_subject(
+    std::int32_t subject) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    if (epochs_[i].subject == subject) out.push_back(i);
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  FCMA_CHECK(subjects_ > 0, "dataset must have at least one subject");
+  FCMA_CHECK(!epochs_.empty(), "dataset must have epochs");
+  std::map<std::int32_t, std::size_t> per_subject;
+  for (const Epoch& e : epochs_) {
+    FCMA_CHECK(e.subject >= 0 && e.subject < subjects_,
+               "epoch subject out of range");
+    FCMA_CHECK(e.label == 0 || e.label == 1, "epoch label must be 0 or 1");
+    FCMA_CHECK(e.length > 0, "epoch must span time points");
+    FCMA_CHECK(static_cast<std::size_t>(e.start) + e.length <= timepoints(),
+               "epoch window exceeds the scan");
+    ++per_subject[e.subject];
+  }
+  FCMA_CHECK(per_subject.size() == static_cast<std::size_t>(subjects_),
+             "every subject needs epochs");
+  const std::size_t first = per_subject.begin()->second;
+  for (const auto& [subject, count] : per_subject) {
+    (void)subject;
+    FCMA_CHECK(count == first, "epochs per subject must be uniform");
+  }
+}
+
+NormalizedEpochs normalize_epochs(const Dataset& dataset) {
+  std::vector<std::size_t> all(dataset.epochs().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return normalize_epochs(dataset, all);
+}
+
+NormalizedEpochs normalize_epochs(
+    const Dataset& dataset, const std::vector<std::size_t>& epoch_indices) {
+  NormalizedEpochs out;
+  out.per_epoch.reserve(epoch_indices.size());
+  out.meta.reserve(epoch_indices.size());
+  const std::size_t v = dataset.voxels();
+  for (const std::size_t idx : epoch_indices) {
+    FCMA_CHECK(idx < dataset.epochs().size(), "epoch index out of range");
+    const Epoch& e = dataset.epochs()[idx];
+    linalg::Matrix m(v, e.length);
+    for (std::size_t row = 0; row < v; ++row) {
+      const float* src = dataset.data().row(row) + e.start;
+      float* dst = m.row(row);
+      for (std::uint32_t t = 0; t < e.length; ++t) dst[t] = src[t];
+      stats::normalize_epoch({dst, e.length});
+    }
+    out.per_epoch.push_back(std::move(m));
+    out.meta.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace fcma::fmri

@@ -1,0 +1,89 @@
+// In-memory model of a labeled fMRI dataset.
+//
+// FCMA's input (paper §3.1) is a 4D scan flattened to [voxels x time] plus a
+// list of labeled time epochs: contiguous windows during which the subject
+// performed one of two task conditions.  Datasets span multiple subjects;
+// the within-subject normalization and the leave-one-subject-out protocols
+// depend on the subject structure, so it is first-class here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace fcma::fmri {
+
+/// One labeled time epoch of interest.
+struct Epoch {
+  std::int32_t subject = 0;   ///< owning subject, 0-based
+  std::int32_t label = 0;     ///< experimental condition: 0 or 1
+  std::uint32_t start = 0;    ///< first time point (column of the data)
+  std::uint32_t length = 0;   ///< number of time points
+};
+
+/// Labeled multi-subject fMRI dataset: activity matrix + epoch metadata.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of the [voxels x time] activity matrix.
+  Dataset(std::string name, linalg::Matrix data, std::vector<Epoch> epochs,
+          std::int32_t subjects);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t voxels() const { return data_.rows(); }
+  [[nodiscard]] std::size_t timepoints() const { return data_.cols(); }
+  [[nodiscard]] std::int32_t subjects() const { return subjects_; }
+  [[nodiscard]] const std::vector<Epoch>& epochs() const { return epochs_; }
+  [[nodiscard]] std::size_t epochs_per_subject() const {
+    return epochs_.size() / static_cast<std::size_t>(subjects_);
+  }
+
+  [[nodiscard]] const linalg::Matrix& data() const { return data_; }
+  [[nodiscard]] linalg::Matrix& data() { return data_; }
+
+  /// Indices (into epochs()) owned by `subject`, in time order.
+  [[nodiscard]] std::vector<std::size_t> epochs_of_subject(
+      std::int32_t subject) const;
+
+  /// Ground-truth informative voxels for synthetic data (empty for real
+  /// data).  Used only by tests and example analyses to validate recovery.
+  [[nodiscard]] const std::vector<std::uint32_t>& informative_voxels() const {
+    return informative_;
+  }
+  void set_informative_voxels(std::vector<std::uint32_t> v) {
+    informative_ = std::move(v);
+  }
+
+  /// Validates internal consistency (epoch windows inside the scan, labels
+  /// binary, epochs per subject uniform); throws fcma::Error on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  linalg::Matrix data_;           // [voxels x timepoints]
+  std::vector<Epoch> epochs_;     // subject-major, time order
+  std::int32_t subjects_ = 0;
+  std::vector<std::uint32_t> informative_;
+};
+
+/// Extracts and eq.2-normalizes the epoch windows of `dataset` into a
+/// per-epoch stack of [voxels x epoch_length] matrices, the form stage 1
+/// consumes.  Epoch e of the result is normalized so that the dot product
+/// of two voxel rows is their Pearson correlation during that epoch.
+struct NormalizedEpochs {
+  /// One matrix per epoch, each [voxels x epoch_length].
+  std::vector<linalg::Matrix> per_epoch;
+  /// Copy of the source epoch metadata, same order.
+  std::vector<Epoch> meta;
+};
+
+[[nodiscard]] NormalizedEpochs normalize_epochs(const Dataset& dataset);
+
+/// Normalizes a subset of epochs, identified by index into dataset.epochs().
+[[nodiscard]] NormalizedEpochs normalize_epochs(
+    const Dataset& dataset, const std::vector<std::size_t>& epoch_indices);
+
+}  // namespace fcma::fmri

@@ -1,0 +1,169 @@
+#include "fmri/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fcma::fmri {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'M', 'B'};
+constexpr char kMaskMagic[4] = {'F', 'C', 'M', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_file(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  FCMA_CHECK(f != nullptr, "cannot open " + path);
+  return f;
+}
+
+void write_exact(std::FILE* f, const void* p, std::size_t bytes,
+                 const std::string& path) {
+  FCMA_CHECK(std::fwrite(p, 1, bytes, f) == bytes, "short write to " + path);
+}
+
+void read_exact(std::FILE* f, void* p, std::size_t bytes,
+                const std::string& path) {
+  FCMA_CHECK(std::fread(p, 1, bytes, f) == bytes, "short read from " + path);
+}
+
+}  // namespace
+
+void save_activity(const std::string& path, const linalg::Matrix& data) {
+  File f = open_file(path, "wb");
+  write_exact(f.get(), kMagic, sizeof(kMagic), path);
+  const std::uint32_t version = kVersion;
+  const auto rows = static_cast<std::uint64_t>(data.rows());
+  const auto cols = static_cast<std::uint64_t>(data.cols());
+  write_exact(f.get(), &version, sizeof(version), path);
+  write_exact(f.get(), &rows, sizeof(rows), path);
+  write_exact(f.get(), &cols, sizeof(cols), path);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    write_exact(f.get(), data.row(i), data.cols() * sizeof(float), path);
+  }
+}
+
+linalg::Matrix load_activity(const std::string& path) {
+  File f = open_file(path, "rb");
+  char magic[4];
+  read_exact(f.get(), magic, sizeof(magic), path);
+  FCMA_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+             path + " is not an FCMB file");
+  std::uint32_t version = 0;
+  read_exact(f.get(), &version, sizeof(version), path);
+  FCMA_CHECK(version == kVersion, "unsupported FCMB version in " + path);
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  read_exact(f.get(), &rows, sizeof(rows), path);
+  read_exact(f.get(), &cols, sizeof(cols), path);
+  FCMA_CHECK(rows > 0 && cols > 0 && rows < (1ull << 32) &&
+                 cols < (1ull << 32),
+             "implausible FCMB dimensions in " + path);
+  linalg::Matrix m(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    read_exact(f.get(), m.row(i), m.cols() * sizeof(float), path);
+  }
+  return m;
+}
+
+void save_epochs(const std::string& path, const std::vector<Epoch>& epochs) {
+  std::ofstream out(path);
+  FCMA_CHECK(out.good(), "cannot open " + path);
+  out << "# subject label start length\n";
+  for (const Epoch& e : epochs) {
+    out << e.subject << ' ' << e.label << ' ' << e.start << ' ' << e.length
+        << '\n';
+  }
+  FCMA_CHECK(out.good(), "write failed for " + path);
+}
+
+std::vector<Epoch> load_epochs(const std::string& path) {
+  std::ifstream in(path);
+  FCMA_CHECK(in.good(), "cannot open " + path);
+  std::vector<Epoch> epochs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    Epoch e;
+    if (ls >> e.subject >> e.label >> e.start >> e.length) {
+      epochs.push_back(e);
+    } else {
+      // Allow blank/comment-only lines; anything else is malformed.
+      std::string leftover;
+      std::istringstream check(line);
+      FCMA_CHECK(!(check >> leftover), "malformed epoch line in " + path +
+                                           ": '" + line + "'");
+    }
+  }
+  FCMA_CHECK(!epochs.empty(), "no epochs found in " + path);
+  return epochs;
+}
+
+void save_mask(const std::string& path, const BrainMask& mask) {
+  File f = open_file(path, "wb");
+  write_exact(f.get(), kMaskMagic, sizeof(kMaskMagic), path);
+  const std::uint32_t version = kVersion;
+  write_exact(f.get(), &version, sizeof(version), path);
+  const VolumeGeometry& g = mask.geometry();
+  const std::int32_t dims[3] = {g.nx, g.ny, g.nz};
+  write_exact(f.get(), dims, sizeof(dims), path);
+  std::vector<std::uint8_t> grid(g.size(), 0);
+  for (std::uint32_t m = 0; m < mask.voxels(); ++m) {
+    grid[mask.grid_index(m)] = 1;
+  }
+  write_exact(f.get(), grid.data(), grid.size(), path);
+}
+
+BrainMask load_mask(const std::string& path) {
+  File f = open_file(path, "rb");
+  char magic[4];
+  read_exact(f.get(), magic, sizeof(magic), path);
+  FCMA_CHECK(std::memcmp(magic, kMaskMagic, sizeof(kMaskMagic)) == 0,
+             path + " is not an FCMM file");
+  std::uint32_t version = 0;
+  read_exact(f.get(), &version, sizeof(version), path);
+  FCMA_CHECK(version == kVersion, "unsupported FCMM version in " + path);
+  std::int32_t dims[3];
+  read_exact(f.get(), dims, sizeof(dims), path);
+  const VolumeGeometry g{dims[0], dims[1], dims[2]};
+  FCMA_CHECK(dims[0] > 0 && dims[1] > 0 && dims[2] > 0 &&
+                 g.size() < (1ull << 32),
+             "implausible FCMM geometry in " + path);
+  std::vector<std::uint8_t> grid(g.size());
+  read_exact(f.get(), grid.data(), grid.size(), path);
+  std::vector<bool> in_brain(g.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) in_brain[i] = grid[i] != 0;
+  return BrainMask(g, in_brain);
+}
+
+void save_dataset(const std::string& stem, const Dataset& dataset) {
+  save_activity(stem + ".fcmb", dataset.data());
+  save_epochs(stem + ".epochs", dataset.epochs());
+}
+
+Dataset load_dataset(const std::string& stem, const std::string& name) {
+  linalg::Matrix data = load_activity(stem + ".fcmb");
+  std::vector<Epoch> epochs = load_epochs(stem + ".epochs");
+  std::int32_t subjects = 0;
+  for (const Epoch& e : epochs) subjects = std::max(subjects, e.subject + 1);
+  return Dataset(name, std::move(data), std::move(epochs), subjects);
+}
+
+}  // namespace fcma::fmri

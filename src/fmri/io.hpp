@@ -1,0 +1,47 @@
+// Dataset serialization.
+//
+// Two formats, mirroring the FCMA tooling the paper describes (§3.1: "reads
+// in the preprocessed fMRI data ... and the text files specifying the
+// labeled time epochs"):
+//
+//   * a binary activity format ("FCMB"): header + row-major float matrix;
+//   * a text epoch-label format: one `subject label start length` line per
+//     epoch, '#' comments allowed.
+//
+// save_dataset/load_dataset bundle both into <stem>.fcmb / <stem>.epochs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fmri/dataset.hpp"
+#include "fmri/volume.hpp"
+
+namespace fcma::fmri {
+
+/// Writes the activity matrix to `path` in the FCMB binary format.
+void save_activity(const std::string& path, const linalg::Matrix& data);
+
+/// Reads an FCMB activity matrix; throws fcma::Error on malformed input.
+[[nodiscard]] linalg::Matrix load_activity(const std::string& path);
+
+/// Writes epoch metadata as an epoch-label text file.
+void save_epochs(const std::string& path, const std::vector<Epoch>& epochs);
+
+/// Parses an epoch-label text file.
+[[nodiscard]] std::vector<Epoch> load_epochs(const std::string& path);
+
+/// Writes a brain mask in the FCMM binary format (geometry + bitmap).
+void save_mask(const std::string& path, const BrainMask& mask);
+
+/// Reads an FCMM brain mask.
+[[nodiscard]] BrainMask load_mask(const std::string& path);
+
+/// Saves activity + epochs under `<stem>.fcmb` and `<stem>.epochs`.
+void save_dataset(const std::string& stem, const Dataset& dataset);
+
+/// Loads a dataset saved by save_dataset; `name` labels the result.
+[[nodiscard]] Dataset load_dataset(const std::string& stem,
+                                   const std::string& name);
+
+}  // namespace fcma::fmri

@@ -1,0 +1,186 @@
+#include "fmri/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/aligned.hpp"
+
+namespace fcma::fmri {
+
+namespace {
+
+/// Discrete orthogonal polynomial basis over t = 0..n-1 (Gram-Schmidt on
+/// the monomials), each column unit-norm.  Cached per (n, order) call site
+/// would be overkill: detrend_dataset builds it once and reuses it.
+std::vector<std::vector<double>> legendre_basis(std::size_t n, int order) {
+  FCMA_CHECK(order >= 0, "polynomial order must be non-negative");
+  FCMA_CHECK(static_cast<std::size_t>(order) < n,
+             "polynomial order must be below the series length");
+  std::vector<std::vector<double>> basis;
+  for (int p = 0; p <= order; ++p) {
+    std::vector<double> col(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      col[t] = std::pow(static_cast<double>(t), p);
+    }
+    // Orthogonalize against previous columns.
+    for (const auto& prev : basis) {
+      double dot = 0.0;
+      for (std::size_t t = 0; t < n; ++t) dot += col[t] * prev[t];
+      for (std::size_t t = 0; t < n; ++t) col[t] -= dot * prev[t];
+    }
+    double norm = 0.0;
+    for (const double v : col) norm += v * v;
+    norm = std::sqrt(norm);
+    FCMA_CHECK(norm > 1e-12, "degenerate polynomial basis");
+    for (double& v : col) v /= norm;
+    basis.push_back(std::move(col));
+  }
+  return basis;
+}
+
+void detrend_with_basis(std::span<float> series,
+                        const std::vector<std::vector<double>>& basis) {
+  for (const auto& col : basis) {
+    double coeff = 0.0;
+    for (std::size_t t = 0; t < series.size(); ++t) {
+      coeff += col[t] * series[t];
+    }
+    for (std::size_t t = 0; t < series.size(); ++t) {
+      series[t] = static_cast<float>(series[t] - coeff * col[t]);
+    }
+  }
+}
+
+}  // namespace
+
+void detrend(std::span<float> series, int order) {
+  detrend_with_basis(series, legendre_basis(series.size(), order));
+}
+
+void detrend_dataset(Dataset& dataset, int order) {
+  const auto basis = legendre_basis(dataset.timepoints(), order);
+  for (std::size_t v = 0; v < dataset.voxels(); ++v) {
+    detrend_with_basis({dataset.data().row(v), dataset.timepoints()}, basis);
+  }
+}
+
+void spatial_smooth(Dataset& dataset, const BrainMask& mask,
+                    double fwhm_voxels) {
+  FCMA_CHECK(mask.voxels() == dataset.voxels(),
+             "mask voxel count must match the dataset");
+  FCMA_CHECK(fwhm_voxels > 0.0, "FWHM must be positive");
+  const double sigma = fwhm_voxels / 2.354820045;  // FWHM -> sigma
+  const int radius = std::max(1, static_cast<int>(std::ceil(2.5 * sigma)));
+
+  // Precompute, for every mask voxel, its in-mask neighborhood and weights.
+  struct Neighbor {
+    std::uint32_t voxel;
+    float weight;
+  };
+  std::vector<std::vector<Neighbor>> stencil(mask.voxels());
+  for (std::uint32_t m = 0; m < mask.voxels(); ++m) {
+    const Coord c = mask.coord(m);
+    double total = 0.0;
+    std::vector<Neighbor> neigh;
+    for (int dz = -radius; dz <= radius; ++dz) {
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const std::int64_t nm =
+              mask.mask_index(Coord{c.x + dx, c.y + dy, c.z + dz});
+          if (nm < 0) continue;
+          const double r2 = double(dx) * dx + double(dy) * dy +
+                            double(dz) * dz;
+          const double w = std::exp(-r2 / (2.0 * sigma * sigma));
+          neigh.push_back(
+              {static_cast<std::uint32_t>(nm), static_cast<float>(w)});
+          total += w;
+        }
+      }
+    }
+    const auto inv = static_cast<float>(1.0 / total);
+    for (auto& nb : neigh) nb.weight *= inv;
+    stencil[m] = std::move(neigh);
+  }
+
+  // Apply per time point (column).  Work column-by-column with a scratch
+  // vector so the convolution reads unsmoothed values.
+  std::vector<float> column(mask.voxels());
+  for (std::size_t t = 0; t < dataset.timepoints(); ++t) {
+    for (std::uint32_t m = 0; m < mask.voxels(); ++m) {
+      column[m] = dataset.data()(m, t);
+    }
+    for (std::uint32_t m = 0; m < mask.voxels(); ++m) {
+      float acc = 0.0f;
+      for (const auto& nb : stencil[m]) acc += nb.weight * column[nb.voxel];
+      dataset.data()(m, t) = acc;
+    }
+  }
+}
+
+std::vector<float> framewise_displacement(const Dataset& dataset) {
+  std::vector<float> fd(dataset.timepoints(), 0.0f);
+  for (std::size_t t = 1; t < dataset.timepoints(); ++t) {
+    double sum = 0.0;
+    for (std::size_t v = 0; v < dataset.voxels(); ++v) {
+      const double d = static_cast<double>(dataset.data()(v, t)) -
+                       dataset.data()(v, t - 1);
+      sum += d * d;
+    }
+    fd[t] = static_cast<float>(
+        std::sqrt(sum / static_cast<double>(dataset.voxels())));
+  }
+  return fd;
+}
+
+std::vector<std::size_t> detect_motion_spikes(const Dataset& dataset,
+                                              double threshold_sd) {
+  const std::vector<float> fd = framewise_displacement(dataset);
+  // Robust center/scale: median and median absolute deviation.
+  std::vector<float> sorted(fd.begin() + 1, fd.end());  // skip the zero
+  if (sorted.empty()) return {};
+  std::sort(sorted.begin(), sorted.end());
+  const float median = sorted[sorted.size() / 2];
+  std::vector<float> dev(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    dev[i] = std::abs(sorted[i] - median);
+  }
+  std::sort(dev.begin(), dev.end());
+  const double mad = dev[dev.size() / 2];
+  const double scale = std::max(1e-9, 1.4826 * mad);  // MAD -> sigma
+  std::vector<std::size_t> spikes;
+  for (std::size_t t = 1; t < fd.size(); ++t) {
+    if ((fd[t] - median) / scale > threshold_sd) spikes.push_back(t);
+  }
+  return spikes;
+}
+
+std::vector<std::size_t> censored_epochs(
+    const Dataset& dataset, std::span<const std::size_t> spike_timepoints) {
+  const std::set<std::size_t> spikes(spike_timepoints.begin(),
+                                     spike_timepoints.end());
+  std::vector<std::size_t> censored;
+  for (std::size_t e = 0; e < dataset.epochs().size(); ++e) {
+    const Epoch& ep = dataset.epochs()[e];
+    for (std::uint32_t t = 0; t < ep.length; ++t) {
+      if (spikes.count(ep.start + t)) {
+        censored.push_back(e);
+        break;
+      }
+    }
+  }
+  return censored;
+}
+
+std::vector<std::size_t> usable_epochs(
+    const Dataset& dataset, std::span<const std::size_t> spike_timepoints) {
+  const auto censored = censored_epochs(dataset, spike_timepoints);
+  const std::set<std::size_t> bad(censored.begin(), censored.end());
+  std::vector<std::size_t> usable;
+  for (std::size_t e = 0; e < dataset.epochs().size(); ++e) {
+    if (!bad.count(e)) usable.push_back(e);
+  }
+  return usable;
+}
+
+}  // namespace fcma::fmri

@@ -1,0 +1,63 @@
+// fMRI preprocessing.
+//
+// The paper's pipeline "reads in the preprocessed fMRI data (e.g.,
+// corrected for head motion and other noise sources)" (§3.1) — the
+// preprocessing itself happens upstream.  A self-contained release needs
+// that upstream: this module provides the standard time-series cleanups a
+// raw scan requires before FCMA —
+//
+//   * polynomial detrending (scanner drift removal),
+//   * within-mask spatial Gaussian smoothing,
+//   * motion-spike detection via frame-to-frame global displacement and
+//     censoring (epoch exclusion).
+//
+// All operations are deterministic and work in place on the Dataset's
+// [voxels x time] matrix.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fmri/dataset.hpp"
+#include "fmri/volume.hpp"
+
+namespace fcma::fmri {
+
+/// Removes a least-squares polynomial of `order` (0 = mean, 1 = linear
+/// trend, ...) from one time series, in place.  Uses an orthogonal
+/// (discrete Legendre) basis so coefficients are solved independently.
+void detrend(std::span<float> series, int order);
+
+/// Detrends every voxel of the dataset, independently per epoch-free run
+/// (the whole scan is treated as one run).
+void detrend_dataset(Dataset& dataset, int order);
+
+/// Gaussian spatial smoothing within the brain mask: each time point's
+/// volume is convolved with an isotropic Gaussian of `fwhm_voxels`
+/// full-width-half-max, renormalized over in-mask neighbors so the brain
+/// boundary does not darken.
+void spatial_smooth(Dataset& dataset, const BrainMask& mask,
+                    double fwhm_voxels);
+
+/// Frame-to-frame displacement proxy: root-mean-square difference of
+/// consecutive volumes, one value per time point (first = 0).
+[[nodiscard]] std::vector<float> framewise_displacement(
+    const Dataset& dataset);
+
+/// Indices of time points whose framewise displacement exceeds
+/// `threshold_sd` standard deviations above the median — candidate motion
+/// spikes.
+[[nodiscard]] std::vector<std::size_t> detect_motion_spikes(
+    const Dataset& dataset, double threshold_sd = 4.0);
+
+/// Epoch indices that contain at least one spiked time point; the analysis
+/// protocols drop these ("censoring").
+[[nodiscard]] std::vector<std::size_t> censored_epochs(
+    const Dataset& dataset, std::span<const std::size_t> spike_timepoints);
+
+/// Complement of censored_epochs: the epochs safe to analyze.
+[[nodiscard]] std::vector<std::size_t> usable_epochs(
+    const Dataset& dataset, std::span<const std::size_t> spike_timepoints);
+
+}  // namespace fcma::fmri

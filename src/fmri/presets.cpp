@@ -1,0 +1,66 @@
+#include "fmri/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fcma::fmri {
+
+DatasetSpec DatasetSpec::scaled_voxels(double factor) const {
+  FCMA_CHECK(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1]");
+  DatasetSpec s = *this;
+  s.voxels = std::max<std::size_t>(
+      64, static_cast<std::size_t>(std::llround(voxels * factor)));
+  s.informative = std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::llround(informative * factor)));
+  s.informative = std::min(s.informative, s.voxels / 4);
+  s.name = name + "-x" + std::to_string(factor);
+  return s;
+}
+
+DatasetSpec DatasetSpec::scaled_subjects(std::int32_t n) const {
+  FCMA_CHECK(n > 0, "subject count must be positive");
+  DatasetSpec s = *this;
+  s.epochs_total = epochs_per_subject() * static_cast<std::size_t>(n);
+  s.subjects = n;
+  return s;
+}
+
+DatasetSpec face_scene_spec() {
+  return DatasetSpec{.name = "face-scene",
+                     .voxels = 34470,
+                     .subjects = 18,
+                     .epochs_total = 216,
+                     .epoch_length = 12,
+                     .informative = 400,
+                     .signal = 0.8,
+                     .ar1 = 0.3,
+                     .seed = 0xFACE5CE0};
+}
+
+DatasetSpec attention_spec() {
+  return DatasetSpec{.name = "attention",
+                     .voxels = 25260,
+                     .subjects = 30,
+                     .epochs_total = 540,
+                     .epoch_length = 12,
+                     .informative = 300,
+                     .signal = 0.8,
+                     .ar1 = 0.3,
+                     .seed = 0xA77E4710};
+}
+
+DatasetSpec tiny_spec() {
+  return DatasetSpec{.name = "tiny",
+                     .voxels = 96,
+                     .subjects = 4,
+                     .epochs_total = 32,
+                     .epoch_length = 12,
+                     .informative = 16,
+                     .signal = 1.0,
+                     .ar1 = 0.2,
+                     .seed = 7};
+}
+
+}  // namespace fcma::fmri

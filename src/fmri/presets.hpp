@@ -1,0 +1,49 @@
+// Dataset presets matching the paper's Table 2, plus proportional scaling.
+//
+// The paper evaluates on two private human datasets.  Their dimensions are
+// public (Table 2) and fully determine FCMA's computational behaviour, so
+// the presets carry exactly those dimensions; the synthetic generator fills
+// them with planted-connectivity data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fcma::fmri {
+
+/// Shape and generation parameters of a synthetic dataset.
+struct DatasetSpec {
+  std::string name;
+  std::size_t voxels = 0;
+  std::int32_t subjects = 0;
+  std::size_t epochs_total = 0;    ///< across all subjects, half per label
+  std::size_t epoch_length = 0;    ///< time points per epoch
+  std::size_t informative = 0;     ///< planted informative voxels
+  double signal = 0.8;             ///< latent loading on informative voxels
+  double ar1 = 0.3;                ///< AR(1) coefficient of the noise
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::size_t epochs_per_subject() const {
+    return epochs_total / static_cast<std::size_t>(subjects);
+  }
+
+  /// Scales voxel-related sizes by `factor` in (0, 1]; subjects, epochs and
+  /// epoch length are preserved so the protocol structure is unchanged.
+  [[nodiscard]] DatasetSpec scaled_voxels(double factor) const;
+
+  /// Scales the number of subjects (and with it total epochs).
+  [[nodiscard]] DatasetSpec scaled_subjects(std::int32_t n) const;
+};
+
+/// Table 2, row 1: face-scene — 34,470 voxels, 18 subjects, 216 epochs of
+/// 12 time points.
+[[nodiscard]] DatasetSpec face_scene_spec();
+
+/// Table 2, row 2: attention — 25,260 voxels, 30 subjects, 540 epochs of
+/// 12 time points.
+[[nodiscard]] DatasetSpec attention_spec();
+
+/// Small deterministic spec for unit tests (runs in milliseconds).
+[[nodiscard]] DatasetSpec tiny_spec();
+
+}  // namespace fcma::fmri

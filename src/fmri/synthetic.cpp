@@ -1,0 +1,216 @@
+#include "fmri/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fcma::fmri {
+
+namespace {
+
+// Weight of the scanner-wide background latent every voxel carries.
+constexpr double kGlobalLoad = 0.15;
+// Std-dev of the per-subject jitter applied to informative loadings.
+constexpr double kSubjectJitter = 0.1;
+
+// Fills `out` with a unit-variance AR(1) sequence driven by `rng`.
+void ar1_series(Rng& rng, double rho, std::vector<double>& out) {
+  const double innov_sd = std::sqrt(std::max(1e-9, 1.0 - rho * rho));
+  double prev = rng.gaussian();
+  for (double& v : out) {
+    v = prev;
+    prev = rho * prev + innov_sd * rng.gaussian();
+  }
+}
+
+// Core generation over an explicit group assignment (0 = noise, 1 = group
+// A, 2 = group B).  `informative` must list exactly the voxels with a
+// non-zero group, ascending.
+Dataset generate_with_groups(const DatasetSpec& spec,
+                             std::vector<std::uint32_t> informative,
+                             const std::vector<std::uint8_t>& group,
+                             Rng& master) {
+  FCMA_CHECK(spec.subjects > 0 && spec.epochs_total > 0, "empty spec");
+  FCMA_CHECK(spec.epochs_total % static_cast<std::size_t>(spec.subjects) == 0,
+             "epochs must divide evenly across subjects");
+  const std::size_t eps = spec.epochs_per_subject();
+  FCMA_CHECK(eps % 2 == 0, "need an even epoch count per subject");
+  FCMA_CHECK(group.size() == spec.voxels, "group assignment size mismatch");
+
+  const std::size_t t_total = spec.epochs_total * spec.epoch_length;
+  linalg::Matrix data(spec.voxels, t_total);
+
+  // Epoch metadata: per subject, alternating labels.
+  std::vector<Epoch> epochs;
+  epochs.reserve(spec.epochs_total);
+  std::uint32_t cursor = 0;
+  for (std::int32_t s = 0; s < spec.subjects; ++s) {
+    for (std::size_t e = 0; e < eps; ++e) {
+      epochs.push_back(Epoch{
+          .subject = s,
+          .label = static_cast<std::int32_t>(e % 2),
+          .start = cursor,
+          .length = static_cast<std::uint32_t>(spec.epoch_length)});
+      cursor += static_cast<std::uint32_t>(spec.epoch_length);
+    }
+  }
+
+  // Latent signals: per epoch we need {shared, la, lb, global}.
+  Rng latent_rng = master.fork(1);
+  std::vector<double> shared(spec.epoch_length);
+  std::vector<double> la(spec.epoch_length);
+  std::vector<double> lb(spec.epoch_length);
+  std::vector<double> global(spec.epoch_length);
+
+  // Per-(voxel, subject) loading jitter.
+  Rng jitter_rng = master.fork(2);
+  std::vector<float> subject_gain(
+      static_cast<std::size_t>(spec.subjects) * spec.voxels);
+  for (auto& g : subject_gain) {
+    g = static_cast<float>(1.0 + kSubjectJitter * jitter_rng.gaussian());
+  }
+
+  // Generate epoch by epoch; voxel streams fork per (voxel, epoch) so the
+  // generator's output is independent of iteration order.
+  std::vector<double> noise(spec.epoch_length);
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    const Epoch& ep = epochs[e];
+    ar1_series(latent_rng, spec.ar1, shared);
+    ar1_series(latent_rng, spec.ar1, la);
+    ar1_series(latent_rng, spec.ar1, lb);
+    ar1_series(latent_rng, spec.ar1, global);
+    for (std::size_t v = 0; v < spec.voxels; ++v) {
+      Rng noise_rng = master.fork(1000 + e * spec.voxels + v);
+      ar1_series(noise_rng, spec.ar1, noise);
+      const float gain =
+          subject_gain[static_cast<std::size_t>(ep.subject) * spec.voxels + v];
+      const std::vector<double>* latent = nullptr;
+      if (group[v] == 1) {
+        latent = (ep.label == 0) ? &shared : &la;
+      } else if (group[v] == 2) {
+        latent = (ep.label == 0) ? &shared : &lb;
+      }
+      float* dst = data.row(v) + ep.start;
+      for (std::size_t t = 0; t < spec.epoch_length; ++t) {
+        double x = kGlobalLoad * global[t] + noise[t];
+        if (latent != nullptr) x += spec.signal * gain * (*latent)[t];
+        dst[t] = static_cast<float>(x);
+      }
+    }
+  }
+
+  Dataset out(spec.name, std::move(data), std::move(epochs), spec.subjects);
+  out.set_informative_voxels(std::move(informative));
+  return out;
+}
+
+}  // namespace
+
+Dataset generate_synthetic(const DatasetSpec& spec) {
+  FCMA_CHECK(spec.voxels >= 8, "need at least 8 voxels");
+  FCMA_CHECK(spec.informative >= 2 && spec.informative <= spec.voxels / 2,
+             "informative voxel count out of range");
+  Rng master(spec.seed);
+
+  // Select informative voxels (groups A and B) by partial shuffle.
+  std::vector<std::uint32_t> perm(spec.voxels);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = 0; i < spec.informative; ++i) {
+    const std::size_t j = i + master.uniform_index(spec.voxels - i);
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<std::uint32_t> informative(perm.begin(),
+                                         perm.begin() + spec.informative);
+  std::sort(informative.begin(), informative.end());
+  // Group assignment: alternate sorted informative voxels between A and B
+  // so the groups are spatially interleaved.
+  std::vector<std::uint8_t> group(spec.voxels, 0);
+  for (std::size_t i = 0; i < informative.size(); ++i) {
+    group[informative[i]] = static_cast<std::uint8_t>(1 + (i % 2));
+  }
+  return generate_with_groups(spec, std::move(informative), group, master);
+}
+
+VolumetricDataset generate_synthetic_volumetric(const DatasetSpec& spec,
+                                                const VolumeGeometry& geometry,
+                                                std::size_t blobs) {
+  FCMA_CHECK(blobs >= 1, "need at least one blob");
+  BrainMask mask = BrainMask::ellipsoid(geometry);
+  DatasetSpec actual = spec;
+  actual.voxels = mask.voxels();
+  FCMA_CHECK(actual.informative >= blobs, "fewer informative voxels than blobs");
+  FCMA_CHECK(actual.informative <= actual.voxels / 2,
+             "informative voxel count out of range for this mask");
+  Rng master(spec.seed);
+
+  // Grow `blobs` compact spherical-ish clusters by breadth-first expansion
+  // from random in-mask seeds, alternating connectivity groups per blob.
+  // Group 3 marks a one-voxel exclusion halo around finished blobs so that
+  // separately planted ROIs never touch (they must stay distinct clusters).
+  constexpr std::uint8_t kHalo = 3;
+  std::vector<std::uint8_t> group(actual.voxels, 0);
+  std::vector<std::uint32_t> informative;
+  const std::size_t per_blob = actual.informative / blobs;
+  static constexpr int kNeighbors[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                           {0, 1, 0},  {0, -1, 0},
+                                           {0, 0, 1},  {0, 0, -1}};
+  for (std::size_t b = 0; b < blobs; ++b) {
+    const std::size_t want =
+        b + 1 == blobs ? actual.informative - informative.size() : per_blob;
+    // Seed: a random unclaimed mask voxel.
+    std::uint32_t seed = 0;
+    do {
+      seed = static_cast<std::uint32_t>(master.uniform_index(actual.voxels));
+    } while (group[seed] != 0);
+    const auto blob_group = static_cast<std::uint8_t>(1 + (b % 2));
+    std::deque<std::uint32_t> frontier{seed};
+    std::size_t claimed = 0;
+    while (claimed < want && !frontier.empty()) {
+      const std::uint32_t v = frontier.front();
+      frontier.pop_front();
+      if (group[v] != 0) continue;
+      group[v] = blob_group;
+      informative.push_back(v);
+      ++claimed;
+      const Coord c = mask.coord(v);
+      for (const auto& d : kNeighbors) {
+        const std::int64_t nm =
+            mask.mask_index(Coord{c.x + d[0], c.y + d[1], c.z + d[2]});
+        if (nm >= 0 && group[static_cast<std::size_t>(nm)] == 0) {
+          frontier.push_back(static_cast<std::uint32_t>(nm));
+        }
+      }
+    }
+    FCMA_CHECK(claimed == want, "blob ran out of room; use a larger mask");
+    // Halo: block the unclaimed neighbors of this blob.
+    for (std::size_t off = informative.size() - claimed;
+         off < informative.size(); ++off) {
+      const Coord c = mask.coord(informative[off]);
+      for (const auto& d : kNeighbors) {
+        const std::int64_t nm =
+            mask.mask_index(Coord{c.x + d[0], c.y + d[1], c.z + d[2]});
+        if (nm >= 0 && group[static_cast<std::size_t>(nm)] == 0) {
+          group[static_cast<std::size_t>(nm)] = kHalo;
+        }
+      }
+    }
+  }
+  std::sort(informative.begin(), informative.end());
+  // Halo voxels revert to plain noise for generation.
+  for (auto& g : group) {
+    if (g == kHalo) g = 0;
+  }
+
+  VolumetricDataset out{
+      generate_with_groups(actual, informative, group, master),
+      std::move(mask),
+      {}};
+  out.planted_rois = find_clusters(out.mask, informative);
+  return out;
+}
+
+}  // namespace fcma::fmri

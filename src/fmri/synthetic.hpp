@@ -1,0 +1,51 @@
+// Synthetic fMRI generator with planted, condition-dependent connectivity.
+//
+// Replaces the paper's private human datasets (see DESIGN.md §1).  The
+// generator plants the exact effect FCMA is designed to detect: a set of
+// "informative" voxels whose *pairwise temporal correlations* — not their
+// mean activity — differ between the two task conditions.
+//
+// Construction: informative voxels are split into groups A and B.
+//   label 0 epochs: A and B all load one shared latent signal   -> A-B pairs
+//                   strongly correlated.
+//   label 1 epochs: A loads latent La, B loads latent Lb        -> A-B pairs
+//                   uncorrelated; within-group correlation unchanged.
+// Every voxel additionally carries a weak global latent (scanner-wide
+// background correlation) and AR(1) Gaussian noise; informative loadings get
+// mild per-subject jitter.  Mean activity is condition-independent by
+// design, so univariate analyses see nothing — only correlation-based
+// methods like FCMA can separate the conditions.
+//
+// Two entry points: generate_synthetic scatters the informative voxels
+// randomly through a flat voxel list; generate_synthetic_volumetric plants
+// them as contiguous spatial blobs inside a 3D brain mask, so that ROI
+// cluster analysis (volume.hpp) has ground truth to recover.
+#pragma once
+
+#include "fmri/dataset.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/volume.hpp"
+
+namespace fcma::fmri {
+
+/// Generates a dataset from `spec`; deterministic in spec.seed.
+[[nodiscard]] Dataset generate_synthetic(const DatasetSpec& spec);
+
+/// A volumetric synthetic dataset: activity + brain mask + the planted
+/// ROI blobs (ground truth for cluster recovery).
+struct VolumetricDataset {
+  Dataset dataset;
+  BrainMask mask;
+  /// The planted blobs as clusters of mask-voxel indices, largest first.
+  std::vector<RoiCluster> planted_rois;
+};
+
+/// Generates a dataset whose voxel list is the ellipsoid brain mask of
+/// `geometry` (spec.voxels is ignored; the mask defines the count) and
+/// whose informative voxels form `blobs` compact spherical clusters,
+/// alternating between connectivity groups A and B.
+[[nodiscard]] VolumetricDataset generate_synthetic_volumetric(
+    const DatasetSpec& spec, const VolumeGeometry& geometry,
+    std::size_t blobs = 4);
+
+}  // namespace fcma::fmri

@@ -1,0 +1,127 @@
+#include "fmri/volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_set>
+
+namespace fcma::fmri {
+
+BrainMask::BrainMask(VolumeGeometry geometry,
+                     const std::vector<bool>& in_brain)
+    : geometry_(geometry) {
+  FCMA_CHECK(in_brain.size() == geometry.size(),
+             "mask grid size mismatch");
+  grid_to_mask_.assign(geometry.size(), -1);
+  for (std::size_t g = 0; g < in_brain.size(); ++g) {
+    if (in_brain[g]) {
+      grid_to_mask_[g] = static_cast<std::int64_t>(mask_to_grid_.size());
+      mask_to_grid_.push_back(static_cast<std::uint32_t>(g));
+    }
+  }
+  FCMA_CHECK(!mask_to_grid_.empty(), "mask contains no brain voxels");
+}
+
+BrainMask BrainMask::ellipsoid(VolumeGeometry geometry, double fill) {
+  FCMA_CHECK(fill > 0.0 && fill <= 1.0, "fill must be in (0,1]");
+  std::vector<bool> in_brain(geometry.size(), false);
+  const double cx = (geometry.nx - 1) / 2.0;
+  const double cy = (geometry.ny - 1) / 2.0;
+  const double cz = (geometry.nz - 1) / 2.0;
+  const double rx = std::max(0.5, fill * geometry.nx / 2.0);
+  const double ry = std::max(0.5, fill * geometry.ny / 2.0);
+  const double rz = std::max(0.5, fill * geometry.nz / 2.0);
+  for (int z = 0; z < geometry.nz; ++z) {
+    for (int y = 0; y < geometry.ny; ++y) {
+      for (int x = 0; x < geometry.nx; ++x) {
+        const double dx = (x - cx) / rx;
+        const double dy = (y - cy) / ry;
+        const double dz = (z - cz) / rz;
+        if (dx * dx + dy * dy + dz * dz <= 1.0) {
+          in_brain[geometry.index_of(Coord{x, y, z})] = true;
+        }
+      }
+    }
+  }
+  return BrainMask(geometry, in_brain);
+}
+
+std::int64_t BrainMask::mask_index(const Coord& c) const {
+  if (!geometry_.contains(c)) return -1;
+  return grid_to_mask_[geometry_.index_of(c)];
+}
+
+std::vector<RoiCluster> find_clusters(
+    const BrainMask& mask, std::span<const std::uint32_t> selected,
+    std::size_t min_size) {
+  // Membership lookup for the selected set.
+  std::unordered_set<std::uint32_t> pending(selected.begin(), selected.end());
+  for (const std::uint32_t v : selected) {
+    FCMA_CHECK(v < mask.voxels(), "selected voxel outside the mask");
+  }
+
+  static constexpr int kNeighbors[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                           {0, 1, 0},  {0, -1, 0},
+                                           {0, 0, 1},  {0, 0, -1}};
+  std::vector<RoiCluster> clusters;
+  // Deterministic seed order: ascending mask index.
+  std::vector<std::uint32_t> seeds(selected.begin(), selected.end());
+  std::sort(seeds.begin(), seeds.end());
+  for (const std::uint32_t seed : seeds) {
+    if (!pending.count(seed)) continue;
+    RoiCluster cluster;
+    std::deque<std::uint32_t> frontier{seed};
+    pending.erase(seed);
+    while (!frontier.empty()) {
+      const std::uint32_t v = frontier.front();
+      frontier.pop_front();
+      cluster.voxels.push_back(v);
+      const Coord c = mask.coord(v);
+      for (const auto& d : kNeighbors) {
+        const Coord nc{c.x + d[0], c.y + d[1], c.z + d[2]};
+        const std::int64_t nm = mask.mask_index(nc);
+        if (nm < 0) continue;
+        const auto nv = static_cast<std::uint32_t>(nm);
+        if (pending.erase(nv) > 0) frontier.push_back(nv);
+      }
+    }
+    if (cluster.voxels.size() < min_size) continue;
+    std::sort(cluster.voxels.begin(), cluster.voxels.end());
+    // Centroid + peak (member closest to the centroid).
+    double sx = 0.0;
+    double sy = 0.0;
+    double sz = 0.0;
+    for (const std::uint32_t v : cluster.voxels) {
+      const Coord c = mask.coord(v);
+      sx += c.x;
+      sy += c.y;
+      sz += c.z;
+    }
+    const auto n = static_cast<double>(cluster.voxels.size());
+    cluster.centroid_x = sx / n;
+    cluster.centroid_y = sy / n;
+    cluster.centroid_z = sz / n;
+    double best = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t v : cluster.voxels) {
+      const Coord c = mask.coord(v);
+      const double dx = c.x - cluster.centroid_x;
+      const double dy = c.y - cluster.centroid_y;
+      const double dz = c.z - cluster.centroid_z;
+      const double dist = dx * dx + dy * dy + dz * dz;
+      if (dist < best) {
+        best = dist;
+        cluster.peak = c;
+      }
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const RoiCluster& a, const RoiCluster& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.voxels.front() < b.voxels.front();
+            });
+  return clusters;
+}
+
+}  // namespace fcma::fmri

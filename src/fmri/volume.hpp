@@ -1,0 +1,123 @@
+// Volumetric brain geometry and ROI cluster analysis.
+//
+// FCMA's math sees a flat voxel list, but its input is a 3D scan and its
+// *output* — "the brain regions constituted by top voxels are identified as
+// ROIs" (paper §3.1.2) — is spatial.  This module carries the 3D structure:
+// a voxel grid, a brain mask mapping mask-voxel indices (what the pipeline
+// uses) to grid coordinates, and connected-component clustering that turns
+// a selected voxel set into ROIs with centroids and extents.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fcma::fmri {
+
+/// Integer voxel coordinate within the scan grid.
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+/// Dense 3D voxel grid geometry.
+struct VolumeGeometry {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+
+  [[nodiscard]] bool contains(const Coord& c) const {
+    return c.x >= 0 && c.x < nx && c.y >= 0 && c.y < ny && c.z >= 0 &&
+           c.z < nz;
+  }
+
+  /// Linear index of a coordinate (x fastest).
+  [[nodiscard]] std::uint32_t index_of(const Coord& c) const {
+    FCMA_CHECK(contains(c), "coordinate outside the volume");
+    return static_cast<std::uint32_t>((c.z * ny + c.y) * nx + c.x);
+  }
+
+  /// Coordinate of a linear index.
+  [[nodiscard]] Coord coord_of(std::uint32_t index) const {
+    FCMA_CHECK(index < size(), "index outside the volume");
+    const int x = static_cast<int>(index) % nx;
+    const int y = (static_cast<int>(index) / nx) % ny;
+    const int z = static_cast<int>(index) / (nx * ny);
+    return Coord{x, y, z};
+  }
+};
+
+/// Subset of grid voxels that are inside the brain.  The analysis pipeline
+/// works in "mask space" (dense indices 0..voxels-1); this class maps both
+/// ways.
+class BrainMask {
+ public:
+  BrainMask() = default;
+
+  /// Builds a mask from a boolean grid (true = brain voxel).
+  BrainMask(VolumeGeometry geometry, const std::vector<bool>& in_brain);
+
+  /// Synthetic axis-aligned ellipsoid "brain" filling the grid.
+  [[nodiscard]] static BrainMask ellipsoid(VolumeGeometry geometry,
+                                           double fill = 0.9);
+
+  [[nodiscard]] const VolumeGeometry& geometry() const { return geometry_; }
+
+  /// Number of voxels inside the mask (= the analysis voxel count).
+  [[nodiscard]] std::size_t voxels() const { return mask_to_grid_.size(); }
+
+  /// Grid index of mask voxel `m`.
+  [[nodiscard]] std::uint32_t grid_index(std::uint32_t m) const {
+    FCMA_CHECK(m < voxels(), "mask index out of range");
+    return mask_to_grid_[m];
+  }
+
+  /// Coordinate of mask voxel `m`.
+  [[nodiscard]] Coord coord(std::uint32_t m) const {
+    return geometry_.coord_of(grid_index(m));
+  }
+
+  /// Mask index of a coordinate, or -1 if outside the brain.
+  [[nodiscard]] std::int64_t mask_index(const Coord& c) const;
+
+  /// True if the coordinate is a brain voxel.
+  [[nodiscard]] bool in_brain(const Coord& c) const {
+    return geometry_.contains(c) && mask_index(c) >= 0;
+  }
+
+ private:
+  VolumeGeometry geometry_;
+  std::vector<std::uint32_t> mask_to_grid_;
+  std::vector<std::int64_t> grid_to_mask_;  // -1 outside
+};
+
+/// One spatial cluster of selected voxels (an ROI).
+struct RoiCluster {
+  std::vector<std::uint32_t> voxels;  ///< mask indices, ascending
+  Coord peak{};                       ///< voxel closest to the centroid
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+  double centroid_z = 0.0;
+
+  [[nodiscard]] std::size_t size() const { return voxels.size(); }
+};
+
+/// Groups `selected` mask voxels into 6-connected spatial clusters, largest
+/// first; clusters smaller than `min_size` are dropped (standard cluster
+/// thresholding).
+[[nodiscard]] std::vector<RoiCluster> find_clusters(
+    const BrainMask& mask, std::span<const std::uint32_t> selected,
+    std::size_t min_size = 1);
+
+}  // namespace fcma::fmri

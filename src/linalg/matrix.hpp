@@ -1,0 +1,103 @@
+// Dense row-major single-precision matrices and views.
+//
+// FCMA's data are tall-skinny: a brain is [N voxels x T time points] with
+// N ~ 25k-35k and per-epoch T ~ 12.  All kernels take unowned views so the
+// same buffers flow through the pipeline without copies; Matrix is the
+// aligned owning container.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+
+namespace fcma::linalg {
+
+/// Non-owning mutable view of a row-major matrix with leading dimension.
+struct MatrixView {
+  float* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;  ///< distance between consecutive rows (>= cols)
+
+  [[nodiscard]] float* row(std::size_t i) const { return data + i * ld; }
+  float& operator()(std::size_t i, std::size_t j) const {
+    return data[i * ld + j];
+  }
+};
+
+/// Non-owning immutable view.
+struct ConstMatrixView {
+  const float* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const float* d, std::size_t r, std::size_t c, std::size_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  ConstMatrixView(const MatrixView& m)  // NOLINT: intentional implicit
+      : data(m.data), rows(m.rows), cols(m.cols), ld(m.ld) {}
+
+  [[nodiscard]] const float* row(std::size_t i) const { return data + i * ld; }
+  const float& operator()(std::size_t i, std::size_t j) const {
+    return data[i * ld + j];
+  }
+};
+
+/// Owning, 64-byte-aligned, row-major float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Allocates rows x cols; contents are uninitialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), ld_(cols), buffer_(rows * cols) {}
+
+  /// Allocates with an explicit leading dimension >= cols (padded rows).
+  Matrix(std::size_t rows, std::size_t cols, std::size_t ld)
+      : rows_(rows), cols_(cols), ld_(ld), buffer_(rows * ld) {
+    FCMA_CHECK(ld >= cols, "leading dimension must cover the row");
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t ld() const { return ld_; }
+
+  [[nodiscard]] float* data() { return buffer_.data(); }
+  [[nodiscard]] const float* data() const { return buffer_.data(); }
+
+  [[nodiscard]] float* row(std::size_t i) { return data() + i * ld_; }
+  [[nodiscard]] const float* row(std::size_t i) const {
+    return data() + i * ld_;
+  }
+
+  float& operator()(std::size_t i, std::size_t j) { return row(i)[j]; }
+  const float& operator()(std::size_t i, std::size_t j) const {
+    return row(i)[j];
+  }
+
+  [[nodiscard]] MatrixView view() {
+    return MatrixView{data(), rows_, cols_, ld_};
+  }
+  [[nodiscard]] ConstMatrixView view() const {
+    return ConstMatrixView{data(), rows_, cols_, ld_};
+  }
+
+  /// Sets every element (including row padding) to `v`.
+  void fill(float v) {
+    for (std::size_t i = 0; i < buffer_.size(); ++i) buffer_[i] = v;
+  }
+
+  [[nodiscard]] std::span<float> flat() { return buffer_.span(); }
+  [[nodiscard]] std::span<const float> flat() const { return buffer_.span(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+  AlignedBuffer<float> buffer_;
+};
+
+}  // namespace fcma::linalg

@@ -1,0 +1,88 @@
+// Optimized tall-skinny matrix kernels (paper §4.2 and §4.4).
+//
+// These implement the paper's three optimization ideas for the two matrix
+// shapes FCMA lives on:
+//
+//   gemm_nt  — correlation computation: C[V,N] = A[V,K] * B[N,K]^T with
+//              V ~ 100s, K ~ 12, N ~ 35k.  B is repacked into transposed
+//              panels sized for L1/L2 so that the inner loop runs full-width
+//              FMAs down the *long* dimension with one broadcast of A per K
+//              element, amortized over several SIMD columns (idea #1 block
+//              the tall-skinny operand, idea #3 transpose for vector loads).
+//
+//   syrk     — SVM kernel precomputation: C[M,M] = A[M,N] * A^T with
+//              M ~ 200-550, N ~ 35k.  Following the paper's Fig 7, threads
+//              walk the long dimension in panels of 96 columns, copy the
+//              panel into a local buffer, transpose it, run a fixed
+//              (rows x lanes x 96) register-blocked micro-kernel, and merge
+//              their partial C under a lock.
+//
+// Each kernel has an instrumented twin that recomputes the result in scalar
+// code while narrating the production instruction stream to a
+// memsim::Instrument (see memsim/instrument.hpp).
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+#include "memsim/instrument.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace fcma::linalg::opt {
+
+/// Width (output columns) of one packed B^T panel for gemm_nt.  K=12 rows of
+/// 512 floats = 24KB: comfortably L1/L2 resident alongside the C rows.
+inline constexpr std::size_t kGemmPanelCols = 512;
+
+/// Columns of the long dimension consumed per syrk panel (paper: 96 rows of
+/// the tall operand per block, an integral multiple of the VPU width).
+inline constexpr std::size_t kSyrkPanelK = 96;
+
+/// Micro-tile height (rows of C updated at once) in the syrk micro-kernel
+/// (paper: the auto-generated 16x9x96 routine; 16 lanes x 9 rows).
+inline constexpr std::size_t kSyrkMicroRows = 9;
+
+/// C[MxN] = A[MxK] * B[NxK]^T with panel-blocked, transposed-operand inner
+/// loops.  `c.ld` may exceed N (interleaved epoch layout, paper Fig 4).
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// Threaded gemm_nt: column panels are distributed across the pool.
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             threading::ThreadPool& pool);
+
+/// C[MxM] = A[MxN] * A^T (both triangles written).
+void syrk(ConstMatrixView a, MatrixView c);
+
+/// Threaded syrk: panels of the long dimension are distributed across the
+/// pool; each thread accumulates a private C and merges under a lock, as in
+/// the paper's Fig 7 workflow.
+void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool);
+
+/// Instrumented twins (see baseline.hpp for the model_lanes convention).
+void gemm_nt_instrumented(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                          memsim::Instrument& ins, unsigned model_lanes = 16);
+void syrk_instrumented(ConstMatrixView a, MatrixView c,
+                       memsim::Instrument& ins, unsigned model_lanes = 16);
+
+/// Packs columns [j0, j1) of B (rows of the NT operand) into a transposed
+/// panel: bt[k * (j1-j0) + (j-j0)] = B(j, k).  Exposed so the fused
+/// correlate-and-normalize pipeline stage can reuse the gemm internals.
+void pack_bt_panel(ConstMatrixView b, std::size_t j0, std::size_t j1,
+                   float* bt);
+
+/// Computes one output row against a packed panel:
+/// c[j] = sum_k a[k] * bt[k*width + j] for j in [0, width).
+void gemm_row_panel(const float* a, std::size_t k, const float* bt,
+                    std::size_t width, float* c);
+
+/// Instrumented twins of the panel primitives, for fused pipeline stages.
+void pack_bt_panel_instrumented(ConstMatrixView b, std::size_t j0,
+                                std::size_t j1, float* bt,
+                                memsim::Instrument& ins,
+                                unsigned model_lanes = 16);
+void gemm_row_panel_instrumented(const float* a, std::size_t k,
+                                 const float* bt, std::size_t width, float* c,
+                                 memsim::Instrument& ins,
+                                 unsigned model_lanes = 16);
+
+}  // namespace fcma::linalg::opt

@@ -1,0 +1,54 @@
+#include "linalg/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcma::linalg::reference {
+
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  FCMA_CHECK(a.cols == b.cols, "gemm_nt: inner dimensions differ");
+  FCMA_CHECK(c.rows == a.rows && c.cols == b.rows, "gemm_nt: bad C shape");
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t j = 0; j < b.rows; ++j) {
+      const float* bj = b.row(j);
+      double acc = 0.0;  // accumulate in double for a tighter oracle
+      for (std::size_t k = 0; k < a.cols; ++k) {
+        acc += static_cast<double>(ai[k]) * static_cast<double>(bj[k]);
+      }
+      ci[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void syrk(ConstMatrixView a, MatrixView c) {
+  FCMA_CHECK(c.rows == a.rows && c.cols == a.rows, "syrk: bad C shape");
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const float* ai = a.row(i);
+      const float* aj = a.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols; ++k) {
+        acc += static_cast<double>(ai[k]) * static_cast<double>(aj[k]);
+      }
+      const auto v = static_cast<float>(acc);
+      c(i, j) = v;
+      c(j, i) = v;
+    }
+  }
+}
+
+float max_abs_diff(ConstMatrixView x, ConstMatrixView y) {
+  FCMA_CHECK(x.rows == y.rows && x.cols == y.cols,
+             "max_abs_diff: shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < x.rows; ++i) {
+    for (std::size_t j = 0; j < x.cols; ++j) {
+      worst = std::max(worst, std::fabs(x(i, j) - y(i, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace fcma::linalg::reference

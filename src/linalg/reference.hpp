@@ -1,0 +1,28 @@
+// Trusted scalar reference kernels.
+//
+// These are the oracles every optimized and baseline kernel is tested
+// against.  They are written for clarity, not speed.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace fcma::linalg::reference {
+
+/// C[MxN] = A[MxK] * B[NxK]^T  (i.e. C_ij = sum_k A_ik * B_jk).
+///
+/// This is the shape of FCMA's correlation computation: A holds the
+/// normalized activity of the assigned voxels, B the whole brain's, both
+/// row-per-voxel, so B is used transposed.  `C.ld` may exceed N, which is
+/// how the pipeline interleaves per-epoch results (paper Fig 4).
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// C[MxM] = A[MxN] * A^T, full matrix written (both triangles).
+///
+/// This is the shape of FCMA's SVM kernel-matrix precomputation: A holds one
+/// voxel's M normalized correlation vectors of length N (paper Fig 7).
+void syrk(ConstMatrixView a, MatrixView c);
+
+/// Maximum absolute elementwise difference between equal-shaped matrices.
+[[nodiscard]] float max_abs_diff(ConstMatrixView x, ConstMatrixView y);
+
+}  // namespace fcma::linalg::reference

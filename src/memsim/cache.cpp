@@ -1,0 +1,76 @@
+#include "memsim/cache.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace fcma::memsim {
+
+CacheConfig phi_l1() { return {.size_bytes = 32 * 1024, .associativity = 8}; }
+CacheConfig phi_l2() { return {.size_bytes = 512 * 1024, .associativity = 8}; }
+CacheConfig xeon_l1() { return {.size_bytes = 32 * 1024, .associativity = 8}; }
+CacheConfig xeon_llc() {
+  return {.size_bytes = 2560 * 1024, .associativity = 20};
+}
+
+CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
+  FCMA_CHECK(config.size_bytes % (config.associativity * config.line_bytes) ==
+                 0,
+             "cache size must be a multiple of way size");
+  const std::size_t sets = config.sets();
+  FCMA_CHECK(std::has_single_bit(sets), "set count must be a power of two");
+  set_mask_ = sets - 1;
+  ways_.resize(sets * config.associativity);
+}
+
+bool CacheLevel::access(std::uint64_t line_addr) {
+  ++tick_;
+  const std::size_t set = static_cast<std::size_t>(line_addr) & set_mask_;
+  Way* base = &ways_[set * config_.associativity];
+  Way* victim = base;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line_addr) {
+      way.last_use = tick_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an empty way over LRU eviction
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->last_use = tick_;
+  return false;
+}
+
+void CacheLevel::flush() {
+  for (auto& way : ways_) way.valid = false;
+}
+
+CacheSim::CacheSim(const CacheConfig& l1, const CacheConfig& l2)
+    : l1_(l1), l2_(l2) {}
+
+void CacheSim::access(const void* p, std::size_t bytes) {
+  const auto addr = reinterpret_cast<std::uint64_t>(p);
+  const std::size_t line = l1_.config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line;
+  ++stats_.refs;
+  stats_.bytes += bytes;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    if (!l1_.access(l)) {
+      ++stats_.l1_misses;
+      if (!l2_.access(l)) ++stats_.l2_misses;
+    }
+  }
+}
+
+void CacheSim::flush() {
+  l1_.flush();
+  l2_.flush();
+}
+
+}  // namespace fcma::memsim

@@ -1,0 +1,146 @@
+// Instrumentation facade used by the *_instrumented kernel variants.
+//
+// An instrumented kernel performs its real computation with plain scalar
+// code (so results can be checked against the fast kernels) and separately
+// narrates the instruction stream the production kernel would execute:
+// which loads/stores are issued, how wide they are, and how many arithmetic
+// vector operations run.  The facade forwards memory operations to the cache
+// simulator and lane counts to the VPU counter, and additionally tallies
+// floating-point operations for GFLOPS reporting.
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/cache.hpp"
+#include "memsim/vpu.hpp"
+
+namespace fcma::memsim {
+
+/// Which machine's cache geometry the instrumented run models.
+enum class Machine { kPhi5110P, kXeonE5_2670 };
+
+/// Aggregated, machine-independent event counts of one instrumented run.
+struct KernelEvents {
+  std::uint64_t flops = 0;             ///< useful floating point operations
+  std::uint64_t vpu_instructions = 0;  ///< VPU instructions (arith + mem)
+  std::uint64_t vpu_elements = 0;      ///< active lanes across those
+  std::uint64_t mem_refs = 0;          ///< retired loads + stores
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+
+  [[nodiscard]] double vector_intensity() const {
+    return vpu_instructions == 0 ? 0.0
+                                 : static_cast<double>(vpu_elements) /
+                                       static_cast<double>(vpu_instructions);
+  }
+
+  KernelEvents& operator+=(const KernelEvents& o) {
+    flops += o.flops;
+    vpu_instructions += o.vpu_instructions;
+    vpu_elements += o.vpu_elements;
+    mem_refs += o.mem_refs;
+    l1_misses += o.l1_misses;
+    l2_misses += o.l2_misses;
+    return *this;
+  }
+
+  /// Difference of two snapshots taken from the same Instrument (the later
+  /// snapshot minus the earlier one) — per-stage deltas.
+  friend KernelEvents operator-(const KernelEvents& a, const KernelEvents& b) {
+    return KernelEvents{.flops = a.flops - b.flops,
+                        .vpu_instructions =
+                            a.vpu_instructions - b.vpu_instructions,
+                        .vpu_elements = a.vpu_elements - b.vpu_elements,
+                        .mem_refs = a.mem_refs - b.mem_refs,
+                        .l1_misses = a.l1_misses - b.l1_misses,
+                        .l2_misses = a.l2_misses - b.l2_misses};
+  }
+};
+
+/// Per-thread instrumentation context.
+class Instrument {
+ public:
+  explicit Instrument(Machine machine = Machine::kPhi5110P)
+      : cache_(machine == Machine::kPhi5110P ? phi_l1() : xeon_l1(),
+               machine == Machine::kPhi5110P ? phi_l2() : xeon_llc()),
+        machine_(machine) {}
+
+  /// Models one load instruction of `lanes` single-precision elements.
+  void load(const float* p, std::uint32_t lanes) {
+    cache_.access(p, lanes * sizeof(float));
+    vpu_.op(lanes);
+  }
+
+  /// Models one store instruction of `lanes` single-precision elements.
+  void store(const float* p, std::uint32_t lanes) {
+    cache_.access(p, lanes * sizeof(float));
+    vpu_.op(lanes);
+  }
+
+  /// Models a broadcast load: one 4-byte memory access replicated to
+  /// `lanes` active lanes of the vector register.
+  void load_broadcast(const float* p, std::uint32_t lanes) {
+    cache_.access(p, sizeof(float));
+    vpu_.op(lanes);
+  }
+
+  /// Models a load of `lanes` double-precision elements (LibSVM path).
+  void load_f64(const double* p, std::uint32_t lanes) {
+    cache_.access(p, lanes * sizeof(double));
+    vpu_.op(lanes);
+  }
+
+  void store_f64(const double* p, std::uint32_t lanes) {
+    cache_.access(p, lanes * sizeof(double));
+    vpu_.op(lanes);
+  }
+
+  /// Models a scalar integer/pointer-sized load (sparse index traversal).
+  void load_index(const void* p) {
+    cache_.access(p, sizeof(std::int32_t));
+    vpu_.op(1);
+  }
+
+  /// Models `count` arithmetic vector instructions with `lanes` active
+  /// lanes each, contributing `flops_per_instr` useful FLOPs each.
+  void arith(std::uint32_t lanes, std::uint64_t count = 1,
+             std::uint64_t flops_per_instr = 0) {
+    vpu_.ops(count, lanes);
+    flops_ += count * flops_per_instr;
+  }
+
+  /// Adds useful FLOPs without an instruction (when arith() already modeled
+  /// the instruction stream and FLOPs are tallied analytically).
+  void add_flops(std::uint64_t n) { flops_ += n; }
+
+  /// Invalidate cache contents (models a cold stage boundary).
+  void flush_cache() { cache_.flush(); }
+
+  [[nodiscard]] Machine machine() const { return machine_; }
+
+  /// Snapshot of everything recorded so far.
+  [[nodiscard]] KernelEvents events() const {
+    const CacheStats& c = cache_.stats();
+    return KernelEvents{.flops = flops_,
+                        .vpu_instructions = vpu_.instructions(),
+                        .vpu_elements = vpu_.elements(),
+                        .mem_refs = c.refs,
+                        .l1_misses = c.l1_misses,
+                        .l2_misses = c.l2_misses};
+  }
+
+  void reset() {
+    cache_.reset_stats();
+    cache_.flush();
+    vpu_.reset();
+    flops_ = 0;
+  }
+
+ private:
+  CacheSim cache_;
+  VpuCounter vpu_;
+  std::uint64_t flops_ = 0;
+  Machine machine_;
+};
+
+}  // namespace fcma::memsim

@@ -1,0 +1,57 @@
+// Vector-processing-unit instruction accounting.
+//
+// Reproduces vTune's "vectorization intensity" metric: the number of active
+// vector elements retired divided by the number of VPU instructions retired.
+// A kernel that issues full-width 16-lane operations scores 16; scalar code
+// that still passes through the VPU (as on Knights Corner) scores ~1.
+#pragma once
+
+#include <cstdint>
+
+namespace fcma::memsim {
+
+/// Counts VPU instructions and the lanes they keep busy.
+class VpuCounter {
+ public:
+  /// Records one vector instruction with `active_lanes` useful elements.
+  void op(std::uint32_t active_lanes) noexcept {
+    ++instructions_;
+    elements_ += active_lanes;
+  }
+
+  /// Records `n` identical vector instructions at once.
+  void ops(std::uint64_t n, std::uint32_t active_lanes) noexcept {
+    instructions_ += n;
+    elements_ += n * active_lanes;
+  }
+
+  [[nodiscard]] std::uint64_t instructions() const noexcept {
+    return instructions_;
+  }
+  [[nodiscard]] std::uint64_t elements() const noexcept { return elements_; }
+
+  /// vTune-style vectorization intensity; 0 if nothing was recorded.
+  [[nodiscard]] double intensity() const noexcept {
+    return instructions_ == 0
+               ? 0.0
+               : static_cast<double>(elements_) /
+                     static_cast<double>(instructions_);
+  }
+
+  void reset() noexcept {
+    instructions_ = 0;
+    elements_ = 0;
+  }
+
+  VpuCounter& operator+=(const VpuCounter& o) noexcept {
+    instructions_ += o.instructions_;
+    elements_ += o.elements_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t instructions_ = 0;
+  std::uint64_t elements_ = 0;
+};
+
+}  // namespace fcma::memsim

@@ -1,0 +1,33 @@
+// Within-subject normalization kernel (paper §3.1 stage 2, optimized per
+// §4.3 / Fig 6).
+//
+// Input: a block of correlation coefficients for one voxel — E rows (that
+// subject's epochs) by `width` columns (a stripe of the other voxels), with
+// row stride `ld`.  The kernel applies the Fisher transformation to every
+// element and then z-scores each *column* across the E rows, exactly the
+// per-(voxel, subject, other-voxel) population the paper's Fig 4 describes.
+//
+// The optimized layout processes columns in SIMD-width chunks with two
+// passes: pass 1 applies Fisher and accumulates sum and sum-of-squares
+// (E[X^2]-E[X]^2 single-pass variance); pass 2 subtracts the mean and
+// scales by 1/stddev.
+#pragma once
+
+#include <cstddef>
+
+#include "memsim/instrument.hpp"
+
+namespace fcma::stats {
+
+/// Fisher-transforms and column-z-scores a correlation block in place.
+void fisher_zscore_block(float* data, std::size_t epochs, std::size_t width,
+                         std::size_t ld);
+
+/// Instrumented twin: identical results, narrating the Fig 6 instruction
+/// stream (16-voxel SIMD chunks, two passes) to `ins`.
+void fisher_zscore_block_instrumented(float* data, std::size_t epochs,
+                                      std::size_t width, std::size_t ld,
+                                      memsim::Instrument& ins,
+                                      unsigned model_lanes = 16);
+
+}  // namespace fcma::stats

@@ -1,0 +1,177 @@
+#include "stats/significance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace fcma::stats {
+
+double log_choose(std::size_t n, std::size_t k) {
+  FCMA_CHECK(k <= n, "log_choose: k > n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_sf(std::size_t k, std::size_t n, double p) {
+  FCMA_CHECK(p > 0.0 && p < 1.0, "binomial_sf: p must be in (0,1)");
+  FCMA_CHECK(n > 0, "binomial_sf: n must be positive");
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum the exact pmf from k to n in log space (n is a few hundred at most
+  // in FCMA, so the direct sum is both exact and cheap).
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double total = 0.0;
+  for (std::size_t i = k; i <= n; ++i) {
+    const double log_pmf = log_choose(n, i) +
+                           static_cast<double>(i) * log_p +
+                           static_cast<double>(n - i) * log_q;
+    total += std::exp(log_pmf);
+  }
+  return std::min(1.0, total);
+}
+
+double accuracy_pvalue(std::size_t correct, std::size_t total,
+                       double chance) {
+  return binomial_sf(correct, total, chance);
+}
+
+std::vector<bool> bonferroni(std::span<const double> pvalues, double alpha) {
+  const double m = static_cast<double>(pvalues.size());
+  std::vector<bool> out(pvalues.size());
+  for (std::size_t i = 0; i < pvalues.size(); ++i) {
+    out[i] = pvalues[i] * m <= alpha;
+  }
+  return out;
+}
+
+std::vector<bool> benjamini_hochberg(std::span<const double> pvalues,
+                                     double q) {
+  const std::size_t m = pvalues.size();
+  std::vector<bool> out(m, false);
+  if (m == 0) return out;
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pvalues[a] < pvalues[b];
+  });
+  // Largest rank r with p_(r) <= q * r / m; everything up to it passes.
+  std::size_t last_pass = 0;  // 1-based; 0 = none
+  for (std::size_t r = 1; r <= m; ++r) {
+    if (pvalues[order[r - 1]] <=
+        q * static_cast<double>(r) / static_cast<double>(m)) {
+      last_pass = r;
+    }
+  }
+  for (std::size_t r = 0; r < last_pass; ++r) out[order[r]] = true;
+  return out;
+}
+
+double permutation_pvalue(double observed,
+                          std::span<const double> null_stats) {
+  FCMA_CHECK(!null_stats.empty(), "permutation test needs null samples");
+  std::size_t ge = 0;
+  for (const double s : null_stats) ge += (s >= observed);
+  return static_cast<double>(ge + 1) /
+         static_cast<double>(null_stats.size() + 1);
+}
+
+namespace {
+
+// Continued-fraction core of the incomplete beta (Lentz's algorithm, the
+// standard numerically stable formulation).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  FCMA_CHECK(a > 0.0 && b > 0.0, "incomplete_beta: a, b must be positive");
+  FCMA_CHECK(x >= 0.0 && x <= 1.0, "incomplete_beta: x must be in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction in its fast-converging region, and the
+  // symmetry I_x(a,b) = 1 - I_{1-x}(b,a) elsewhere.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_sf(double t, double df) {
+  FCMA_CHECK(df > 0.0, "student_t_sf: df must be positive");
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? tail : 1.0 - tail;
+}
+
+TTestResult one_sample_t_test(std::span<const double> x, double mu0) {
+  FCMA_CHECK(x.size() >= 2, "t test needs at least two samples");
+  const auto n = static_cast<double>(x.size());
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= n;
+  double ss = 0.0;
+  for (const double v : x) ss += (v - mean) * (v - mean);
+  const double var = ss / (n - 1.0);
+  TTestResult r;
+  r.df = n - 1.0;
+  if (var <= 0.0) {
+    r.t = mean == mu0 ? 0.0 : std::numeric_limits<double>::infinity() *
+                                  (mean > mu0 ? 1.0 : -1.0);
+    r.pvalue = mean == mu0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (mean - mu0) / std::sqrt(var / n);
+  r.pvalue = 2.0 * student_t_sf(std::abs(r.t), r.df);
+  return r;
+}
+
+TTestResult paired_t_test(std::span<const double> x,
+                          std::span<const double> y) {
+  FCMA_CHECK(x.size() == y.size(), "paired t test needs equal sizes");
+  std::vector<double> diff(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) diff[i] = x[i] - y[i];
+  return one_sample_t_test(diff);
+}
+
+}  // namespace fcma::stats

@@ -1,0 +1,71 @@
+// Statistical significance of voxel accuracies.
+//
+// FCMA's selection step ranks voxels by cross-validation accuracy; the
+// neuroscientific analysis then needs to know which accuracies are *better
+// than chance* and how to control the error rate over ~35,000 simultaneous
+// tests ("the selected voxels across different folds can be statistically
+// compared to identify the reliable voxels", paper §5.2.1).  This module
+// provides the standard machinery:
+//
+//   * exact binomial tail p-values for k-of-n correct classifications;
+//   * label-permutation testing (the assumption-free alternative);
+//   * Bonferroni and Benjamini-Hochberg (FDR) multiple-comparison control.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fcma::stats {
+
+/// log of the binomial coefficient C(n, k).
+[[nodiscard]] double log_choose(std::size_t n, std::size_t k);
+
+/// Exact one-sided binomial tail: P(X >= k) for X ~ Binomial(n, p).
+/// This is the p-value of classifying k of n test samples correctly when
+/// the true accuracy is the chance level p.
+[[nodiscard]] double binomial_sf(std::size_t k, std::size_t n, double p);
+
+/// p-value of an observed classification accuracy under the chance-level
+/// null (p = 0.5 for balanced two-condition designs).
+[[nodiscard]] double accuracy_pvalue(std::size_t correct, std::size_t total,
+                                     double chance = 0.5);
+
+/// Bonferroni-adjusted significance: true where p * m <= alpha.
+[[nodiscard]] std::vector<bool> bonferroni(std::span<const double> pvalues,
+                                           double alpha);
+
+/// Benjamini-Hochberg FDR control: true for every test whose p-value falls
+/// at or below the adaptive BH threshold at level `q`.
+[[nodiscard]] std::vector<bool> benjamini_hochberg(
+    std::span<const double> pvalues, double q);
+
+/// Permutation-test p-value: fraction of `null_stats` greater than or equal
+/// to `observed` (with the +1/+1 correction so p is never exactly 0).
+[[nodiscard]] double permutation_pvalue(double observed,
+                                        std::span<const double> null_stats);
+
+/// Regularized incomplete beta function I_x(a, b) via Lentz's continued
+/// fraction — the primitive behind Student-t tail probabilities.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// One-sided Student-t survival function P(T >= t) with `df` degrees of
+/// freedom.
+[[nodiscard]] double student_t_sf(double t, double df);
+
+/// Result of a t test.
+struct TTestResult {
+  double t = 0.0;
+  double df = 0.0;
+  double pvalue = 1.0;  ///< two-sided
+};
+
+/// One-sample t test of mean(x) against mu0.
+[[nodiscard]] TTestResult one_sample_t_test(std::span<const double> x,
+                                            double mu0 = 0.0);
+
+/// Paired t test: one-sample test on the elementwise differences x - y.
+[[nodiscard]] TTestResult paired_t_test(std::span<const double> x,
+                                        std::span<const double> y);
+
+}  // namespace fcma::stats

@@ -1,0 +1,92 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fcma::stats {
+
+namespace {
+// r is clamped to +/- (1 - kREps) before the log, bounding |z| at ~6.1.
+// The margin is deliberately wider than float round-off: self-correlations
+// computed by different kernels land at 1 +/- O(1e-7) and must all saturate
+// to the *same* z, otherwise the later within-subject z-scoring amplifies
+// kernel-dependent noise into O(1) differences.
+constexpr float kREps = 1e-5f;
+}  // namespace
+
+double mean(std::span<const float> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (float v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance_one_pass(std::span<const float> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  double sq = 0.0;
+  for (float v : x) {
+    s += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(x.size());
+  const double m = s / n;
+  return std::max(0.0, sq / n - m * m);
+}
+
+double pearson(std::span<const float> x, std::span<const float> y) {
+  FCMA_CHECK(x.size() == y.size() && !x.empty(), "pearson: bad inputs");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  return denom == 0.0 ? 0.0 : sxy / denom;
+}
+
+void normalize_epoch(std::span<float> x) {
+  if (x.empty()) return;
+  const double m = mean(x);
+  double ss = 0.0;
+  for (float v : x) {
+    const double d = v - m;
+    ss += d * d;
+  }
+  if (ss <= 0.0) {
+    std::fill(x.begin(), x.end(), 0.0f);
+    return;
+  }
+  const auto inv = static_cast<float>(1.0 / std::sqrt(ss));
+  for (float& v : x) v = (v - static_cast<float>(m)) * inv;
+}
+
+float fisher_z(float r) {
+  r = std::clamp(r, -(1.0f - kREps), 1.0f - kREps);
+  return 0.5f * std::log((1.0f + r) / (1.0f - r));
+}
+
+float fisher_z_max() { return fisher_z(1.0f); }
+
+void zscore(std::span<float> x) {
+  if (x.empty()) return;
+  const double var = variance_one_pass(x);
+  const double m = mean(x);
+  if (var <= 0.0) {
+    std::fill(x.begin(), x.end(), 0.0f);
+    return;
+  }
+  const auto inv = static_cast<float>(1.0 / std::sqrt(var));
+  for (float& v : x) v = (v - static_cast<float>(m)) * inv;
+}
+
+}  // namespace fcma::stats

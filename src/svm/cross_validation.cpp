@@ -1,0 +1,84 @@
+#include "svm/cross_validation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fcma::svm {
+
+const char* to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kLibSvm: return "LibSVM";
+    case SolverKind::kOptimizedLibSvm: return "Optimized LibSVM";
+    case SolverKind::kPhiSvm: return "PhiSVM";
+  }
+  return "?";
+}
+
+Model train(SolverKind kind, linalg::ConstMatrixView kernel,
+            std::span<const std::int8_t> labels,
+            std::span<const std::size_t> train_idx,
+            const TrainOptions& options, memsim::Instrument* ins,
+            unsigned model_lanes) {
+  switch (kind) {
+    case SolverKind::kLibSvm:
+      return libsvm_train(kernel, labels, train_idx, options, ins);
+    case SolverKind::kOptimizedLibSvm:
+      return optimized_libsvm_train(kernel, labels, train_idx, options, ins,
+                                    model_lanes);
+    case SolverKind::kPhiSvm:
+      return phisvm_train(kernel, labels, train_idx, options, ins,
+                          model_lanes);
+  }
+  raise("unknown solver kind");
+}
+
+std::vector<std::vector<std::size_t>> loso_folds(
+    std::span<const std::int32_t> subject_of_sample, std::int32_t subjects) {
+  FCMA_CHECK(subjects > 0, "need at least one subject");
+  std::vector<std::vector<std::size_t>> folds(
+      static_cast<std::size_t>(subjects));
+  for (std::size_t t = 0; t < subject_of_sample.size(); ++t) {
+    const std::int32_t s = subject_of_sample[t];
+    FCMA_CHECK(s >= 0 && s < subjects, "subject id out of range");
+    folds[static_cast<std::size_t>(s)].push_back(t);
+  }
+  for (const auto& f : folds) {
+    FCMA_CHECK(!f.empty(), "every subject needs samples");
+  }
+  return folds;
+}
+
+CvResult cross_validate(SolverKind kind, linalg::ConstMatrixView kernel,
+                        std::span<const std::int8_t> labels,
+                        const std::vector<std::vector<std::size_t>>& folds,
+                        const TrainOptions& options, memsim::Instrument* ins,
+                        unsigned model_lanes) {
+  const std::size_t n = kernel.rows;
+  std::vector<bool> in_test(n, false);
+  CvResult result;
+  for (const auto& test : folds) {
+    std::fill(in_test.begin(), in_test.end(), false);
+    for (const std::size_t t : test) {
+      FCMA_CHECK(t < n, "fold index out of range");
+      in_test[t] = true;
+    }
+    std::vector<std::size_t> train_idx;
+    train_idx.reserve(n - test.size());
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!in_test[t]) train_idx.push_back(t);
+    }
+    const Model model =
+        train(kind, kernel, labels, train_idx, options, ins, model_lanes);
+    result.iterations += model.iterations;
+    for (const std::size_t t : test) {
+      const double f = decision_value(model, kernel, t, train_idx);
+      const std::int8_t predicted = f >= 0.0 ? 1 : -1;
+      result.correct += (predicted == labels[t]);
+      ++result.total;
+    }
+  }
+  return result;
+}
+
+}  // namespace fcma::svm

@@ -1,0 +1,49 @@
+// Cross-validation drivers for the per-voxel SVM stage.
+//
+// FCMA scores each voxel by leave-one-subject-out cross-validation of a
+// linear SVM over the voxel's correlation vectors (paper §3.1 stage 3).
+// Samples are epochs; folds group epochs by subject so that generalization
+// is always measured across subjects.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "svm/dense_solver.hpp"
+#include "svm/libsvm_solver.hpp"
+#include "svm/types.hpp"
+
+namespace fcma::svm {
+
+/// Which solver implementation to use (paper Table 8 compares all three).
+enum class SolverKind {
+  kLibSvm,           ///< baseline: sparse, double (LibSVM 3.20 behaviour)
+  kOptimizedLibSvm,  ///< dense float, second-order heuristic
+  kPhiSvm,           ///< dense float, adaptive heuristic
+};
+
+[[nodiscard]] const char* to_string(SolverKind kind);
+
+/// Dispatches training to the selected implementation.
+[[nodiscard]] Model train(SolverKind kind, linalg::ConstMatrixView kernel,
+                          std::span<const std::int8_t> labels,
+                          std::span<const std::size_t> train_idx,
+                          const TrainOptions& options,
+                          memsim::Instrument* ins = nullptr,
+                          unsigned model_lanes = 16);
+
+/// Builds leave-one-subject-out folds: fold s = the sample indices whose
+/// subject is s.  `subject_of_sample[t]` gives the owning subject.
+[[nodiscard]] std::vector<std::vector<std::size_t>> loso_folds(
+    std::span<const std::int32_t> subject_of_sample, std::int32_t subjects);
+
+/// Runs k-fold cross-validation: for each fold, trains on the complement
+/// and classifies the fold's samples by the sign of the decision value.
+[[nodiscard]] CvResult cross_validate(
+    SolverKind kind, linalg::ConstMatrixView kernel,
+    std::span<const std::int8_t> labels,
+    const std::vector<std::vector<std::size_t>>& folds,
+    const TrainOptions& options, memsim::Instrument* ins = nullptr,
+    unsigned model_lanes = 16);
+
+}  // namespace fcma::svm

@@ -1,0 +1,386 @@
+#include "svm/dense_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+
+namespace fcma::svm {
+
+namespace {
+
+constexpr float kTau = 1e-12f;
+
+// Adaptive-heuristic schedule: probe each heuristic for kProbe iterations,
+// then run the winner for kExploit iterations before re-probing.  This is
+// the convergence-rate adaptation PhiSVM inherits from the GPU SVM of
+// Catanzaro et al.
+constexpr long kProbe = 64;
+constexpr long kExploit = 512;
+
+class DenseSmo {
+ public:
+  DenseSmo(linalg::ConstMatrixView kernel, std::span<const std::int8_t> labels,
+           std::span<const std::size_t> train_idx,
+           const TrainOptions& options, Heuristic heuristic,
+           memsim::Instrument* ins, unsigned lanes, bool materialize_q)
+      : options_(options),
+        heuristic_(heuristic),
+        ins_(ins),
+        lanes_(lanes),
+        materialize_q_(materialize_q),
+        n_(train_idx.size()),
+        k_(n_ * n_),
+        y_(n_),
+        yf_(n_),
+        alpha_(n_, 0.0f),
+        gradient_(n_, -1.0f) {
+    if (materialize_q_) {
+      q_buf_i_.resize(n_);
+      q_buf_j_.resize(n_);
+    }
+    FCMA_CHECK(n_ >= 2, "need at least two training samples");
+    // Dense float packing of the training submatrix: contiguous rows, no
+    // index metadata — this is optimization idea #3 applied to the SVM.
+    for (std::size_t i = 0; i < n_; ++i) {
+      y_[i] = labels[train_idx[i]];
+      FCMA_CHECK(y_[i] == 1 || y_[i] == -1, "labels must be +1/-1");
+      yf_[i] = static_cast<float>(y_[i]);
+      const float* src = kernel.row(train_idx[i]);
+      float* dst = k_.data() + i * n_;
+      for (std::size_t j = 0; j < n_; ++j) dst[j] = src[train_idx[j]];
+    }
+  }
+
+  Model solve() {
+    const long max_iter = options_.max_iterations > 0
+                              ? options_.max_iterations
+                              : std::max<long>(10000000,
+                                               100 * static_cast<long>(n_));
+    long iter = 0;
+    Heuristic active = heuristic_ == Heuristic::kAdaptive
+                           ? Heuristic::kSecondOrder
+                           : heuristic_;
+    // Adaptive state: objective decrease observed per probe window.
+    double probe_obj_start = 0.0;
+    long phase_left = heuristic_ == Heuristic::kAdaptive ? kProbe : 0;
+    int probe_stage = 0;  // 0: probing 2nd order, 1: probing 1st, 2: exploit
+    double rate_second = 0.0;
+    double rate_first = 0.0;
+
+    while (iter < max_iter) {
+      int i = -1;
+      int j = -1;
+      if (!select(active, i, j)) break;
+      update_pair(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+      ++iter;
+
+      if (heuristic_ == Heuristic::kAdaptive && --phase_left <= 0) {
+        const double obj = objective();
+        const double rate = probe_obj_start - obj;  // decrease this window
+        switch (probe_stage) {
+          case 0:
+            rate_second = rate;
+            active = Heuristic::kFirstOrder;
+            probe_stage = 1;
+            phase_left = kProbe;
+            break;
+          case 1:
+            rate_first = rate;
+            // First-order iterations are cheaper (no gain scan); weight its
+            // measured decrease accordingly before comparing.
+            active = (rate_first * 1.5 > rate_second)
+                         ? Heuristic::kFirstOrder
+                         : Heuristic::kSecondOrder;
+            probe_stage = 2;
+            phase_left = kExploit;
+            break;
+          default:
+            active = Heuristic::kSecondOrder;
+            probe_stage = 0;
+            phase_left = kProbe;
+            break;
+        }
+        probe_obj_start = obj;
+      }
+    }
+
+    Model model;
+    model.iterations = iter;
+    model.alpha_y.resize(n_);
+    for (std::size_t t = 0; t < n_; ++t) {
+      model.alpha_y[t] = static_cast<double>(alpha_[t]) * y_[t];
+    }
+    model.rho = compute_rho();
+    model.objective = objective();
+    return model;
+  }
+
+ private:
+  [[nodiscard]] const float* k_row(std::size_t i) const {
+    return k_.data() + i * n_;
+  }
+
+  [[nodiscard]] double objective() const {
+    double obj = 0.0;
+    for (std::size_t t = 0; t < n_; ++t) {
+      obj += static_cast<double>(alpha_[t]) * (gradient_[t] - 1.0f);
+    }
+    return obj / 2.0;
+  }
+
+  [[nodiscard]] bool in_up(std::size_t t) const {
+    return y_[t] == 1 ? alpha_[t] < options_.c : alpha_[t] > 0.0f;
+  }
+  [[nodiscard]] bool in_low(std::size_t t) const {
+    return y_[t] == 1 ? alpha_[t] > 0.0f : alpha_[t] < options_.c;
+  }
+
+  bool select(Heuristic heuristic, int& out_i, int& out_j) {
+    float g_max = -std::numeric_limits<float>::infinity();
+    float g_min = std::numeric_limits<float>::infinity();
+    int i_max = -1;
+    int j_min = -1;
+    // One vectorizable sweep computes -y*G and tracks both extrema.
+    for (std::size_t t = 0; t < n_; ++t) {
+      const float v = -yf_[t] * gradient_[t];
+      if (in_up(t) && v >= g_max) {
+        g_max = v;
+        i_max = static_cast<int>(t);
+      }
+      if (in_low(t) && v <= g_min) {
+        g_min = v;
+        j_min = static_cast<int>(t);
+      }
+    }
+    narrate_sweep(3);  // load G, multiply, compare per chunk
+    if (i_max < 0 || j_min < 0) return false;
+    if (g_max - g_min < static_cast<float>(options_.tolerance)) return false;
+
+    if (heuristic == Heuristic::kFirstOrder) {
+      out_i = i_max;
+      out_j = j_min;
+      return true;
+    }
+
+    // Second order: keep i, rescan for the j maximizing the gain.
+    const auto i = static_cast<std::size_t>(i_max);
+    const float* ki = k_row(i);
+    const float kii = ki[i];
+    int j_best = -1;
+    float best = std::numeric_limits<float>::infinity();
+    for (std::size_t t = 0; t < n_; ++t) {
+      if (!in_low(t)) continue;
+      const float v = -yf_[t] * gradient_[t];
+      const float diff = g_max - v;
+      if (diff <= 0.0f) continue;
+      // Subproblem curvature ||phi(x_i) - phi(x_t)||^2, label-independent
+      // in raw-kernel terms.
+      const float quad = std::max(kii + k_row(t)[t] - 2.0f * ki[t], kTau);
+      const float gain = -(diff * diff) / quad;
+      if (gain <= best) {
+        best = gain;
+        j_best = static_cast<int>(t);
+      }
+    }
+    narrate_sweep(6);  // the gain scan touches K row + G per element
+    if (j_best < 0) return false;
+    out_i = i_max;
+    out_j = j_best;
+    return true;
+  }
+
+  void update_pair(std::size_t i, std::size_t j) {
+    const float* ki = k_row(i);
+    const float* kj = k_row(j);
+    const auto c = static_cast<float>(options_.c);
+    const float old_ai = alpha_[i];
+    const float old_aj = alpha_[j];
+
+    const float quad = std::max(ki[i] + kj[j] - 2.0f * ki[j], kTau);
+    if (y_[i] != y_[j]) {
+      const float delta = (-gradient_[i] - gradient_[j]) / quad;
+      const float diff = alpha_[i] - alpha_[j];
+      alpha_[i] += delta;
+      alpha_[j] += delta;
+      if (diff > 0.0f) {
+        if (alpha_[j] < 0.0f) {
+          alpha_[j] = 0.0f;
+          alpha_[i] = diff;
+        }
+        if (alpha_[i] > c) {
+          alpha_[i] = c;
+          alpha_[j] = c - diff;
+        }
+      } else {
+        if (alpha_[i] < 0.0f) {
+          alpha_[i] = 0.0f;
+          alpha_[j] = -diff;
+        }
+        if (alpha_[j] > c) {
+          alpha_[j] = c;
+          alpha_[i] = c + diff;
+        }
+      }
+    } else {
+      const float delta = (gradient_[i] - gradient_[j]) / quad;
+      const float sum = alpha_[i] + alpha_[j];
+      alpha_[i] -= delta;
+      alpha_[j] += delta;
+      if (sum > c) {
+        if (alpha_[i] > c) {
+          alpha_[i] = c;
+          alpha_[j] = sum - c;
+        }
+        if (alpha_[j] > c) {
+          alpha_[j] = c;
+          alpha_[i] = sum - c;
+        }
+      } else {
+        if (alpha_[j] < 0.0f) {
+          alpha_[j] = 0.0f;
+          alpha_[i] = sum;
+        }
+        if (alpha_[i] < 0.0f) {
+          alpha_[i] = 0.0f;
+          alpha_[j] = sum;
+        }
+      }
+    }
+
+    const float dai = alpha_[i] - old_ai;
+    const float daj = alpha_[j] - old_aj;
+    float* FCMA_RESTRICT g = gradient_.data();
+    const float* FCMA_RESTRICT yv = yf_.data();
+    if (materialize_q_) {
+      // LibSVM structure retained: build the signed Q rows first, then run
+      // LibSVM's gradient recurrence over them.
+      float* FCMA_RESTRICT qi = q_buf_i_.data();
+      float* FCMA_RESTRICT qj = q_buf_j_.data();
+      for (std::size_t t = 0; t < n_; ++t) {
+        qi[t] = yf_[i] * yv[t] * ki[t];
+        qj[t] = yf_[j] * yv[t] * kj[t];
+      }
+      for (std::size_t t = 0; t < n_; ++t) {
+        g[t] += dai * qi[t] + daj * qj[t];
+      }
+      if (ins_ != nullptr) {
+        const std::uint64_t chunks = (n_ + lanes_ - 1) / lanes_;
+        // Materialization: 2 multiplies + store per row; update: 2 FMAs.
+        ins_->arith(lanes_, 4 * chunks, 4ull * n_);
+        ins_->arith(lanes_, 2 * chunks, 4ull * n_);
+        for (std::size_t t = 0; t < n_; t += lanes_) {
+          const auto l =
+              static_cast<unsigned>(std::min<std::size_t>(lanes_, n_ - t));
+          ins_->load(ki + t, l);
+          ins_->load(kj + t, l);
+          ins_->load(yv + t, l);
+          ins_->store(qi + t, l);
+          ins_->store(qj + t, l);
+          ins_->load(qi + t, l);
+          ins_->load(qj + t, l);
+          ins_->load(g + t, l);
+          ins_->store(g + t, l);
+        }
+      }
+    } else {
+      // PhiSVM: labels folded into the update constants, one fused pass
+      // directly over the kernel rows.
+      const float ci = dai * yf_[i];
+      const float cj = daj * yf_[j];
+      for (std::size_t t = 0; t < n_; ++t) {
+        g[t] += yv[t] * (ci * ki[t] + cj * kj[t]);
+      }
+      if (ins_ != nullptr) {
+        // Per chunk: load Ki, Kj, y, G; 3 FMAs; store G.
+        const std::uint64_t chunks = (n_ + lanes_ - 1) / lanes_;
+        ins_->arith(lanes_, 3 * chunks, 6ull * n_);
+        for (std::size_t t = 0; t < n_; t += lanes_) {
+          const auto l =
+              static_cast<unsigned>(std::min<std::size_t>(lanes_, n_ - t));
+          ins_->load(ki + t, l);
+          ins_->load(kj + t, l);
+          ins_->load(yv + t, l);
+          ins_->load(g + t, l);
+          ins_->store(g + t, l);
+        }
+      }
+    }
+  }
+
+  /// Narrates one vectorized O(n) selection sweep: `ops_per_chunk` vector
+  /// instructions per lanes_-wide chunk plus the gradient loads.
+  void narrate_sweep(unsigned ops_per_chunk) {
+    if (ins_ == nullptr) return;
+    for (std::size_t t = 0; t < n_; t += lanes_) {
+      const auto l =
+          static_cast<unsigned>(std::min<std::size_t>(lanes_, n_ - t));
+      ins_->load(gradient_.data() + t, l);
+      ins_->arith(l, ops_per_chunk, l);
+      // Index/mask bookkeeping of the argmin/argmax reduction is scalar.
+      ins_->arith(1, 2);
+    }
+  }
+
+  double compute_rho() const {
+    double upper = std::numeric_limits<double>::infinity();
+    double lower = -std::numeric_limits<double>::infinity();
+    double sum_free = 0.0;
+    std::size_t n_free = 0;
+    for (std::size_t t = 0; t < n_; ++t) {
+      const double yg = y_[t] * static_cast<double>(gradient_[t]);
+      if (alpha_[t] >= options_.c) {
+        if (y_[t] == -1) {
+          upper = std::min(upper, yg);
+        } else {
+          lower = std::max(lower, yg);
+        }
+      } else if (alpha_[t] <= 0.0f) {
+        if (y_[t] == 1) {
+          upper = std::min(upper, yg);
+        } else {
+          lower = std::max(lower, yg);
+        }
+      } else {
+        ++n_free;
+        sum_free += yg;
+      }
+    }
+    if (n_free > 0) return sum_free / static_cast<double>(n_free);
+    return (upper + lower) / 2.0;
+  }
+
+  TrainOptions options_;
+  Heuristic heuristic_;
+  memsim::Instrument* ins_;
+  unsigned lanes_;
+  bool materialize_q_;
+  std::size_t n_;
+  AlignedBuffer<float> k_;        // dense [n x n] training kernel
+  std::vector<std::int8_t> y_;
+  std::vector<float> yf_;
+  std::vector<float> alpha_;
+  std::vector<float> gradient_;
+  std::vector<float> q_buf_i_;  // materialized Q rows (LibSVM-structure mode)
+  std::vector<float> q_buf_j_;
+};
+
+}  // namespace
+
+Model dense_train(linalg::ConstMatrixView kernel,
+                  std::span<const std::int8_t> labels,
+                  std::span<const std::size_t> train_idx,
+                  const TrainOptions& options, Heuristic heuristic,
+                  memsim::Instrument* ins, unsigned model_lanes,
+                  bool materialize_q) {
+  FCMA_CHECK(kernel.rows == kernel.cols, "kernel matrix must be square");
+  FCMA_CHECK(labels.size() == kernel.rows, "one label per kernel row");
+  DenseSmo smo(kernel, labels, train_idx, options, heuristic, ins,
+               model_lanes, materialize_q);
+  return smo.solve();
+}
+
+}  // namespace fcma::svm

@@ -1,0 +1,70 @@
+// Dense single-precision SMO solvers (paper §4.4).
+//
+// Two of the paper's three SVM implementations share this core:
+//
+//   "Optimized LibSVM"  — LibSVM's algorithm with the data-layout fixes of
+//                         optimization idea #3: dense float kernel rows
+//                         (no sparse node walk), single-precision math in
+//                         the hot loops, vectorizable gradient updates.
+//                         Heuristic: kSecondOrder.
+//
+//   "PhiSVM"            — the Catanzaro-derived fast SVM ported from CUDA:
+//                         same dense float layout, but the working-set
+//                         selection *adapts* between the first-order
+//                         (Keerthi et al. maximal-violating-pair) and
+//                         second-order (Fan et al.) heuristics based on the
+//                         observed convergence rate.  Heuristic: kAdaptive.
+//
+// Both operate directly on the precomputed kernel matrix — no row cache is
+// needed because FCMA's kernels are only a few hundred rows.
+#pragma once
+
+#include <span>
+
+#include "svm/types.hpp"
+
+namespace fcma::svm {
+
+/// Working-set selection strategy.
+enum class Heuristic {
+  kFirstOrder,   ///< maximal violating pair (Keerthi et al. 2001)
+  kSecondOrder,  ///< second-order gain (Fan, Chen, Lin 2005) — LibSVM's
+  kAdaptive,     ///< PhiSVM: probe both, follow the faster convergence rate
+};
+
+/// Trains C-SVC on `train_idx` of a precomputed kernel with dense float
+/// arithmetic.  See libsvm_train for the shared contract.
+/// When `materialize_q` is set, the solver keeps LibSVM's data-structure
+/// discipline: the signed Q rows (y_i * y_t * K_it) of the working pair are
+/// materialized into buffers each iteration before the gradient update —
+/// the residual overhead that separates "optimized LibSVM" from PhiSVM in
+/// the paper's Table 8.  PhiSVM folds the labels into the update constants
+/// and reads the kernel matrix directly.
+[[nodiscard]] Model dense_train(linalg::ConstMatrixView kernel,
+                                std::span<const std::int8_t> labels,
+                                std::span<const std::size_t> train_idx,
+                                const TrainOptions& options,
+                                Heuristic heuristic,
+                                memsim::Instrument* ins = nullptr,
+                                unsigned model_lanes = 16,
+                                bool materialize_q = false);
+
+/// Convenience wrappers naming the paper's implementations.
+[[nodiscard]] inline Model optimized_libsvm_train(
+    linalg::ConstMatrixView kernel, std::span<const std::int8_t> labels,
+    std::span<const std::size_t> train_idx, const TrainOptions& options,
+    memsim::Instrument* ins = nullptr, unsigned model_lanes = 16) {
+  return dense_train(kernel, labels, train_idx, options,
+                     Heuristic::kSecondOrder, ins, model_lanes,
+                     /*materialize_q=*/true);
+}
+
+[[nodiscard]] inline Model phisvm_train(
+    linalg::ConstMatrixView kernel, std::span<const std::int8_t> labels,
+    std::span<const std::size_t> train_idx, const TrainOptions& options,
+    memsim::Instrument* ins = nullptr, unsigned model_lanes = 16) {
+  return dense_train(kernel, labels, train_idx, options, Heuristic::kAdaptive,
+                     ins, model_lanes);
+}
+
+}  // namespace fcma::svm

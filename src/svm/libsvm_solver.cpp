@@ -1,0 +1,449 @@
+#include "svm/libsvm_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fcma::svm {
+
+namespace {
+
+constexpr double kTau = 1e-12;  // LibSVM's TAU: floor for curvature
+
+/// LibSVM-style sparse node.  The baseline stores every (dense!) kernel row
+/// this way; traversing it is the index-chasing, scalar access pattern that
+/// caps the baseline's vectorization intensity.
+struct Node {
+  std::int32_t index;
+  double value;
+};
+
+/// The SMO state for one training subproblem.
+class Smo {
+ public:
+  Smo(linalg::ConstMatrixView kernel, std::span<const std::int8_t> labels,
+      std::span<const std::size_t> train_idx, const TrainOptions& options,
+      memsim::Instrument* ins)
+      : options_(options), ins_(ins), n_(train_idx.size()) {
+    FCMA_CHECK(n_ >= 2, "need at least two training samples");
+    // Materialize the sparse node arrays: sample i holds the kernel values
+    // against every other training sample, tagged with integer indices and
+    // terminated by index -1, exactly like svm_node in LibSVM.
+    nodes_.resize(n_ * (n_ + 1));
+    y_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      y_[i] = labels[train_idx[i]];
+      FCMA_CHECK(y_[i] == 1 || y_[i] == -1, "labels must be +1/-1");
+      const float* row = kernel.row(train_idx[i]);
+      Node* out = &nodes_[i * (n_ + 1)];
+      for (std::size_t j = 0; j < n_; ++j) {
+        out[j].index = static_cast<std::int32_t>(j);
+        out[j].value = static_cast<double>(row[train_idx[j]]);
+      }
+      out[n_].index = -1;
+    }
+    alpha_.assign(n_, 0.0);
+    gradient_.assign(n_, -1.0);
+    g_bar_.assign(n_, 0.0);
+    qd_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) qd_[i] = kernel_eval(i, i);
+    active_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) active_[i] = i;
+    active_size_ = n_;
+    cache_rows_ = options.cache_rows == 0 ? n_ : options.cache_rows;
+    cache_storage_.assign(cache_rows_ * n_, 0.0f);
+    cache_of_.assign(n_, kNoCache);
+  }
+
+  Model solve() {
+    // LibSVM's cap: at least 10M iterations, or 100 per sample.
+    const long max_iter = options_.max_iterations > 0
+                              ? options_.max_iterations
+                              : std::max<long>(10000000,
+                                               100 * static_cast<long>(n_));
+    long iter = 0;
+    // LibSVM's shrinking cadence: reconsider the active set every
+    // min(n, 1000) iterations.
+    long counter = std::min<long>(static_cast<long>(n_), 1000) + 1;
+    while (iter < max_iter) {
+      if (options_.shrinking && --counter == 0) {
+        counter = std::min<long>(static_cast<long>(n_), 1000);
+        do_shrinking();
+      }
+      int i = -1;
+      int j = -1;
+      if (!select_working_set(i, j)) {
+        // Converged on the (possibly shrunk) active set: reconstruct the
+        // full gradient and retry over all variables, as LibSVM does.
+        if (active_size_ == n_) break;
+        reconstruct_gradient();
+        active_size_ = n_;
+        if (!select_working_set(i, j)) break;
+      }
+      update_pair(i, j);
+      ++iter;
+    }
+    if (active_size_ < n_) {
+      reconstruct_gradient();
+      active_size_ = n_;
+    }
+    Model model;
+    model.iterations = iter;
+    model.alpha_y.resize(n_);
+    for (std::size_t t = 0; t < n_; ++t) {
+      model.alpha_y[t] = alpha_[t] * y_[t];
+    }
+    model.rho = compute_rho();
+    double obj = 0.0;
+    for (std::size_t t = 0; t < n_; ++t) {
+      obj += alpha_[t] * (gradient_[t] - 1.0);
+    }
+    model.objective = obj / 2.0;
+    return model;
+  }
+
+ private:
+  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
+
+  /// Kernel evaluation through the sparse node array: walk the index list
+  /// until the entry for j is found.  Dense data means the walk hits
+  /// immediately, but the traversal still loads index + value per step —
+  /// the access pattern we instrument.
+  double kernel_eval(std::size_t i, std::size_t j) {
+    const Node* px = &nodes_[i * (n_ + 1)];
+    while (px->index != -1) {
+      if (ins_ != nullptr) ins_->load_index(&px->index);
+      if (static_cast<std::size_t>(px->index) == j) {
+        if (ins_ != nullptr) ins_->load_f64(&px->value, 1);
+        return px->value;
+      }
+      ++px;
+    }
+    return 0.0;
+  }
+
+  /// Returns the cached Q row for sample i, computing (and converting to
+  /// float, as LibSVM's Qfloat cache does) on a miss.
+  const float* q_row(std::size_t i) {
+    if (cache_of_[i] != kNoCache) {
+      lru_.remove(i);
+      lru_.push_back(i);
+      return &cache_storage_[cache_of_[i] * n_];
+    }
+    std::size_t slot;
+    if (lru_.size() < cache_rows_) {
+      slot = lru_.size();
+    } else {
+      const std::size_t evict = lru_.front();
+      lru_.pop_front();
+      slot = cache_of_[evict];
+      cache_of_[evict] = kNoCache;
+    }
+    cache_of_[i] = slot;
+    lru_.push_back(i);
+    float* row = &cache_storage_[slot * n_];
+    const Node* px = &nodes_[i * (n_ + 1)];
+    for (std::size_t j = 0; j < n_; ++j) {
+      // Node walk + double multiply + narrowing conversion per element.
+      const double q = y_[i] * y_[j] * px[j].value;
+      row[j] = static_cast<float>(q);
+      if (ins_ != nullptr) {
+        ins_->load_index(&px[j].index);
+        ins_->load_f64(&px[j].value, 1);
+        ins_->arith(1, 2, 2);  // two scalar multiplies
+        ins_->arith(1, 1, 0);  // double->float convert
+        ins_->store(row + j, 1);
+      }
+    }
+    return row;
+  }
+
+  /// Fan/Chen/Lin (2005) second-order working-set selection; returns false
+  /// when the KKT violation is below tolerance (converged).
+  bool select_working_set(int& out_i, int& out_j) {
+    double g_max = -std::numeric_limits<double>::infinity();
+    double g_max2 = -std::numeric_limits<double>::infinity();
+    int g_max_idx = -1;
+    for (std::size_t pos = 0; pos < active_size_; ++pos) {
+      const std::size_t t = active_[pos];
+      if (ins_ != nullptr) {
+        ins_->load_f64(&gradient_[t], 1);
+        ins_->arith(1, 1, 1);
+      }
+      if (y_[t] == 1 ? alpha_[t] < options_.c : alpha_[t] > 0.0) {
+        const double v = -y_[t] * gradient_[t];
+        if (v >= g_max) {
+          g_max = v;
+          g_max_idx = static_cast<int>(t);
+        }
+      }
+    }
+    if (g_max_idx < 0) return false;
+    const auto i = static_cast<std::size_t>(g_max_idx);
+    const float* q_i = q_row(i);
+
+    int g_min_idx = -1;
+    double obj_min = std::numeric_limits<double>::infinity();
+    for (std::size_t pos = 0; pos < active_size_; ++pos) {
+      const std::size_t t = active_[pos];
+      if (y_[t] == 1 ? alpha_[t] > 0.0 : alpha_[t] < options_.c) {
+        const double v = -y_[t] * gradient_[t];
+        // KKT gap: m(a) - M(a) with M = min over I_low of -y*G (tracked
+        // here as max of y*G, matching LibSVM's Gmax2).
+        g_max2 = std::max(g_max2, -v);
+        const double diff = g_max - v;
+        if (diff > 0.0) {
+          // Curvature of the (i, t) subproblem: K_ii + K_tt - 2 K_it
+          // (label-independent); q_i holds Q_it = y_i y_t K_it.
+          const double quad =
+              qd_[i] + qd_[t] -
+              2.0 * y_[i] * y_[t] * static_cast<double>(q_i[t]);
+          const double quad_pos = quad > 0.0 ? quad : kTau;
+          const double gain = -(diff * diff) / quad_pos;
+          if (gain <= obj_min) {
+            obj_min = gain;
+            g_min_idx = static_cast<int>(t);
+          }
+        }
+        if (ins_ != nullptr) ins_->arith(1, 6, 6);
+      }
+    }
+    if (g_max + g_max2 < options_.tolerance || g_min_idx < 0) return false;
+    out_i = g_max_idx;
+    out_j = g_min_idx;
+    return true;
+  }
+
+  void update_pair(int ii, int jj) {
+    const auto i = static_cast<std::size_t>(ii);
+    const auto j = static_cast<std::size_t>(jj);
+    const float* q_i = q_row(i);
+    const float* q_j = q_row(j);
+    const double c = options_.c;
+
+    const double old_ai = alpha_[i];
+    const double old_aj = alpha_[j];
+
+    if (y_[i] != y_[j]) {
+      const double quad =
+          std::max(qd_[i] + qd_[j] + 2.0 * static_cast<double>(q_i[j]), kTau);
+      const double delta = (-gradient_[i] - gradient_[j]) / quad;
+      const double diff = alpha_[i] - alpha_[j];
+      alpha_[i] += delta;
+      alpha_[j] += delta;
+      if (diff > 0.0) {
+        if (alpha_[j] < 0.0) {
+          alpha_[j] = 0.0;
+          alpha_[i] = diff;
+        }
+        if (alpha_[i] > c) {
+          alpha_[i] = c;
+          alpha_[j] = c - diff;
+        }
+      } else {
+        if (alpha_[i] < 0.0) {
+          alpha_[i] = 0.0;
+          alpha_[j] = -diff;
+        }
+        if (alpha_[j] > c) {
+          alpha_[j] = c;
+          alpha_[i] = c + diff;
+        }
+      }
+    } else {
+      const double quad =
+          std::max(qd_[i] + qd_[j] - 2.0 * static_cast<double>(q_i[j]), kTau);
+      const double delta = (gradient_[i] - gradient_[j]) / quad;
+      const double sum = alpha_[i] + alpha_[j];
+      alpha_[i] -= delta;
+      alpha_[j] += delta;
+      if (sum > c) {
+        if (alpha_[i] > c) {
+          alpha_[i] = c;
+          alpha_[j] = sum - c;
+        }
+        if (alpha_[j] > c) {
+          alpha_[j] = c;
+          alpha_[i] = sum - c;
+        }
+      } else {
+        if (alpha_[j] < 0.0) {
+          alpha_[j] = 0.0;
+          alpha_[i] = sum;
+        }
+        if (alpha_[i] < 0.0) {
+          alpha_[i] = 0.0;
+          alpha_[j] = sum;
+        }
+      }
+    }
+
+    // Gradient maintenance over the active set: scalar double loop reading
+    // the float cache rows back into doubles (LibSVM's exact pattern).
+    const double delta_ai = alpha_[i] - old_ai;
+    const double delta_aj = alpha_[j] - old_aj;
+    for (std::size_t pos = 0; pos < active_size_; ++pos) {
+      const std::size_t t = active_[pos];
+      gradient_[t] += static_cast<double>(q_i[t]) * delta_ai +
+                      static_cast<double>(q_j[t]) * delta_aj;
+    }
+    // G_bar tracks the bounded variables' contribution so that shrunk
+    // gradients can be reconstructed (LibSVM's G_bar).
+    const bool was_upper_i = old_ai >= options_.c;
+    const bool was_upper_j = old_aj >= options_.c;
+    if (was_upper_i != (alpha_[i] >= options_.c)) {
+      const double sign = was_upper_i ? -options_.c : options_.c;
+      for (std::size_t t = 0; t < n_; ++t) {
+        g_bar_[t] += sign * static_cast<double>(q_i[t]);
+      }
+    }
+    if (was_upper_j != (alpha_[j] >= options_.c)) {
+      const double sign = was_upper_j ? -options_.c : options_.c;
+      for (std::size_t t = 0; t < n_; ++t) {
+        g_bar_[t] += sign * static_cast<double>(q_j[t]);
+      }
+    }
+    if (ins_ != nullptr) {
+      for (std::size_t t = 0; t < n_; t += 8) {
+        const auto lanes =
+            static_cast<unsigned>(std::min<std::size_t>(8, n_ - t));
+        // Even "vectorized" double work uses half the lanes of a 16-wide
+        // single-precision VPU; LibSVM's loop is effectively scalar, so we
+        // model scalar ops: two loads, fma, fma, store per element.
+        for (unsigned u = 0; u < lanes; ++u) {
+          ins_->load(q_i + t + u, 1);
+          ins_->load(q_j + t + u, 1);
+          ins_->load_f64(&gradient_[t + u], 1);
+          ins_->arith(1, 2, 4);
+          ins_->store_f64(&gradient_[t + u], 1);
+        }
+      }
+    }
+  }
+
+  /// True when LibSVM would remove variable t from the active set given
+  /// the current violation bounds (its exact be_shrunk predicate).
+  [[nodiscard]] bool be_shrunk(std::size_t t, double gmax1,
+                               double gmax2) const {
+    if (alpha_[t] >= options_.c) {
+      return y_[t] == 1 ? -gradient_[t] > gmax1 : -gradient_[t] > gmax2;
+    }
+    if (alpha_[t] <= 0.0) {
+      return y_[t] == 1 ? gradient_[t] > gmax2 : gradient_[t] > gmax1;
+    }
+    return false;
+  }
+
+  /// LibSVM's do_shrinking: drop stably-bounded variables; if the KKT gap
+  /// is already within 10x tolerance, unshrink everything first.
+  void do_shrinking() {
+    double gmax1 = -std::numeric_limits<double>::infinity();
+    double gmax2 = -std::numeric_limits<double>::infinity();
+    for (std::size_t pos = 0; pos < active_size_; ++pos) {
+      const std::size_t t = active_[pos];
+      if (y_[t] == 1 ? alpha_[t] < options_.c : alpha_[t] > 0.0) {
+        gmax1 = std::max(gmax1, -static_cast<double>(y_[t]) * gradient_[t]);
+      }
+      if (y_[t] == 1 ? alpha_[t] > 0.0 : alpha_[t] < options_.c) {
+        gmax2 = std::max(gmax2, static_cast<double>(y_[t]) * gradient_[t]);
+      }
+    }
+    if (!unshrunk_ && gmax1 + gmax2 <= options_.tolerance * 10.0) {
+      unshrunk_ = true;
+      reconstruct_gradient();
+      active_size_ = n_;
+    }
+    for (std::size_t pos = 0; pos < active_size_;) {
+      if (be_shrunk(active_[pos], gmax1, gmax2)) {
+        std::swap(active_[pos], active_[active_size_ - 1]);
+        --active_size_;
+      } else {
+        ++pos;
+      }
+    }
+  }
+
+  /// Restores valid gradients for inactive variables:
+  /// G[t] = G_bar[t] - 1 + sum over free alphas of alpha_j * Q_jt.
+  void reconstruct_gradient() {
+    if (active_size_ == n_) return;
+    std::vector<std::size_t> inactive(active_.begin() +
+                                          static_cast<long>(active_size_),
+                                      active_.end());
+    for (const std::size_t t : inactive) {
+      gradient_[t] = g_bar_[t] - 1.0;
+    }
+    for (std::size_t pos = 0; pos < active_size_; ++pos) {
+      const std::size_t j = active_[pos];
+      if (alpha_[j] <= 0.0 || alpha_[j] >= options_.c) continue;
+      const float* q_j = q_row(j);  // Q is symmetric: Q_jt == Q_tj
+      for (const std::size_t t : inactive) {
+        gradient_[t] += alpha_[j] * static_cast<double>(q_j[t]);
+      }
+    }
+  }
+
+  double compute_rho() const {
+    // Average -y*G over free support vectors; midpoint of bounds otherwise.
+    double upper = std::numeric_limits<double>::infinity();
+    double lower = -std::numeric_limits<double>::infinity();
+    double sum_free = 0.0;
+    std::size_t n_free = 0;
+    for (std::size_t t = 0; t < n_; ++t) {
+      const double yg = y_[t] * gradient_[t];
+      if (alpha_[t] >= options_.c) {
+        if (y_[t] == -1) {
+          upper = std::min(upper, yg);
+        } else {
+          lower = std::max(lower, yg);
+        }
+      } else if (alpha_[t] <= 0.0) {
+        if (y_[t] == 1) {
+          upper = std::min(upper, yg);
+        } else {
+          lower = std::max(lower, yg);
+        }
+      } else {
+        ++n_free;
+        sum_free += yg;
+      }
+    }
+    if (n_free > 0) return sum_free / static_cast<double>(n_free);
+    return (upper + lower) / 2.0;
+  }
+
+  TrainOptions options_;
+  memsim::Instrument* ins_;
+  std::size_t n_;
+  std::vector<Node> nodes_;          // n_ arrays of n_ nodes + terminator
+  std::vector<std::int8_t> y_;
+  std::vector<double> alpha_;
+  std::vector<double> gradient_;
+  std::vector<double> g_bar_;        // bounded variables' gradient share
+  std::vector<std::size_t> active_;  // positions [0, active_size_) active
+  std::size_t active_size_ = 0;
+  bool unshrunk_ = false;
+  std::vector<double> qd_;           // diagonal of Q
+  std::size_t cache_rows_ = 0;
+  std::vector<float> cache_storage_; // LibSVM's Qfloat LRU cache
+  std::vector<std::size_t> cache_of_;
+  std::list<std::size_t> lru_;
+};
+
+}  // namespace
+
+Model libsvm_train(linalg::ConstMatrixView kernel,
+                   std::span<const std::int8_t> labels,
+                   std::span<const std::size_t> train_idx,
+                   const TrainOptions& options, memsim::Instrument* ins) {
+  FCMA_CHECK(kernel.rows == kernel.cols, "kernel matrix must be square");
+  FCMA_CHECK(labels.size() == kernel.rows, "one label per kernel row");
+  Smo smo(kernel, labels, train_idx, options, ins);
+  return smo.solve();
+}
+
+}  // namespace fcma::svm

@@ -1,0 +1,34 @@
+// Faithful LibSVM 3.20 C-SVC reimplementation (the paper's baseline).
+//
+// FCMA's baseline feeds each voxel's precomputed linear-kernel matrix to
+// LibSVM.  This solver reproduces LibSVM's algorithm *and* the performance
+// characteristics the paper calls out in §3.3.3:
+//
+//   * samples are stored as sparse {index, value} node arrays even though
+//     the data are dense kernel rows — kernel evaluation is an index-walk;
+//   * intermediate math is double precision, with per-element conversion to
+//     float when a row enters the LRU cache (the "unnecessary data type
+//     conversions" of §3.3.3);
+//   * sequential minimal optimization with Fan/Chen/Lin second-order
+//     working-set selection and an LRU kernel-row cache.
+//
+// When an Instrument is supplied, the hot loops narrate their (scalar,
+// double-precision) instruction stream for the Table 1/8 reproductions.
+#pragma once
+
+#include <span>
+
+#include "svm/types.hpp"
+
+namespace fcma::svm {
+
+/// Trains C-SVC on the rows/columns `train_idx` of a precomputed kernel
+/// matrix.  `labels[t]` must be +1/-1 for every sample of the full matrix.
+/// `ins` (optional) receives the modeled instruction stream.
+[[nodiscard]] Model libsvm_train(linalg::ConstMatrixView kernel,
+                                 std::span<const std::int8_t> labels,
+                                 std::span<const std::size_t> train_idx,
+                                 const TrainOptions& options,
+                                 memsim::Instrument* ins = nullptr);
+
+}  // namespace fcma::svm

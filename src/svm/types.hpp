@@ -1,0 +1,77 @@
+// Common types of the SVM substrate.
+//
+// FCMA's third stage solves, per voxel, a binary C-SVC problem over a
+// precomputed linear-kernel matrix (paper §3.2, §4.4): a few hundred
+// samples (epochs) whose features are ~35k-dimensional correlation vectors,
+// reduced to an [n x n] kernel.  Three solver implementations share these
+// types:
+//
+//   LibSvmSolver   — faithful LibSVM 3.20 reimplementation: per-sample
+//                    sparse node arrays, double-precision math, an LRU row
+//                    cache with float storage (the paper's baseline);
+//   dense_train    — float, dense rows (the paper's "optimized LibSVM" with
+//                    the second-order heuristic, and "PhiSVM" with the
+//                    adaptive first/second-order heuristic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "memsim/instrument.hpp"
+
+namespace fcma::svm {
+
+/// C-SVC training options (defaults match LibSVM's).
+struct TrainOptions {
+  double c = 1.0;           ///< box constraint
+  double tolerance = 1e-3;  ///< KKT stopping tolerance
+  long max_iterations = 0;  ///< 0 = LibSVM's heuristic cap
+  std::size_t cache_rows = 0;  ///< LibSvmSolver row-cache capacity
+                               ///< (0 = cache every row)
+  bool shrinking = true;       ///< LibSvmSolver active-set shrinking
+};
+
+/// Trained model over the training subset it was fitted on.
+struct Model {
+  /// alpha_i * y_i, aligned with the training-index order passed to train.
+  std::vector<double> alpha_y;
+  double rho = 0.0;       ///< decision threshold
+  long iterations = 0;    ///< SMO iterations until convergence
+  double objective = 0.0; ///< final dual objective value
+
+  [[nodiscard]] std::size_t support_vectors() const {
+    std::size_t n = 0;
+    for (double a : alpha_y) n += (a != 0.0);
+    return n;
+  }
+};
+
+/// Decision value for sample `t` of the full kernel matrix against a model
+/// trained on rows `train_idx`: f(t) = sum_i alpha_y[i] * K(t, idx[i]) - rho.
+[[nodiscard]] inline double decision_value(
+    const Model& model, linalg::ConstMatrixView kernel, std::size_t t,
+    std::span<const std::size_t> train_idx) {
+  const float* row = kernel.row(t);
+  double f = 0.0;
+  for (std::size_t i = 0; i < train_idx.size(); ++i) {
+    f += model.alpha_y[i] * static_cast<double>(row[train_idx[i]]);
+  }
+  return f - model.rho;
+}
+
+/// Outcome of one cross-validation run.
+struct CvResult {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  long iterations = 0;  ///< summed SMO iterations over all folds
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace fcma::svm

@@ -1,0 +1,64 @@
+#include "threading/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fcma::threading {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  FCMA_CHECK(grain > 0, "parallel_for grain must be positive");
+  if (begin >= end) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve((end - begin + grain - 1) / grain);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  for (auto& f : futures) f.get();  // propagates the first exception
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& body) {
+  parallel_for(pool, begin, end, 1,
+               [&body](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) body(i);
+               });
+}
+
+}  // namespace fcma::threading

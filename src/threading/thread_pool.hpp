@@ -1,0 +1,67 @@
+// Fixed-size thread pool and data-parallel helpers.
+//
+// FCMA's worker pipeline parallelizes over voxels (one SVM problem per
+// voxel) and over panel blocks inside the matrix kernels.  Both use this
+// pool rather than OpenMP so the library has no compiler-runtime dependency
+// and thread counts are an explicit runtime parameter (the paper studies
+// 16- vs 240-thread regimes, which we model irrespective of the host).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fcma::threading {
+
+/// Fixed pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, in chunks of `grain`.
+/// Blocks until all iterations finish; rethrows the first task exception.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Convenience overload: body receives a single index.
+void parallel_for_each(ThreadPool& pool, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace fcma::threading

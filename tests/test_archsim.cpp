@@ -1,0 +1,115 @@
+// Unit tests for the analytic architecture performance model.
+#include <gtest/gtest.h>
+
+#include "archsim/arch_model.hpp"
+
+namespace fcma::archsim {
+namespace {
+
+memsim::KernelEvents compute_bound() {
+  return memsim::KernelEvents{.flops = 32ull << 30,
+                              .vpu_instructions = 1ull << 30,
+                              .vpu_elements = 16ull << 30,
+                              .mem_refs = 1ull << 20,
+                              .l1_misses = 1000,
+                              .l2_misses = 100};
+}
+
+memsim::KernelEvents memory_bound() {
+  return memsim::KernelEvents{.flops = 1ull << 20,
+                              .vpu_instructions = 1ull << 20,
+                              .vpu_elements = 16ull << 20,
+                              .mem_refs = 1ull << 30,
+                              .l1_misses = 1ull << 28,
+                              .l2_misses = 1ull << 27};
+}
+
+TEST(ArchModel, PhiPeakMatchesDatasheet) {
+  // 60 cores x 16 lanes x 2 flops x 1.053 GHz = 2.02 TFLOPS SP.
+  EXPECT_NEAR(Phi5110P().peak_sp_gflops(), 2021.8, 1.0);
+}
+
+TEST(ArchModel, XeonPeakMatchesDatasheet) {
+  // 8 cores x 8 lanes x 2 flops x 2 issue x 2.6 GHz = 332.8 GFLOPS SP.
+  EXPECT_NEAR(XeonE5_2670().peak_sp_gflops(), 332.8, 0.5);
+}
+
+TEST(ArchModel, MaxThreads) {
+  EXPECT_EQ(Phi5110P().max_threads(), 240);
+  EXPECT_EQ(XeonE5_2670().max_threads(), 16);
+}
+
+TEST(ArchModel, ModeledTimePositive) {
+  const ArchModel phi = Phi5110P();
+  EXPECT_GT(phi.modeled_seconds(compute_bound()), 0.0);
+  EXPECT_GT(phi.modeled_seconds(memory_bound()), 0.0);
+}
+
+TEST(ArchModel, FewerThreadsSlower) {
+  const ArchModel phi = Phi5110P();
+  const auto e = compute_bound();
+  const double full = phi.modeled_seconds(e, 240);
+  const double half = phi.modeled_seconds(e, 120);
+  const double starved = phi.modeled_seconds(e, 60);
+  EXPECT_GT(half, full);
+  EXPECT_GT(starved, half);
+}
+
+TEST(ArchModel, ThreadStarvationRoughlyProportional) {
+  // Compute-bound work on 1/4 of the threads should take ~4x longer.
+  const ArchModel phi = Phi5110P();
+  const auto e = compute_bound();
+  const double full = phi.modeled_seconds(e, 240);
+  const double quarter = phi.modeled_seconds(e, 60);
+  EXPECT_NEAR(quarter / full, 4.0, 0.8);
+}
+
+TEST(ArchModel, MissesDominateMemoryBoundTime) {
+  const ArchModel phi = Phi5110P();
+  auto few = memory_bound();
+  auto many = memory_bound();
+  many.l2_misses *= 8;
+  EXPECT_GT(phi.modeled_seconds(many), 4.0 * phi.modeled_seconds(few));
+}
+
+TEST(ArchModel, GflopsBoundedByPeak) {
+  const ArchModel phi = Phi5110P();
+  // Perfectly dense FMA stream: 32 flops per 16-lane instruction.
+  memsim::KernelEvents e{.flops = 3200000000ull,
+                         .vpu_instructions = 100000000ull,
+                         .vpu_elements = 1600000000ull,
+                         .mem_refs = 0,
+                         .l1_misses = 0,
+                         .l2_misses = 0};
+  const double g = phi.modeled_gflops(e);
+  EXPECT_LE(g, phi.peak_sp_gflops() * 1.001);
+  EXPECT_GT(g, phi.peak_sp_gflops() * 0.5);
+}
+
+TEST(ArchModel, XeonHidesMemoryBetterThanPhi) {
+  // Same balanced event mix: the out-of-order Xeon's higher mlp/overlap
+  // should make memory misses a smaller fraction of its time.
+  memsim::KernelEvents e{.flops = 1ull << 28,
+                         .vpu_instructions = 1ull << 26,
+                         .vpu_elements = 1ull << 30,
+                         .mem_refs = 1ull << 26,
+                         .l1_misses = 1ull << 24,
+                         .l2_misses = 1ull << 23};
+  auto memory_share = [&e](ArchModel m) {
+    const double with = m.modeled_seconds(e);
+    auto no_miss = e;
+    no_miss.l2_misses = 0;
+    return (with - m.modeled_seconds(no_miss)) / with;
+  };
+  EXPECT_GT(memory_share(Phi5110P()), memory_share(XeonE5_2670()));
+}
+
+TEST(ArchModel, ZeroThreadsMeansFullMachine) {
+  const ArchModel phi = Phi5110P();
+  const auto e = compute_bound();
+  EXPECT_DOUBLE_EQ(phi.modeled_seconds(e, 0),
+                   phi.modeled_seconds(e, phi.max_threads()));
+}
+
+}  // namespace
+}  // namespace fcma::archsim

@@ -1,0 +1,306 @@
+// Tests for the cluster substrate: the in-process communicator, the real
+// master-worker driver, the virtual-time task-farm simulator, and the
+// calibrated cost model.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/comm.hpp"
+#include "cluster/cost_model.hpp"
+#include "cluster/driver.hpp"
+#include "cluster/sim.hpp"
+#include "fcma/pipeline.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+namespace fcma::cluster {
+namespace {
+
+TEST(Comm, SendRecvRoundtrip) {
+  Comm comm(2);
+  comm.send(0, 1, Tag::kUser, {1, 2, 3});
+  const Message m = comm.recv(1);
+  EXPECT_EQ(m.source, 0u);
+  EXPECT_EQ(m.tag, Tag::kUser);
+  EXPECT_EQ(m.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Comm, FifoPerInbox) {
+  Comm comm(2);
+  comm.send(0, 1, Tag::kUser, {1});
+  comm.send(0, 1, Tag::kUser, {2});
+  EXPECT_EQ(comm.recv(1).payload[0], 1);
+  EXPECT_EQ(comm.recv(1).payload[0], 2);
+}
+
+TEST(Comm, HasMessageProbe) {
+  Comm comm(2);
+  EXPECT_FALSE(comm.has_message(1));
+  comm.send(0, 1, Tag::kUser, {});
+  EXPECT_TRUE(comm.has_message(1));
+}
+
+TEST(Comm, RecvBlocksUntilSend) {
+  Comm comm(2);
+  std::thread sender([&comm] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    comm.send(0, 1, Tag::kUser, {42});
+  });
+  const Message m = comm.recv(1);  // must block, then receive
+  sender.join();
+  EXPECT_EQ(m.payload[0], 42);
+}
+
+TEST(Comm, RankRangeChecked) {
+  Comm comm(2);
+  EXPECT_THROW(comm.send(0, 5, Tag::kUser, {}), Error);
+  EXPECT_THROW((void)comm.recv(7), Error);
+}
+
+TEST(Codec, PodRoundtrip) {
+  const core::VoxelTask task{17, 42};
+  const auto task2 = decode<core::VoxelTask>(encode(task));
+  EXPECT_EQ(task2.first, 17u);
+  EXPECT_EQ(task2.count, 42u);
+}
+
+TEST(Codec, VectorRoundtrip) {
+  const std::vector<double> v{1.5, -2.5, 3.25};
+  EXPECT_EQ(decode_vector<double>(encode_vector(v)), v);
+  EXPECT_TRUE(decode_vector<double>({}).empty());
+}
+
+TEST(Codec, SizeMismatchThrows) {
+  std::vector<std::uint8_t> bad(3);
+  EXPECT_THROW(decode<core::VoxelTask>(bad), Error);
+  EXPECT_THROW(decode_vector<double>(bad), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Real-thread master-worker driver
+// ---------------------------------------------------------------------------
+
+TEST(Driver, DistributedMatchesSingleNode) {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 64;
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+
+  // Single-node result.
+  core::Scoreboard single(d.voxels());
+  const core::VoxelTask all{0, static_cast<std::uint32_t>(d.voxels())};
+  single.add(core::run_task(ne, all, core::PipelineConfig::optimized()));
+
+  // 3 workers, 10-voxel tasks.
+  DriverOptions opts;
+  opts.workers = 3;
+  opts.voxels_per_task = 10;
+  DriverStats stats;
+  const core::Scoreboard distributed =
+      run_cluster_analysis(ne, d.voxels(), opts, &stats);
+
+  EXPECT_TRUE(distributed.complete());
+  EXPECT_EQ(stats.tasks_dispatched, 7u);  // ceil(64/10)
+  for (std::uint32_t v = 0; v < d.voxels(); ++v) {
+    EXPECT_NEAR(single.accuracy_of(v), distributed.accuracy_of(v), 1e-9);
+  }
+}
+
+TEST(Driver, SingleWorkerWorks) {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 64;
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  DriverOptions opts;
+  opts.workers = 1;
+  const core::Scoreboard board = run_cluster_analysis(ne, d.voxels(), opts);
+  EXPECT_TRUE(board.complete());
+}
+
+TEST(Driver, MoreWorkersThanTasks) {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 64;
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  DriverOptions opts;
+  opts.workers = 6;
+  opts.voxels_per_task = 32;  // only 2 tasks for 6 workers
+  const core::Scoreboard board = run_cluster_analysis(ne, d.voxels(), opts);
+  EXPECT_TRUE(board.complete());
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time simulator
+// ---------------------------------------------------------------------------
+
+FarmConfig farm(std::size_t workers) {
+  FarmConfig c;
+  c.workers = workers;
+  c.broadcast_bytes = 1e9;
+  return c;
+}
+
+TEST(Sim, SingleWorkerMakespanIsSumOfTasks) {
+  const std::vector<double> tasks(10, 2.0);
+  const FarmOutcome o = simulate_task_farm(farm(1), tasks, 1);
+  EXPECT_NEAR(o.makespan_s, 20.0, 1.5);  // + broadcast + messages
+  EXPECT_DOUBLE_EQ(o.compute_s, 20.0);
+}
+
+TEST(Sim, SpeedupIsMonotonicInWorkers) {
+  const std::vector<double> tasks(288, 4.0);  // face-scene-like task count
+  double prev = 1e18;
+  for (const std::size_t w : {1u, 8u, 16u, 32u, 64u, 96u}) {
+    const FarmOutcome o = simulate_task_farm(farm(w), tasks, 3);
+    EXPECT_LT(o.makespan_s, prev) << w << " workers";
+    prev = o.makespan_s;
+  }
+}
+
+TEST(Sim, NearLinearSpeedupInTheEasyRegime) {
+  const std::vector<double> tasks(512, 5.0);
+  const double t1 = simulate_task_farm(farm(1), tasks, 1).makespan_s;
+  const double t16 = simulate_task_farm(farm(16), tasks, 1).makespan_s;
+  const double speedup = t1 / t16;
+  EXPECT_GT(speedup, 14.0);
+  EXPECT_LE(speedup, 16.1);
+}
+
+TEST(Sim, QuantizationLimitsSpeedupWhenTasksAreFew) {
+  // 100 equal tasks on 96 workers: two waves for 4 workers -> speedup
+  // capped at 50x.
+  const std::vector<double> tasks(100, 10.0);
+  const double t1 = simulate_task_farm(farm(1), tasks, 1).makespan_s;
+  const double t96 = simulate_task_farm(farm(96), tasks, 1).makespan_s;
+  EXPECT_LT(t1 / t96, 51.0);
+  EXPECT_GT(t1 / t96, 45.0);
+}
+
+TEST(Sim, CommunicationFloorCapsTinyWorkloads) {
+  // Online-analysis regime: many tiny tasks — master serialization floors
+  // the makespan regardless of worker count.
+  const std::vector<double> tasks(500, 0.002);
+  const double t48 = simulate_task_farm(farm(48), tasks, 1).makespan_s;
+  const double t96 = simulate_task_farm(farm(96), tasks, 1).makespan_s;
+  EXPECT_LT(t48 / t96, 1.5);  // nowhere near 2x
+}
+
+TEST(Sim, FoldsAreBarriers) {
+  // One straggler task per fold: folds serialize behind it.
+  std::vector<double> tasks(10, 1.0);
+  tasks[0] = 20.0;
+  const FarmOutcome one_fold = simulate_task_farm(farm(10), tasks, 1);
+  const FarmOutcome four_folds = simulate_task_farm(farm(10), tasks, 4);
+  EXPECT_NEAR(four_folds.makespan_s, 4.0 * one_fold.makespan_s,
+              0.2 * one_fold.makespan_s + 1.0);
+}
+
+TEST(Sim, EfficiencyBetweenZeroAndOne) {
+  const std::vector<double> tasks(64, 1.0);
+  const FarmOutcome o = simulate_task_farm(farm(8), tasks, 2);
+  const double eff = o.efficiency(8);
+  EXPECT_GT(eff, 0.5);
+  EXPECT_LE(eff, 1.0);
+}
+
+TEST(Sim, RejectsDegenerateInput) {
+  EXPECT_THROW((void)simulate_task_farm(farm(0), std::vector<double>{1.0}, 1),
+               Error);
+  EXPECT_THROW((void)simulate_task_farm(farm(2), std::vector<double>{}, 1),
+               Error);
+  EXPECT_THROW(
+      (void)simulate_task_farm(farm(2), std::vector<double>{-1.0}, 1), Error);
+}
+
+TEST(NetworkModel, TransferTimeComposition) {
+  NetworkModel net;
+  net.latency_s = 1e-4;
+  net.bandwidth_bytes_per_s = 1e9;
+  EXPECT_NEAR(net.transfer_s(1e9), 1.0001, 1e-6);
+  EXPECT_NEAR(net.transfer_s(0), 1e-4, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Calibrated cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, WorkUnitsScaleWithDims) {
+  const TaskDims small{10, 1000, 24, 4};
+  TaskDims big = small;
+  big.brain_voxels *= 2;
+  EXPECT_DOUBLE_EQ(work_units(big).corr_norm,
+                   2.0 * work_units(small).corr_norm);
+  big = small;
+  big.epochs *= 3;
+  EXPECT_DOUBLE_EQ(work_units(big).kernel, 9.0 * work_units(small).kernel);
+  EXPECT_DOUBLE_EQ(work_units(big).svm, 9.0 * work_units(small).svm);
+}
+
+TEST(CostModel, ExtrapolatesEventsAcrossDims) {
+  // Calibrate at one size, predict another, and compare against a real
+  // instrumented run at the target size: the cross-scale error of the
+  // stage-1 traffic terms should be modest.
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 96;
+  const fmri::Dataset d_small = fmri::generate_synthetic(spec);
+  spec.voxels = 192;
+  spec.informative = 24;
+  spec.seed = 7;  // same seed family
+  const fmri::Dataset d_big = fmri::generate_synthetic(spec);
+
+  const auto run = [](const fmri::Dataset& d, std::uint32_t count) {
+    const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+    memsim::Instrument ins;
+    return core::run_task_instrumented(
+        ne, core::VoxelTask{0, count}, core::PipelineConfig::optimized(),
+        ins);
+  };
+  const auto small_run = run(d_small, 8);
+  const auto big_run = run(d_big, 16);
+
+  const TaskDims small_dims{8, 96, 32, 4};
+  const TaskDims big_dims{16, 192, 32, 4};
+  const CalibratedCost cost(small_run, small_dims);
+  const auto predicted = cost.estimate_events(big_dims);
+  const auto actual = big_run.total();
+  EXPECT_NEAR(static_cast<double>(predicted.mem_refs),
+              static_cast<double>(actual.mem_refs),
+              0.35 * static_cast<double>(actual.mem_refs));
+  EXPECT_NEAR(static_cast<double>(predicted.flops),
+              static_cast<double>(actual.flops),
+              0.35 * static_cast<double>(actual.flops));
+}
+
+TEST(CostModel, MoreWorkMeansMoreTime) {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 96;
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  memsim::Instrument ins;
+  const auto run = core::run_task_instrumented(
+      ne, core::VoxelTask{0, 8}, core::PipelineConfig::optimized(), ins);
+  const TaskDims calib{8, 96, 32, 4};
+  const CalibratedCost cost(run, calib);
+  const archsim::ArchModel phi = archsim::Phi5110P();
+  TaskDims big = calib;
+  big.brain_voxels = 34470;
+  EXPECT_GT(cost.task_seconds(big, phi), cost.task_seconds(calib, phi));
+}
+
+TEST(CostModel, ThreadStarvationSlowsSvmStage) {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 96;
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  memsim::Instrument ins;
+  const auto run = core::run_task_instrumented(
+      ne, core::VoxelTask{0, 8}, core::PipelineConfig::baseline(), ins);
+  const TaskDims calib{8, 96, 32, 4};
+  const CalibratedCost cost(run, calib);
+  const archsim::ArchModel phi = archsim::Phi5110P();
+  EXPECT_GT(cost.task_seconds(calib, phi, 60),
+            cost.task_seconds(calib, phi, 240));
+}
+
+}  // namespace
+}  // namespace fcma::cluster

@@ -1,0 +1,102 @@
+// Tests for the MPI-style collectives over the in-process communicator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/comm.hpp"
+
+namespace fcma::cluster {
+namespace {
+
+/// Runs `body(rank)` on `ranks` threads against one communicator.
+void run_ranks(std::size_t ranks,
+               const std::function<void(Comm&, std::size_t)>& body) {
+  Comm comm(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    threads.emplace_back([&comm, &body, r] { body(comm, r); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(Collectives, BroadcastDeliversRootPayload) {
+  std::vector<std::vector<std::uint8_t>> received(5);
+  run_ranks(5, [&](Comm& comm, std::size_t rank) {
+    std::vector<std::uint8_t> payload;
+    if (rank == 2) payload = {10, 20, 30};
+    received[rank] = collective::broadcast(comm, rank, 2, std::move(payload));
+  });
+  for (const auto& r : received) {
+    EXPECT_EQ(r, (std::vector<std::uint8_t>{10, 20, 30}));
+  }
+}
+
+TEST(Collectives, GatherOrdersByRank) {
+  std::vector<std::vector<std::uint8_t>> at_root;
+  run_ranks(4, [&](Comm& comm, std::size_t rank) {
+    auto result = collective::gather(
+        comm, rank, 0, {static_cast<std::uint8_t>(rank * 11)});
+    if (rank == 0) at_root = std::move(result);
+  });
+  ASSERT_EQ(at_root.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    ASSERT_EQ(at_root[r].size(), 1u);
+    EXPECT_EQ(at_root[r][0], r * 11);
+  }
+}
+
+TEST(Collectives, GatherNonRootGetsNothing) {
+  run_ranks(3, [](Comm& comm, std::size_t rank) {
+    const auto result = collective::gather(comm, rank, 1, {1});
+    if (rank != 1) {
+      EXPECT_TRUE(result.empty());
+    }
+  });
+}
+
+TEST(Collectives, BarrierSynchronizes) {
+  std::atomic<int> before{0};
+  std::atomic<bool> violation{false};
+  run_ranks(6, [&](Comm& comm, std::size_t rank) {
+    ++before;
+    collective::barrier(comm, rank);
+    // After the barrier, every rank must have incremented.
+    if (before.load() != 6) violation = true;
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Collectives, RepeatedCollectivesStayInStep) {
+  std::atomic<bool> mismatch{false};
+  run_ranks(4, [&](Comm& comm, std::size_t rank) {
+    for (std::uint8_t round = 0; round < 8; ++round) {
+      const auto got = collective::broadcast(
+          comm, rank, round % 4,
+          rank == round % 4 ? std::vector<std::uint8_t>{round}
+                            : std::vector<std::uint8_t>{});
+      if (got != std::vector<std::uint8_t>{round}) mismatch = true;
+      collective::barrier(comm, rank);
+    }
+  });
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(Collectives, SingleRankDegenerates) {
+  Comm comm(1);
+  const auto b = collective::broadcast(comm, 0, 0, {7});
+  EXPECT_EQ(b, (std::vector<std::uint8_t>{7}));
+  const auto g = collective::gather(comm, 0, 0, {9});
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0][0], 9);
+  collective::barrier(comm, 0);  // must not deadlock
+}
+
+TEST(Collectives, BadRootThrows) {
+  Comm comm(2);
+  EXPECT_THROW((void)collective::broadcast(comm, 0, 5, {}), Error);
+}
+
+}  // namespace
+}  // namespace fcma::cluster

@@ -1,0 +1,340 @@
+// Tests for the fMRI substrate: dataset model, synthetic generator with
+// planted connectivity, presets, and serialization.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "fmri/dataset.hpp"
+#include "fmri/io.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+#include "stats/stats.hpp"
+
+namespace fcma::fmri {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("fcma_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(Presets, FaceSceneMatchesTable2) {
+  const DatasetSpec s = face_scene_spec();
+  EXPECT_EQ(s.voxels, 34470u);
+  EXPECT_EQ(s.subjects, 18);
+  EXPECT_EQ(s.epochs_total, 216u);
+  EXPECT_EQ(s.epoch_length, 12u);
+  EXPECT_EQ(s.epochs_per_subject(), 12u);
+}
+
+TEST(Presets, AttentionMatchesTable2) {
+  const DatasetSpec s = attention_spec();
+  EXPECT_EQ(s.voxels, 25260u);
+  EXPECT_EQ(s.subjects, 30);
+  EXPECT_EQ(s.epochs_total, 540u);
+  EXPECT_EQ(s.epoch_length, 12u);
+  EXPECT_EQ(s.epochs_per_subject(), 18u);
+}
+
+TEST(Presets, ScaledVoxelsPreservesProtocol) {
+  const DatasetSpec s = face_scene_spec().scaled_voxels(0.1);
+  EXPECT_NEAR(static_cast<double>(s.voxels), 3447.0, 1.0);
+  EXPECT_EQ(s.subjects, 18);
+  EXPECT_EQ(s.epochs_total, 216u);
+  EXPECT_GT(s.informative, 0u);
+  EXPECT_LE(s.informative, s.voxels / 4);
+}
+
+TEST(Presets, ScaledSubjectsAdjustsEpochs) {
+  const DatasetSpec s = attention_spec().scaled_subjects(5);
+  EXPECT_EQ(s.subjects, 5);
+  EXPECT_EQ(s.epochs_total, 5u * 18u);
+}
+
+TEST(Presets, BadScaleThrows) {
+  EXPECT_THROW(face_scene_spec().scaled_voxels(0.0), Error);
+  EXPECT_THROW(face_scene_spec().scaled_voxels(2.0), Error);
+  EXPECT_THROW(face_scene_spec().scaled_subjects(0), Error);
+}
+
+TEST(Synthetic, DimensionsMatchSpec) {
+  const DatasetSpec spec = tiny_spec();
+  const Dataset d = generate_synthetic(spec);
+  EXPECT_EQ(d.voxels(), spec.voxels);
+  EXPECT_EQ(d.subjects(), spec.subjects);
+  EXPECT_EQ(d.epochs().size(), spec.epochs_total);
+  EXPECT_EQ(d.timepoints(), spec.epochs_total * spec.epoch_length);
+  EXPECT_EQ(d.informative_voxels().size(), spec.informative);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const Dataset a = generate_synthetic(tiny_spec());
+  const Dataset b = generate_synthetic(tiny_spec());
+  ASSERT_EQ(a.data().rows(), b.data().rows());
+  for (std::size_t i = 0; i < a.voxels(); ++i) {
+    for (std::size_t t = 0; t < a.timepoints(); ++t) {
+      ASSERT_EQ(a.data()(i, t), b.data()(i, t));
+    }
+  }
+  EXPECT_EQ(a.informative_voxels(), b.informative_voxels());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  DatasetSpec s2 = tiny_spec();
+  s2.seed = 999;
+  const Dataset a = generate_synthetic(tiny_spec());
+  const Dataset b = generate_synthetic(s2);
+  int equal = 0;
+  for (std::size_t t = 0; t < a.timepoints(); ++t) {
+    equal += (a.data()(0, t) == b.data()(0, t));
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Synthetic, LabelsAlternateAndBalance) {
+  const Dataset d = generate_synthetic(tiny_spec());
+  std::size_t label1 = 0;
+  for (const Epoch& e : d.epochs()) label1 += (e.label == 1);
+  EXPECT_EQ(label1 * 2, d.epochs().size());
+}
+
+TEST(Synthetic, EpochsAreSubjectMajorAndContiguous) {
+  const Dataset d = generate_synthetic(tiny_spec());
+  std::uint32_t cursor = 0;
+  std::int32_t max_subject = -1;
+  for (const Epoch& e : d.epochs()) {
+    EXPECT_EQ(e.start, cursor);
+    cursor += e.length;
+    EXPECT_GE(e.subject, max_subject);  // non-decreasing subject order
+    max_subject = std::max(max_subject, e.subject);
+  }
+}
+
+// The planted effect: informative voxel pairs from opposite groups are
+// strongly correlated in label-0 epochs and weakly in label-1 epochs, while
+// noise pairs are weak in both.  This is the ground truth FCMA must detect.
+TEST(Synthetic, PlantedConnectivityDiffersByCondition) {
+  DatasetSpec spec = tiny_spec();
+  spec.voxels = 64;
+  spec.informative = 16;
+  const Dataset d = generate_synthetic(spec);
+  const auto& inf = d.informative_voxels();
+  // Groups alternate through the sorted informative list.
+  const std::uint32_t va = inf[0];
+  const std::uint32_t vb = inf[1];
+  double r_label0 = 0.0;
+  double r_label1 = 0.0;
+  int n0 = 0;
+  int n1 = 0;
+  for (const Epoch& e : d.epochs()) {
+    std::vector<float> x(d.data().row(va) + e.start,
+                         d.data().row(va) + e.start + e.length);
+    std::vector<float> y(d.data().row(vb) + e.start,
+                         d.data().row(vb) + e.start + e.length);
+    const double r = stats::pearson(x, y);
+    if (e.label == 0) {
+      r_label0 += r;
+      ++n0;
+    } else {
+      r_label1 += r;
+      ++n1;
+    }
+  }
+  r_label0 /= n0;
+  r_label1 /= n1;
+  EXPECT_GT(r_label0, 0.3);            // coupled under label 0
+  EXPECT_LT(r_label1, r_label0 - 0.2);  // decoupled under label 1
+}
+
+TEST(Synthetic, NoiseVoxelsUncorrelatedInBothConditions) {
+  DatasetSpec spec = tiny_spec();
+  const Dataset d = generate_synthetic(spec);
+  std::set<std::uint32_t> inf(d.informative_voxels().begin(),
+                              d.informative_voxels().end());
+  // Find two non-informative voxels.
+  std::vector<std::uint32_t> noise;
+  for (std::uint32_t v = 0; v < d.voxels() && noise.size() < 2; ++v) {
+    if (!inf.count(v)) noise.push_back(v);
+  }
+  ASSERT_EQ(noise.size(), 2u);
+  double sum = 0.0;
+  for (const Epoch& e : d.epochs()) {
+    std::vector<float> x(d.data().row(noise[0]) + e.start,
+                         d.data().row(noise[0]) + e.start + e.length);
+    std::vector<float> y(d.data().row(noise[1]) + e.start,
+                         d.data().row(noise[1]) + e.start + e.length);
+    sum += stats::pearson(x, y);
+  }
+  EXPECT_LT(std::abs(sum / static_cast<double>(d.epochs().size())), 0.25);
+}
+
+TEST(Synthetic, InvalidSpecsThrow) {
+  DatasetSpec s = tiny_spec();
+  s.informative = s.voxels;  // too many
+  EXPECT_THROW(generate_synthetic(s), Error);
+  s = tiny_spec();
+  s.epochs_total = 33;  // not divisible by subjects
+  EXPECT_THROW(generate_synthetic(s), Error);
+}
+
+TEST(Dataset, ValidateRejectsBadEpochs) {
+  linalg::Matrix data(8, 24);
+  data.fill(0.0f);
+  std::vector<Epoch> epochs{{0, 0, 0, 12}, {0, 1, 12, 12}};
+  EXPECT_NO_THROW(Dataset("ok", std::move(data), epochs, 1));
+
+  linalg::Matrix data2(8, 24);
+  data2.fill(0.0f);
+  std::vector<Epoch> overrun{{0, 0, 0, 12}, {0, 1, 20, 12}};
+  EXPECT_THROW(Dataset("bad", std::move(data2), overrun, 1), Error);
+
+  linalg::Matrix data3(8, 24);
+  data3.fill(0.0f);
+  std::vector<Epoch> bad_label{{0, 2, 0, 12}, {0, 1, 12, 12}};
+  EXPECT_THROW(Dataset("bad", std::move(data3), bad_label, 1), Error);
+}
+
+TEST(Dataset, EpochsOfSubjectFilters) {
+  const Dataset d = generate_synthetic(tiny_spec());
+  const auto mine = d.epochs_of_subject(2);
+  EXPECT_EQ(mine.size(), d.epochs_per_subject());
+  for (const std::size_t i : mine) {
+    EXPECT_EQ(d.epochs()[i].subject, 2);
+  }
+}
+
+TEST(NormalizeEpochs, RowsAreEq2Normalized) {
+  const Dataset d = generate_synthetic(tiny_spec());
+  const NormalizedEpochs ne = normalize_epochs(d);
+  ASSERT_EQ(ne.per_epoch.size(), d.epochs().size());
+  const linalg::Matrix& e0 = ne.per_epoch[0];
+  for (std::size_t v = 0; v < 5; ++v) {
+    double norm = 0.0;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < e0.cols(); ++t) {
+      norm += static_cast<double>(e0(v, t)) * e0(v, t);
+      sum += e0(v, t);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+    EXPECT_NEAR(sum, 0.0, 1e-4);
+  }
+}
+
+TEST(NormalizeEpochs, SubsetSelectsRequestedEpochs) {
+  const Dataset d = generate_synthetic(tiny_spec());
+  const NormalizedEpochs ne = normalize_epochs(d, {0, 5, 9});
+  ASSERT_EQ(ne.per_epoch.size(), 3u);
+  EXPECT_EQ(ne.meta[1].start, d.epochs()[5].start);
+  EXPECT_EQ(ne.meta[2].label, d.epochs()[9].label);
+}
+
+TEST(Io, ActivityRoundtrip) {
+  TempDir dir;
+  const Dataset d = generate_synthetic(tiny_spec());
+  const std::string path = dir.file("act.fcmb");
+  save_activity(path, d.data());
+  const linalg::Matrix loaded = load_activity(path);
+  ASSERT_EQ(loaded.rows(), d.data().rows());
+  ASSERT_EQ(loaded.cols(), d.data().cols());
+  for (std::size_t i = 0; i < loaded.rows(); ++i) {
+    for (std::size_t j = 0; j < loaded.cols(); ++j) {
+      ASSERT_EQ(loaded(i, j), d.data()(i, j));
+    }
+  }
+}
+
+TEST(Io, EpochsRoundtrip) {
+  TempDir dir;
+  const Dataset d = generate_synthetic(tiny_spec());
+  const std::string path = dir.file("labels.epochs");
+  save_epochs(path, d.epochs());
+  const auto loaded = load_epochs(path);
+  ASSERT_EQ(loaded.size(), d.epochs().size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].subject, d.epochs()[i].subject);
+    EXPECT_EQ(loaded[i].label, d.epochs()[i].label);
+    EXPECT_EQ(loaded[i].start, d.epochs()[i].start);
+    EXPECT_EQ(loaded[i].length, d.epochs()[i].length);
+  }
+}
+
+TEST(Io, DatasetRoundtrip) {
+  TempDir dir;
+  const Dataset d = generate_synthetic(tiny_spec());
+  save_dataset(dir.file("ds"), d);
+  const Dataset loaded = load_dataset(dir.file("ds"), "reloaded");
+  EXPECT_EQ(loaded.voxels(), d.voxels());
+  EXPECT_EQ(loaded.subjects(), d.subjects());
+  EXPECT_EQ(loaded.epochs().size(), d.epochs().size());
+  EXPECT_EQ(loaded.name(), "reloaded");
+}
+
+TEST(Io, RejectsMissingFile) {
+  EXPECT_THROW(load_activity("/nonexistent/path.fcmb"), Error);
+  EXPECT_THROW(load_epochs("/nonexistent/path.epochs"), Error);
+}
+
+TEST(Io, RejectsWrongMagic) {
+  TempDir dir;
+  const std::string path = dir.file("junk.fcmb");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not an FCMB file at all", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_activity(path), Error);
+}
+
+TEST(Io, RejectsTruncatedActivity) {
+  TempDir dir;
+  const Dataset d = generate_synthetic(tiny_spec());
+  const std::string path = dir.file("trunc.fcmb");
+  save_activity(path, d.data());
+  std::filesystem::resize_file(path, 64);
+  EXPECT_THROW(load_activity(path), Error);
+}
+
+TEST(Io, RejectsMalformedEpochLine) {
+  TempDir dir;
+  const std::string path = dir.file("bad.epochs");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0 1 0 12\nnot numbers here\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_epochs(path), Error);
+}
+
+TEST(Io, EpochFileAllowsComments) {
+  TempDir dir;
+  const std::string path = dir.file("commented.epochs");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# header comment\n0 0 0 12 # trailing\n\n0 1 12 12\n", f);
+    std::fclose(f);
+  }
+  const auto epochs = load_epochs(path);
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[1].label, 1);
+}
+
+}  // namespace
+}  // namespace fcma::fmri

@@ -1,0 +1,128 @@
+// End-to-end integration tests: the full FCMA system — generator, pipeline,
+// cluster distribution, scoreboard, final classifier — on one synthetic
+// study, checking the cross-cutting invariants no single module test can.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/driver.hpp"
+#include "fcma/offline.hpp"
+#include "fcma/online.hpp"
+#include "fmri/io.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+namespace fcma {
+namespace {
+
+fmri::DatasetSpec study_spec() {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 96;
+  spec.informative = 16;
+  spec.subjects = 4;
+  spec.epochs_total = 48;
+  return spec;
+}
+
+TEST(Integration, BaselineAndOptimizedSelectTheSameTopVoxels) {
+  // The whole point of the optimization work: identical science, faster.
+  const fmri::Dataset d = fmri::generate_synthetic(study_spec());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  const core::VoxelTask all{0, static_cast<std::uint32_t>(d.voxels())};
+
+  core::Scoreboard base_board(d.voxels());
+  base_board.add(core::run_task(ne, all, core::PipelineConfig::baseline()));
+  core::Scoreboard opt_board(d.voxels());
+  opt_board.add(core::run_task(ne, all, core::PipelineConfig::optimized()));
+
+  const auto base_top = base_board.top_voxels(16);
+  const auto opt_top = opt_board.top_voxels(16);
+  std::set<std::uint32_t> base_set(base_top.begin(), base_top.end());
+  std::size_t overlap = 0;
+  for (const auto v : opt_top) overlap += base_set.count(v);
+  EXPECT_GE(overlap, 13u);  // allow tie-break noise at the selection edge
+}
+
+TEST(Integration, DistributedOfflineStudyRecoversPlantedRois) {
+  const fmri::Dataset d = fmri::generate_synthetic(study_spec());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  cluster::DriverOptions opts;
+  opts.workers = 4;
+  opts.voxels_per_task = 16;
+  const core::Scoreboard board =
+      cluster::run_cluster_analysis(ne, d.voxels(), opts);
+  EXPECT_GT(board.recovery_rate(d.informative_voxels()), 0.7);
+}
+
+TEST(Integration, SavedAndReloadedDatasetGivesIdenticalAnalysis) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fcma_int_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const fmri::Dataset d = fmri::generate_synthetic(study_spec());
+  fmri::save_dataset((dir / "study").string(), d);
+  const fmri::Dataset loaded =
+      fmri::load_dataset((dir / "study").string(), d.name());
+
+  const core::VoxelTask task{0, 32};
+  const auto r1 = core::run_task(fmri::normalize_epochs(d), task,
+                                 core::PipelineConfig::optimized());
+  const auto r2 = core::run_task(fmri::normalize_epochs(loaded), task,
+                                 core::PipelineConfig::optimized());
+  ASSERT_EQ(r1.accuracy.size(), r2.accuracy.size());
+  for (std::size_t v = 0; v < r1.accuracy.size(); ++v) {
+    EXPECT_EQ(r1.accuracy[v], r2.accuracy[v]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Integration, OfflineThenOnlineAgreeOnInformativeVoxels) {
+  // The online (single-subject) selection should substantially overlap the
+  // offline (multi-subject) selection — both are estimating the same
+  // planted structure.  Online selection sees only one subject's epochs,
+  // so give each subject a full session's worth.
+  fmri::DatasetSpec spec = study_spec();
+  spec.subjects = 3;
+  spec.epochs_total = 108;  // 36 epochs per subject
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  core::OfflineOptions off;
+  off.top_k = 16;
+  const core::OfflineResult offline = core::run_offline_analysis(d, off);
+  core::OnlineOptions on;
+  on.top_k = 16;
+  on.k_folds = 4;
+  const core::OnlineResult online = core::run_online_selection(d, 0, on);
+  const std::set<std::uint32_t> offline_set(offline.folds[0].selected.begin(),
+                                            offline.folds[0].selected.end());
+  std::size_t overlap = 0;
+  for (const auto v : online.selected) overlap += offline_set.count(v);
+  EXPECT_GE(overlap, 8u);
+}
+
+TEST(Integration, AccuraciesAreValidProbabilities) {
+  const fmri::Dataset d = fmri::generate_synthetic(study_spec());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  const core::VoxelTask all{0, static_cast<std::uint32_t>(d.voxels())};
+  const auto r = core::run_task(ne, all, core::PipelineConfig::optimized());
+  for (const double a : r.accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Integration, PipelineIsDeterministicAcrossRuns) {
+  const fmri::Dataset d = fmri::generate_synthetic(study_spec());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  const core::VoxelTask task{10, 20};
+  const auto r1 = core::run_task(ne, task, core::PipelineConfig::optimized());
+  const auto r2 = core::run_task(ne, task, core::PipelineConfig::optimized());
+  for (std::size_t v = 0; v < r1.accuracy.size(); ++v) {
+    EXPECT_EQ(r1.accuracy[v], r2.accuracy[v]);
+  }
+}
+
+}  // namespace
+}  // namespace fcma

@@ -1,0 +1,190 @@
+// Property sweeps for the measurement substrate: cache behaviour across
+// geometries, instrument/arch-model consistency, and the invariants the
+// event-count tables rely on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "archsim/arch_model.hpp"
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/instrument.hpp"
+
+namespace fcma::memsim {
+namespace {
+
+// (l1_kb, l1_ways, l2_kb, l2_ways)
+using Geometry = std::tuple<int, int, int, int>;
+
+CacheSim sim_for(const Geometry& g) {
+  const auto [l1_kb, l1_ways, l2_kb, l2_ways] = g;
+  return CacheSim(
+      CacheConfig{static_cast<std::size_t>(l1_kb) * 1024,
+                  static_cast<std::size_t>(l1_ways), 64},
+      CacheConfig{static_cast<std::size_t>(l2_kb) * 1024,
+                  static_cast<std::size_t>(l2_ways), 64});
+}
+
+class CacheGeometries : public ::testing::TestWithParam<Geometry> {};
+
+// Property: a working set that fits L2 incurs only compulsory L2 misses no
+// matter how many passes run.
+TEST_P(CacheGeometries, L2ResidentSetHasOnlyCompulsoryMisses) {
+  CacheSim sim = sim_for(GetParam());
+  const auto [l1_kb, l1_ways, l2_kb, l2_ways] = GetParam();
+  (void)l1_kb;
+  (void)l1_ways;
+  (void)l2_ways;
+  // Half the L2 capacity, touched five times.
+  const std::size_t lines = static_cast<std::size_t>(l2_kb) * 1024 / 64 / 2;
+  AlignedBuffer<float> buf(lines * 16);
+  for (int pass = 0; pass < 5; ++pass) {
+    for (std::size_t i = 0; i < lines; ++i) {
+      sim.access(buf.data() + i * 16, 4);
+    }
+  }
+  EXPECT_EQ(sim.stats().l2_misses, lines);
+  EXPECT_EQ(sim.stats().refs, 5 * lines);
+}
+
+// Property: a working set at 4x L2 capacity misses on (nearly) every line
+// of every pass under LRU with a sequential sweep.
+TEST_P(CacheGeometries, StreamingSetThrashes) {
+  CacheSim sim = sim_for(GetParam());
+  const auto [l1_kb, l1_ways, l2_kb, l2_ways] = GetParam();
+  (void)l1_kb;
+  (void)l1_ways;
+  (void)l2_ways;
+  const std::size_t lines = static_cast<std::size_t>(l2_kb) * 1024 / 64 * 4;
+  AlignedBuffer<float> buf(lines * 16);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < lines; ++i) {
+      sim.access(buf.data() + i * 16, 4);
+    }
+  }
+  EXPECT_EQ(sim.stats().l2_misses, 3 * lines);
+}
+
+// Property: misses are monotone in working-set size for a fixed pass count.
+TEST_P(CacheGeometries, MissesMonotoneInWorkingSet) {
+  const auto g = GetParam();
+  std::uint64_t prev = 0;
+  for (const std::size_t kb : {16u, 64u, 256u, 1024u, 4096u}) {
+    CacheSim sim = sim_for(g);
+    const std::size_t lines = kb * 1024 / 64;
+    AlignedBuffer<float> buf(lines * 16);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < lines; ++i) {
+        sim.access(buf.data() + i * 16, 4);
+      }
+    }
+    EXPECT_GE(sim.stats().l2_misses, prev) << kb << "KB";
+    prev = sim.stats().l2_misses;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometries,
+    ::testing::Values(Geometry{32, 8, 512, 8},     // the Phi model
+                      Geometry{32, 8, 2560, 20},   // the Xeon model
+                      Geometry{16, 4, 256, 8},     // small
+                      Geometry{64, 16, 1024, 16},  // wide associativity
+                      Geometry{8, 1, 128, 2}));    // direct-mapped-ish
+
+// ---------------------------------------------------------------------------
+// Instrument / ArchModel consistency
+// ---------------------------------------------------------------------------
+
+TEST(ModelConsistency, MoreEventsNeverModelFaster) {
+  const archsim::ArchModel phi = archsim::Phi5110P();
+  KernelEvents base{.flops = 1000000,
+                    .vpu_instructions = 100000,
+                    .vpu_elements = 1600000,
+                    .mem_refs = 50000,
+                    .l1_misses = 5000,
+                    .l2_misses = 1000};
+  for (auto bump : {&KernelEvents::vpu_instructions,
+                    &KernelEvents::l2_misses}) {
+    KernelEvents more = base;
+    more.*bump *= 10;
+    EXPECT_GE(phi.modeled_seconds(more), phi.modeled_seconds(base));
+  }
+}
+
+TEST(ModelConsistency, ModeledTimeScalesLinearlyWhenComputeBound) {
+  const archsim::ArchModel phi = archsim::Phi5110P();
+  KernelEvents e{.flops = 1ull << 30,
+                 .vpu_instructions = 1ull << 26,
+                 .vpu_elements = 1ull << 30,
+                 .mem_refs = 1000,
+                 .l1_misses = 10,
+                 .l2_misses = 1};
+  KernelEvents doubled = e;
+  doubled.flops *= 2;
+  doubled.vpu_instructions *= 2;
+  doubled.vpu_elements *= 2;
+  EXPECT_NEAR(phi.modeled_seconds(doubled), 2.0 * phi.modeled_seconds(e),
+              0.01 * phi.modeled_seconds(doubled));
+  // And GFLOPS is scale-invariant under that doubling.
+  EXPECT_NEAR(phi.modeled_gflops(doubled), phi.modeled_gflops(e),
+              0.01 * phi.modeled_gflops(e));
+}
+
+TEST(ModelConsistency, IntensityIndependentOfMachineGeometry) {
+  // The same instrumented narration must report the same vector intensity
+  // on any cache geometry — intensity is an instruction-stream property.
+  AlignedBuffer<float> buf(4096);
+  auto narrate = [&buf](Machine m) {
+    Instrument ins(m);
+    for (std::size_t i = 0; i + 16 <= 4096; i += 16) {
+      ins.load(buf.data() + i, 16);
+      ins.arith(16, 2, 32);
+    }
+    return ins.events().vector_intensity();
+  };
+  EXPECT_DOUBLE_EQ(narrate(Machine::kPhi5110P),
+                   narrate(Machine::kXeonE5_2670));
+}
+
+TEST(ModelConsistency, DeterministicAcrossRuns) {
+  // Same narration -> bit-identical event counts (the property that makes
+  // the reproduction tables exactly rerunnable).
+  Rng rng(1234);
+  std::vector<std::uint32_t> offsets(2000);
+  for (auto& o : offsets) {
+    o = static_cast<std::uint32_t>(rng.uniform_index(1 << 16));
+  }
+  AlignedBuffer<float> buf(1 << 16);
+  auto run = [&] {
+    Instrument ins;
+    for (const auto o : offsets) {
+      ins.load(buf.data() + (o % ((1 << 16) - 16)), 16);
+    }
+    const KernelEvents e = ins.events();
+    return std::make_tuple(e.mem_refs, e.l1_misses, e.l2_misses);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ModelConsistency, ThreadScalingSaturatesAtMachineSize) {
+  const archsim::ArchModel phi = archsim::Phi5110P();
+  const KernelEvents e{.flops = 1ull << 30,
+                       .vpu_instructions = 1ull << 26,
+                       .vpu_elements = 1ull << 30,
+                       .mem_refs = 1ull << 20,
+                       .l1_misses = 1ull << 16,
+                       .l2_misses = 1ull << 14};
+  EXPECT_DOUBLE_EQ(phi.modeled_seconds(e, 240),
+                   phi.modeled_seconds(e, 10000));
+  double prev = 1e18;
+  for (const int threads : {30, 60, 120, 240}) {
+    const double t = phi.modeled_seconds(e, threads);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace fcma::memsim

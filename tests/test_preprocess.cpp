@@ -1,0 +1,248 @@
+// Tests for the preprocessing substrate: detrending, spatial smoothing,
+// and motion-spike detection/censoring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fmri/preprocess.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+namespace fcma::fmri {
+namespace {
+
+TEST(Detrend, RemovesMean) {
+  std::vector<float> x{3.0f, 3.0f, 3.0f, 3.0f, 3.0f};
+  detrend(x, 0);
+  for (const float v : x) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(Detrend, RemovesLinearTrend) {
+  std::vector<float> x(50);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 2.0f + 0.3f * static_cast<float>(t);
+  }
+  detrend(x, 1);
+  for (const float v : x) EXPECT_NEAR(v, 0.0f, 1e-4f);
+}
+
+TEST(Detrend, RemovesQuadraticDriftAtOrderTwo) {
+  std::vector<float> x(60);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const auto tf = static_cast<float>(t);
+    x[t] = 1.0f + 0.1f * tf - 0.002f * tf * tf;
+  }
+  std::vector<float> linear_only = x;
+  detrend(linear_only, 1);
+  detrend(x, 2);
+  double resid1 = 0.0;
+  double resid2 = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    resid1 += static_cast<double>(linear_only[t]) * linear_only[t];
+    resid2 += static_cast<double>(x[t]) * x[t];
+  }
+  EXPECT_LT(resid2, 1e-4);
+  EXPECT_GT(resid1, 100.0 * std::max(resid2, 1e-12));
+}
+
+TEST(Detrend, PreservesSignalOrthogonalToDrift) {
+  // A fast oscillation should survive linear detrending nearly intact.
+  std::vector<float> x(64);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = std::sin(static_cast<float>(t) * 1.3f);
+  }
+  std::vector<float> orig = x;
+  detrend(x, 1);
+  double diff = 0.0;
+  double norm = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    diff += std::abs(x[t] - orig[t]);
+    norm += std::abs(orig[t]);
+  }
+  EXPECT_LT(diff / norm, 0.05);
+}
+
+TEST(Detrend, RejectsImpossibleOrder) {
+  std::vector<float> x(3);
+  EXPECT_THROW(detrend(x, 3), Error);
+  EXPECT_THROW(detrend(x, -1), Error);
+}
+
+TEST(DetrendDataset, AppliesToEveryVoxel) {
+  fmri::DatasetSpec spec = tiny_spec();
+  Dataset d = generate_synthetic(spec);
+  // Inject per-voxel linear drifts.
+  for (std::size_t v = 0; v < d.voxels(); ++v) {
+    const float slope = 0.01f * static_cast<float>(v % 7);
+    for (std::size_t t = 0; t < d.timepoints(); ++t) {
+      d.data()(v, t) += slope * static_cast<float>(t);
+    }
+  }
+  detrend_dataset(d, 1);
+  for (std::size_t v = 0; v < d.voxels(); v += 13) {
+    // Residual correlation with time should be ~0.
+    double st = 0.0;
+    double sx = 0.0;
+    double sxt = 0.0;
+    double stt = 0.0;
+    const auto n = static_cast<double>(d.timepoints());
+    for (std::size_t t = 0; t < d.timepoints(); ++t) {
+      st += t;
+      sx += d.data()(v, t);
+      sxt += t * static_cast<double>(d.data()(v, t));
+      stt += static_cast<double>(t) * t;
+    }
+    const double slope = (n * sxt - st * sx) / (n * stt - st * st);
+    EXPECT_NEAR(slope, 0.0, 1e-5) << "voxel " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spatial smoothing
+// ---------------------------------------------------------------------------
+
+struct SmoothFixture {
+  VolumeGeometry geometry{10, 10, 6};
+  VolumetricDataset vol;
+  SmoothFixture() : vol(make()) {}
+  static VolumetricDataset make() {
+    fmri::DatasetSpec spec = tiny_spec();
+    spec.informative = 12;
+    return generate_synthetic_volumetric(spec, VolumeGeometry{10, 10, 6}, 2);
+  }
+};
+
+TEST(SpatialSmooth, ReducesVoxelwiseVariance) {
+  SmoothFixture fx;
+  Dataset& d = fx.vol.dataset;
+  // Variance of a noise voxel's time series before/after smoothing.
+  std::vector<float> before(d.data().row(0), d.data().row(0) + 32);
+  spatial_smooth(d, fx.vol.mask, 2.0);
+  double var_b = 0.0;
+  double var_a = 0.0;
+  for (std::size_t t = 0; t < 32; ++t) {
+    var_b += static_cast<double>(before[t]) * before[t];
+    var_a += static_cast<double>(d.data()(0, t)) * d.data()(0, t);
+  }
+  EXPECT_LT(var_a, var_b);
+}
+
+TEST(SpatialSmooth, PreservesGlobalMeanPerTimepoint) {
+  SmoothFixture fx;
+  Dataset& d = fx.vol.dataset;
+  // Uniform volumes are a fixed point of the mask-renormalized kernel.
+  for (std::size_t v = 0; v < d.voxels(); ++v) {
+    for (std::size_t t = 0; t < d.timepoints(); ++t) {
+      d.data()(v, t) = 7.25f;
+    }
+  }
+  spatial_smooth(d, fx.vol.mask, 2.0);
+  for (std::size_t v = 0; v < d.voxels(); v += 17) {
+    EXPECT_NEAR(d.data()(v, 5), 7.25f, 1e-4f);
+  }
+}
+
+TEST(SpatialSmooth, IncreasesNeighborCorrelation) {
+  SmoothFixture fx;
+  Dataset& d = fx.vol.dataset;
+  // Two adjacent noise voxels.
+  const Coord center{5, 5, 3};
+  const auto a = static_cast<std::uint32_t>(fx.vol.mask.mask_index(center));
+  const auto b = static_cast<std::uint32_t>(
+      fx.vol.mask.mask_index(Coord{6, 5, 3}));
+  auto correlation = [&](std::uint32_t u, std::uint32_t v) {
+    double suv = 0.0;
+    double suu = 0.0;
+    double svv = 0.0;
+    double su = 0.0;
+    double sv = 0.0;
+    const auto n = static_cast<double>(d.timepoints());
+    for (std::size_t t = 0; t < d.timepoints(); ++t) {
+      su += d.data()(u, t);
+      sv += d.data()(v, t);
+      suv += static_cast<double>(d.data()(u, t)) * d.data()(v, t);
+      suu += static_cast<double>(d.data()(u, t)) * d.data()(u, t);
+      svv += static_cast<double>(d.data()(v, t)) * d.data()(v, t);
+    }
+    const double cov = suv / n - (su / n) * (sv / n);
+    const double vu = suu / n - (su / n) * (su / n);
+    const double vv = svv / n - (sv / n) * (sv / n);
+    return cov / std::sqrt(vu * vv);
+  };
+  const double before = correlation(a, b);
+  spatial_smooth(d, fx.vol.mask, 2.5);
+  const double after = correlation(a, b);
+  EXPECT_GT(after, before + 0.2);
+}
+
+TEST(SpatialSmooth, RejectsMismatchedMask) {
+  fmri::DatasetSpec spec = tiny_spec();
+  Dataset d = generate_synthetic(spec);
+  const BrainMask mask = BrainMask::ellipsoid(VolumeGeometry{4, 4, 4});
+  EXPECT_THROW(spatial_smooth(d, mask, 2.0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Motion spikes
+// ---------------------------------------------------------------------------
+
+Dataset spiked_dataset(std::vector<std::size_t> spike_times) {
+  fmri::DatasetSpec spec = tiny_spec();
+  Dataset d = generate_synthetic(spec);
+  for (const std::size_t t : spike_times) {
+    for (std::size_t v = 0; v < d.voxels(); ++v) {
+      d.data()(v, t) += 25.0f;  // a scanner-wide jump
+    }
+  }
+  return d;
+}
+
+TEST(MotionSpikes, FramewiseDisplacementFlagsJumps) {
+  const Dataset d = spiked_dataset({17});
+  const auto fd = framewise_displacement(d);
+  ASSERT_EQ(fd.size(), d.timepoints());
+  EXPECT_EQ(fd[0], 0.0f);
+  // The jump (t=17) and the return (t=18) dominate every other frame.
+  float third = 0.0f;
+  for (std::size_t t = 1; t < fd.size(); ++t) {
+    if (t != 17 && t != 18) third = std::max(third, fd[t]);
+  }
+  EXPECT_GT(fd[17], 3.0f * third);
+  EXPECT_GT(fd[18], 3.0f * third);
+}
+
+TEST(MotionSpikes, DetectionFindsInjectedSpikes) {
+  const Dataset d = spiked_dataset({17, 100});
+  const auto spikes = detect_motion_spikes(d, 8.0);
+  // Expect {17, 18, 100, 101}: jump and recovery frames.
+  EXPECT_TRUE(std::find(spikes.begin(), spikes.end(), 17u) != spikes.end());
+  EXPECT_TRUE(std::find(spikes.begin(), spikes.end(), 100u) != spikes.end());
+  EXPECT_LE(spikes.size(), 6u);  // no false positives beyond the recoveries
+}
+
+TEST(MotionSpikes, CleanDataHasNoSpikes) {
+  fmri::DatasetSpec spec = tiny_spec();
+  const Dataset d = generate_synthetic(spec);
+  // The generator's per-epoch latent resets create mild boundary
+  // bumps; at a 8-sigma robust threshold nothing should trigger.
+  EXPECT_TRUE(detect_motion_spikes(d, 8.0).empty());
+}
+
+TEST(MotionSpikes, CensoringDropsOnlyAffectedEpochs) {
+  const Dataset d = spiked_dataset({17});
+  const auto spikes = detect_motion_spikes(d, 8.0);
+  const auto censored = censored_epochs(d, spikes);
+  const auto usable = usable_epochs(d, spikes);
+  EXPECT_EQ(censored.size() + usable.size(), d.epochs().size());
+  // Epoch length 12: t=17 and 18 are in epoch 1 only.
+  ASSERT_GE(censored.size(), 1u);
+  EXPECT_EQ(censored[0], 1u);
+  EXPECT_LE(censored.size(), 2u);
+  // Usable epochs feed normalize_epochs cleanly.
+  const NormalizedEpochs ne = normalize_epochs(d, usable);
+  EXPECT_EQ(ne.per_epoch.size(), usable.size());
+}
+
+}  // namespace
+}  // namespace fcma::fmri

@@ -1,0 +1,152 @@
+// Property-based sweeps: pipeline invariants that must hold across dataset
+// shapes, seeds, and configurations — not just the fixtures the unit tests
+// pin down.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "fcma/corr_norm.hpp"
+#include "fcma/pipeline.hpp"
+#include "fcma/scoreboard.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+#include "stats/stats.hpp"
+
+namespace fcma {
+namespace {
+
+// (voxels, subjects, epochs_per_subject, seed)
+using Shape = std::tuple<int, int, int, int>;
+
+fmri::Dataset dataset_for(const Shape& shape) {
+  const auto [voxels, subjects, eps, seed] = shape;
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = static_cast<std::size_t>(voxels);
+  spec.informative = std::max<std::size_t>(4, spec.voxels / 8);
+  spec.subjects = subjects;
+  spec.epochs_total = static_cast<std::size_t>(subjects * eps);
+  spec.seed = static_cast<std::uint64_t>(seed);
+  return fmri::generate_synthetic(spec);
+}
+
+class PipelineShapes : public ::testing::TestWithParam<Shape> {};
+
+// Invariant 1: the normalized correlation buffer is label-blind in its
+// population statistics — every (voxel, subject, column) tube has mean 0
+// and unit variance, regardless of shape.
+TEST_P(PipelineShapes, NormalizationMomentsHold) {
+  const fmri::Dataset d = dataset_for(GetParam());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  const std::size_t m = ne.per_epoch.size();
+  const std::size_t eps = d.epochs_per_subject();
+  const core::VoxelTask task{0, 4};
+  linalg::Matrix buf = core::make_corr_buffer(task, m, d.voxels());
+  core::optimized_correlate_normalize(ne, task, buf.view(),
+                                      core::NormMode::kMerged);
+  for (std::size_t v = 0; v < task.count; ++v) {
+    for (std::int32_t s = 0; s < d.subjects(); ++s) {
+      const std::size_t col = (7 * (v + 1)) % d.voxels();
+      double sum = 0.0;
+      double sq = 0.0;
+      for (std::size_t e = 0; e < eps; ++e) {
+        const double z = buf(v * m + static_cast<std::size_t>(s) * eps + e,
+                             col);
+        sum += z;
+        sq += z * z;
+      }
+      EXPECT_NEAR(sum / static_cast<double>(eps), 0.0, 1e-3);
+      EXPECT_NEAR(sq / static_cast<double>(eps), 1.0, 2e-2);
+    }
+  }
+}
+
+// Invariant 2: baseline and optimized pipelines agree on the voxel ranking
+// (the optimization must never change the science).
+TEST_P(PipelineShapes, ImplementationsAgreeOnTopVoxels) {
+  const fmri::Dataset d = dataset_for(GetParam());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  const core::VoxelTask all{0, static_cast<std::uint32_t>(d.voxels())};
+  core::Scoreboard base(d.voxels());
+  base.add(core::run_task(ne, all, core::PipelineConfig::baseline()));
+  core::Scoreboard opt(d.voxels());
+  opt.add(core::run_task(ne, all, core::PipelineConfig::optimized()));
+  const std::size_t k = d.informative_voxels().size();
+  const auto bt = base.top_voxels(k);
+  const auto ot = opt.top_voxels(k);
+  std::size_t overlap = 0;
+  for (const auto v : ot) {
+    overlap += std::binary_search(bt.begin(), bt.end(), v);
+  }
+  EXPECT_GE(static_cast<double>(overlap) / static_cast<double>(k), 0.75);
+}
+
+// Invariant 3: accuracies are valid frequencies with the right granularity
+// (multiples of 1/M over M cross-validated epochs).
+TEST_P(PipelineShapes, AccuraciesAreEpochFractions) {
+  const fmri::Dataset d = dataset_for(GetParam());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  const core::VoxelTask task{0, 8};
+  const auto r = core::run_task(ne, task, core::PipelineConfig::optimized());
+  const auto m = static_cast<double>(ne.meta.size());
+  for (const double a : r.accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    const double scaled = a * m;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-6);
+  }
+}
+
+// Invariant 4: FCMA's detection is seed-free and deterministic — recovery
+// of the planted voxels holds across seeds and shapes.
+TEST_P(PipelineShapes, PlantedStructureIsRecovered) {
+  const fmri::Dataset d = dataset_for(GetParam());
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  core::Scoreboard board(d.voxels());
+  board.add(core::run_task(
+      ne, core::VoxelTask{0, static_cast<std::uint32_t>(d.voxels())},
+      core::PipelineConfig::optimized()));
+  // Smallest shapes have only ~32 CV samples, so the power floor is
+  // modest; chance-level recovery would be informative/voxels ~ 12%.
+  EXPECT_GE(board.recovery_rate(d.informative_voxels()), 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineShapes,
+    ::testing::Values(Shape{64, 4, 8, 1},    // minimal
+                      Shape{96, 3, 12, 2},   // few subjects, longer runs
+                      Shape{80, 8, 6, 3},    // many subjects, short runs
+                      Shape{128, 5, 8, 4},   // wider brain
+                      Shape{64, 4, 8, 99})); // different seed
+
+// ---------------------------------------------------------------------------
+// Epoch-length sweep for the eq.2 reduction
+// ---------------------------------------------------------------------------
+
+class EpochLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpochLengths, ReductionMatchesPearsonAtAnyLength) {
+  const auto len = static_cast<std::size_t>(GetParam());
+  Rng rng(500 + len);
+  std::vector<float> x(len);
+  std::vector<float> y(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    x[i] = rng.uniform(-1.0f, 1.0f);
+    y[i] = 0.4f * x[i] + rng.uniform(-1.0f, 1.0f);
+  }
+  const double want = stats::pearson(x, y);
+  stats::normalize_epoch(x);
+  stats::normalize_epoch(y);
+  double dot = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    dot += static_cast<double>(x[i]) * y[i];
+  }
+  EXPECT_NEAR(dot, want, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, EpochLengths,
+                         ::testing::Values(3, 5, 8, 12, 16, 20, 64, 100));
+
+}  // namespace
+}  // namespace fcma

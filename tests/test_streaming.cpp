@@ -1,0 +1,171 @@
+// Tests for the streaming closed-loop analyzer: TR-by-TR ingestion, epoch
+// bookkeeping, online training, and feedback classification consistency
+// with the batch pipeline.
+#include <gtest/gtest.h>
+
+#include "fcma/streaming.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+namespace fcma::core {
+namespace {
+
+// A single-subject session to stream: big enough for the online protocol.
+fmri::Dataset session_dataset() {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 96;
+  spec.informative = 16;
+  spec.subjects = 1;
+  spec.epochs_total = 48;
+  spec.signal = 1.0;
+  return fmri::generate_synthetic(spec);
+}
+
+StreamingAnalyzer::Options options_for(const fmri::Dataset& d) {
+  StreamingAnalyzer::Options o;
+  o.voxels = d.voxels();
+  o.epoch_length = d.epochs().front().length;
+  o.top_k = 12;
+  o.k_folds = 4;
+  return o;
+}
+
+// Pushes epoch `e` of the dataset TR by TR.
+void push_epoch(StreamingAnalyzer& analyzer, const fmri::Dataset& d,
+                std::size_t e) {
+  const fmri::Epoch& ep = d.epochs()[e];
+  std::vector<float> volume(d.voxels());
+  for (std::uint32_t t = 0; t < ep.length; ++t) {
+    for (std::size_t v = 0; v < d.voxels(); ++v) {
+      volume[v] = d.data()(v, ep.start + t);
+    }
+    analyzer.push_volume(volume);
+  }
+}
+
+TEST(Streaming, TracksPendingAndCommitted) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer analyzer(options_for(d));
+  EXPECT_EQ(analyzer.pending_volumes(), 0u);
+  push_epoch(analyzer, d, 0);
+  EXPECT_EQ(analyzer.pending_volumes(), d.epochs()[0].length);
+  analyzer.commit_epoch(d.epochs()[0].label);
+  EXPECT_EQ(analyzer.pending_volumes(), 0u);
+  EXPECT_EQ(analyzer.epochs_buffered(), 1u);
+}
+
+TEST(Streaming, DiscardDropsPendingOnly) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer analyzer(options_for(d));
+  push_epoch(analyzer, d, 0);
+  analyzer.commit_epoch(0);
+  push_epoch(analyzer, d, 1);
+  analyzer.discard_pending();
+  EXPECT_EQ(analyzer.pending_volumes(), 0u);
+  EXPECT_EQ(analyzer.epochs_buffered(), 1u);
+}
+
+TEST(Streaming, GuardsProtocolErrors) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer analyzer(options_for(d));
+  std::vector<float> wrong(d.voxels() + 1);
+  EXPECT_THROW(analyzer.push_volume(wrong), Error);
+  EXPECT_THROW(analyzer.commit_epoch(0), Error);  // nothing pending
+  push_epoch(analyzer, d, 0);
+  std::vector<float> volume(d.voxels());
+  EXPECT_THROW(analyzer.push_volume(volume), Error);  // epoch complete
+  EXPECT_THROW(analyzer.commit_epoch(5), Error);      // bad label
+  EXPECT_THROW(analyzer.train(), Error);              // too few epochs
+  EXPECT_THROW((void)analyzer.classify_pending(), Error);  // not trained
+}
+
+TEST(Streaming, TrainSelectsInformativeVoxels) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer analyzer(options_for(d));
+  for (std::size_t e = 0; e < 32; ++e) {
+    push_epoch(analyzer, d, e);
+    analyzer.commit_epoch(d.epochs()[e].label);
+  }
+  analyzer.train();
+  ASSERT_TRUE(analyzer.trained());
+  const auto& truth = d.informative_voxels();
+  std::size_t hits = 0;
+  for (const auto v : analyzer.selected_voxels()) {
+    hits += std::binary_search(truth.begin(), truth.end(), v);
+  }
+  EXPECT_GE(static_cast<double>(hits) /
+                static_cast<double>(analyzer.selected_voxels().size()),
+            0.6);
+  EXPECT_GT(analyzer.training_cv_accuracy(), 0.6);
+}
+
+TEST(Streaming, FeedbackBeatsChanceOnHeldOutEpochs) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer analyzer(options_for(d));
+  const std::size_t localizer = 36;
+  for (std::size_t e = 0; e < localizer; ++e) {
+    push_epoch(analyzer, d, e);
+    analyzer.commit_epoch(d.epochs()[e].label);
+  }
+  analyzer.train();
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t e = localizer; e < d.epochs().size(); ++e) {
+    push_epoch(analyzer, d, e);
+    const Feedback f = analyzer.classify_pending();
+    correct += (f.label == d.epochs()[e].label);
+    ++total;
+    analyzer.discard_pending();
+  }
+  EXPECT_GE(total, 8u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+            0.75);
+}
+
+TEST(Streaming, ClassifyIsSignConsistentWithDecision) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer analyzer(options_for(d));
+  for (std::size_t e = 0; e < 32; ++e) {
+    push_epoch(analyzer, d, e);
+    analyzer.commit_epoch(d.epochs()[e].label);
+  }
+  analyzer.train();
+  push_epoch(analyzer, d, 33);
+  const Feedback f = analyzer.classify_pending();
+  EXPECT_EQ(f.label, f.decision >= 0.0 ? 1 : 0);
+}
+
+TEST(Streaming, RetrainingAfterMoreDataIsAllowed) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer analyzer(options_for(d));
+  for (std::size_t e = 0; e < 16; ++e) {
+    push_epoch(analyzer, d, e);
+    analyzer.commit_epoch(d.epochs()[e].label);
+  }
+  analyzer.train();
+  const double first = analyzer.training_cv_accuracy();
+  for (std::size_t e = 16; e < 40; ++e) {
+    push_epoch(analyzer, d, e);
+    analyzer.commit_epoch(d.epochs()[e].label);
+  }
+  analyzer.train();  // retrain with 40 epochs
+  EXPECT_TRUE(analyzer.trained());
+  // More data should not catastrophically hurt the estimate.
+  EXPECT_GT(analyzer.training_cv_accuracy(), first - 0.15);
+}
+
+TEST(Streaming, BufferCapacityIsEnforced) {
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer::Options o = options_for(d);
+  o.max_epochs = 2;
+  StreamingAnalyzer analyzer(o);
+  for (std::size_t e = 0; e < 2; ++e) {
+    push_epoch(analyzer, d, e);
+    analyzer.commit_epoch(d.epochs()[e].label);
+  }
+  push_epoch(analyzer, d, 2);
+  EXPECT_THROW(analyzer.commit_epoch(0), Error);
+}
+
+}  // namespace
+}  // namespace fcma::core

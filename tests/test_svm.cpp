@@ -1,0 +1,366 @@
+// Tests for the three SVM solvers: analytic solutions on tiny problems,
+// agreement between LibSVM-faithful and dense implementations, KKT
+// conditions, separable-data behaviour, cross-validation, and the
+// vector-intensity ordering of Table 8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/opt.hpp"
+#include "svm/cross_validation.hpp"
+
+namespace fcma::svm {
+namespace {
+
+/// Builds a linear-kernel matrix from 2-D points.
+linalg::Matrix kernel_from_points(const std::vector<std::pair<float, float>>& pts) {
+  linalg::Matrix k(pts.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      k(i, j) = pts[i].first * pts[j].first + pts[i].second * pts[j].second;
+    }
+  }
+  return k;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+/// A random linearly-separable problem: points at distance >= margin from
+/// the separating hyperplane w = (1, 1)/sqrt(2).
+struct Separable {
+  std::vector<std::pair<float, float>> points;
+  std::vector<std::int8_t> labels;
+};
+
+Separable make_separable(std::size_t n, float margin, std::uint64_t seed) {
+  Rng rng(seed);
+  Separable s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto side = static_cast<std::int8_t>((i % 2 == 0) ? 1 : -1);
+    // Random point on the correct side, at least `margin` away.
+    const float along = rng.uniform(-2.0f, 2.0f);
+    const float away = margin + rng.uniform(0.0f, 1.5f);
+    // Hyperplane direction (1,1)/sqrt2; offset point along (1,-1)/sqrt2.
+    const float inv = 0.70710678f;
+    s.points.push_back({along * inv + side * away * inv,
+                        -along * inv + side * away * inv});
+    s.labels.push_back(side);
+  }
+  return s;
+}
+
+const TrainOptions kDefault{};
+
+// ---------------------------------------------------------------------------
+// Analytic two-point problem: optimal alpha = 1/|x1-x2|^2 (if < C), and the
+// margin midpoint determines rho.
+// ---------------------------------------------------------------------------
+
+class AllSolvers : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(AllSolvers, TwoPointAnalyticSolution) {
+  const std::vector<std::pair<float, float>> pts{{2.0f, 0.0f}, {0.0f, 0.0f}};
+  const std::vector<std::int8_t> labels{1, -1};
+  const linalg::Matrix k = kernel_from_points(pts);
+  TrainOptions opts;
+  opts.c = 10.0;  // large enough not to bind
+  const Model m = train(GetParam(), k.view(), labels, all_indices(2), opts);
+  // |x1 - x2|^2 = 4 -> alpha = 2/4 = 0.5 each; w = (1,0); rho = -w.mid = 1.
+  EXPECT_NEAR(m.alpha_y[0], 0.5, 1e-3);
+  EXPECT_NEAR(m.alpha_y[1], -0.5, 1e-3);
+  EXPECT_NEAR(m.rho, 1.0, 1e-2);
+  // Decision values: +1 at x1, -1 at x2.
+  EXPECT_NEAR(decision_value(m, k.view(), 0, all_indices(2)), 1.0, 1e-2);
+  EXPECT_NEAR(decision_value(m, k.view(), 1, all_indices(2)), -1.0, 1e-2);
+}
+
+TEST_P(AllSolvers, BoxConstraintBindsForSmallC) {
+  const std::vector<std::pair<float, float>> pts{{1.0f, 0.0f}, {-1.0f, 0.0f}};
+  const std::vector<std::int8_t> labels{1, -1};
+  const linalg::Matrix k = kernel_from_points(pts);
+  TrainOptions opts;
+  opts.c = 0.1;  // binds: unconstrained alpha would be 0.5
+  const Model m = train(GetParam(), k.view(), labels, all_indices(2), opts);
+  EXPECT_NEAR(m.alpha_y[0], 0.1, 1e-4);
+  EXPECT_NEAR(m.alpha_y[1], -0.1, 1e-4);
+}
+
+TEST_P(AllSolvers, SeparableProblemClassifiesPerfectly) {
+  const Separable s = make_separable(40, 0.5f, 17);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  const Model m =
+      train(GetParam(), k.view(), s.labels, all_indices(40), kDefault);
+  for (std::size_t t = 0; t < 40; ++t) {
+    const double f = decision_value(m, k.view(), t, all_indices(40));
+    EXPECT_GT(f * s.labels[t], 0.0) << "sample " << t;
+  }
+}
+
+TEST_P(AllSolvers, DualConstraintHolds) {
+  // sum alpha_i y_i = 0 at any SMO solution.
+  const Separable s = make_separable(30, 0.2f, 23);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  const Model m =
+      train(GetParam(), k.view(), s.labels, all_indices(30), kDefault);
+  const double sum =
+      std::accumulate(m.alpha_y.begin(), m.alpha_y.end(), 0.0);
+  EXPECT_NEAR(sum, 0.0, 1e-5);
+}
+
+TEST_P(AllSolvers, AlphasWithinBox) {
+  const Separable s = make_separable(24, 0.1f, 29);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  TrainOptions opts;
+  opts.c = 0.7;
+  const Model m = train(GetParam(), k.view(), s.labels, all_indices(24), opts);
+  for (std::size_t i = 0; i < m.alpha_y.size(); ++i) {
+    const double a = m.alpha_y[i] * s.labels[i];  // recover alpha
+    EXPECT_GE(a, -1e-6);
+    EXPECT_LE(a, opts.c + 1e-6);
+  }
+}
+
+TEST_P(AllSolvers, TrainingOnSubsetIgnoresRest) {
+  // Samples outside train_idx must not influence the model.
+  Separable s = make_separable(20, 0.5f, 31);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  std::vector<std::size_t> subset;
+  for (std::size_t i = 0; i < 12; ++i) subset.push_back(i);
+  const Model m1 = train(GetParam(), k.view(), s.labels, subset, kDefault);
+  // Corrupt the labels of the unused samples; result must be identical.
+  for (std::size_t i = 12; i < 20; ++i) s.labels[i] = -s.labels[i];
+  const Model m2 = train(GetParam(), k.view(), s.labels, subset, kDefault);
+  ASSERT_EQ(m1.alpha_y.size(), m2.alpha_y.size());
+  for (std::size_t i = 0; i < m1.alpha_y.size(); ++i) {
+    EXPECT_EQ(m1.alpha_y[i], m2.alpha_y[i]);
+  }
+  EXPECT_EQ(m1.rho, m2.rho);
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, AllSolvers,
+                         ::testing::Values(SolverKind::kLibSvm,
+                                           SolverKind::kOptimizedLibSvm,
+                                           SolverKind::kPhiSvm),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SolverKind::kLibSvm: return "LibSvm";
+                             case SolverKind::kOptimizedLibSvm:
+                               return "OptLibSvm";
+                             default: return "PhiSvm";
+                           }
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-implementation agreement
+// ---------------------------------------------------------------------------
+
+TEST(SolverAgreement, ObjectivesMatchAcrossImplementations) {
+  const Separable s = make_separable(50, 0.1f, 37);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  const auto idx = all_indices(50);
+  const Model lib = libsvm_train(k.view(), s.labels, idx, kDefault);
+  const Model opt = optimized_libsvm_train(k.view(), s.labels, idx, kDefault);
+  const Model phi = phisvm_train(k.view(), s.labels, idx, kDefault);
+  // All solve the same QP: optimal objectives agree to solver tolerance.
+  EXPECT_NEAR(lib.objective, opt.objective,
+              1e-2 * (1.0 + std::abs(lib.objective)));
+  EXPECT_NEAR(lib.objective, phi.objective,
+              1e-2 * (1.0 + std::abs(lib.objective)));
+}
+
+TEST(SolverAgreement, DecisionValuesMatchOnNoisyProblem) {
+  // Overlapping classes: bounded SVs exist; decisions should still agree.
+  Rng rng(41);
+  std::vector<std::pair<float, float>> pts;
+  std::vector<std::int8_t> labels;
+  for (int i = 0; i < 60; ++i) {
+    const auto side = static_cast<std::int8_t>((i % 2 == 0) ? 1 : -1);
+    pts.push_back({side * 0.5f + static_cast<float>(rng.gaussian()),
+                   static_cast<float>(rng.gaussian())});
+    labels.push_back(side);
+  }
+  const linalg::Matrix k = kernel_from_points(pts);
+  const auto idx = all_indices(60);
+  const Model lib = libsvm_train(k.view(), labels, idx, kDefault);
+  const Model phi = phisvm_train(k.view(), labels, idx, kDefault);
+  int disagreements = 0;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const double fl = decision_value(lib, k.view(), t, idx);
+    const double fp = decision_value(phi, k.view(), t, idx);
+    disagreements += ((fl >= 0) != (fp >= 0));
+  }
+  EXPECT_LE(disagreements, 2);  // only near-boundary points may flip
+}
+
+TEST(SolverAgreement, FirstOrderHeuristicConvergesToSameObjective) {
+  const Separable s = make_separable(40, 0.2f, 43);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  const auto idx = all_indices(40);
+  const Model second = dense_train(k.view(), s.labels, idx, kDefault,
+                                   Heuristic::kSecondOrder);
+  const Model first = dense_train(k.view(), s.labels, idx, kDefault,
+                                  Heuristic::kFirstOrder);
+  EXPECT_NEAR(second.objective, first.objective,
+              1e-2 * (1.0 + std::abs(second.objective)));
+}
+
+TEST(SolverAgreement, SecondOrderNeedsFewerIterations) {
+  // The Fan/Chen/Lin heuristic's whole point: fewer SMO steps.
+  const Separable s = make_separable(80, 0.05f, 47);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  const auto idx = all_indices(80);
+  const Model second = dense_train(k.view(), s.labels, idx, kDefault,
+                                   Heuristic::kSecondOrder);
+  const Model first = dense_train(k.view(), s.labels, idx, kDefault,
+                                  Heuristic::kFirstOrder);
+  EXPECT_LE(second.iterations, first.iterations);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation machinery
+// ---------------------------------------------------------------------------
+
+TEST(CrossValidation, LosoFoldsGroupBySubject) {
+  const std::vector<std::int32_t> subj{0, 0, 1, 1, 2, 2, 0};
+  const auto folds = loso_folds(subj, 3);
+  ASSERT_EQ(folds.size(), 3u);
+  EXPECT_EQ(folds[0], (std::vector<std::size_t>{0, 1, 6}));
+  EXPECT_EQ(folds[1], (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(folds[2], (std::vector<std::size_t>{4, 5}));
+}
+
+TEST(CrossValidation, LosoRejectsEmptySubject) {
+  const std::vector<std::int32_t> subj{0, 0, 2, 2};
+  EXPECT_THROW(loso_folds(subj, 3), Error);
+}
+
+TEST(CrossValidation, PerfectAccuracyOnSeparableData) {
+  const Separable s = make_separable(36, 0.8f, 53);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  std::vector<std::vector<std::size_t>> folds(4);
+  for (std::size_t i = 0; i < 36; ++i) folds[i % 4].push_back(i);
+  const CvResult cv = cross_validate(SolverKind::kPhiSvm, k.view(), s.labels,
+                                     folds, kDefault);
+  EXPECT_EQ(cv.total, 36u);
+  EXPECT_EQ(cv.correct, 36u);
+  EXPECT_DOUBLE_EQ(cv.accuracy(), 1.0);
+}
+
+TEST(CrossValidation, ChanceAccuracyOnRandomLabels) {
+  Rng rng(59);
+  std::vector<std::pair<float, float>> pts;
+  std::vector<std::int8_t> labels;
+  for (int i = 0; i < 64; ++i) {
+    pts.push_back({static_cast<float>(rng.gaussian()),
+                   static_cast<float>(rng.gaussian())});
+    labels.push_back(rng.uniform() < 0.5 ? std::int8_t{1} : std::int8_t{-1});
+  }
+  const linalg::Matrix k = kernel_from_points(pts);
+  std::vector<std::vector<std::size_t>> folds(4);
+  for (std::size_t i = 0; i < 64; ++i) folds[i % 4].push_back(i);
+  const CvResult cv = cross_validate(SolverKind::kPhiSvm, k.view(), labels,
+                                     folds, kDefault);
+  EXPECT_GT(cv.accuracy(), 0.2);
+  EXPECT_LT(cv.accuracy(), 0.8);
+}
+
+TEST(CrossValidation, AllSolversAgreeOnAccuracy) {
+  const Separable s = make_separable(24, 0.4f, 61);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  std::vector<std::vector<std::size_t>> folds(3);
+  for (std::size_t i = 0; i < 24; ++i) folds[i % 3].push_back(i);
+  const double lib = cross_validate(SolverKind::kLibSvm, k.view(), s.labels,
+                                    folds, kDefault)
+                         .accuracy();
+  const double opt = cross_validate(SolverKind::kOptimizedLibSvm, k.view(),
+                                    s.labels, folds, kDefault)
+                         .accuracy();
+  const double phi = cross_validate(SolverKind::kPhiSvm, k.view(), s.labels,
+                                    folds, kDefault)
+                         .accuracy();
+  EXPECT_DOUBLE_EQ(lib, opt);
+  EXPECT_DOUBLE_EQ(lib, phi);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented runs: the Table 8 vector-intensity ordering
+// ---------------------------------------------------------------------------
+
+TEST(SvmEvents, IntensityOrderingMatchesTable8) {
+  const Separable s = make_separable(64, 0.1f, 67);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  const auto idx = all_indices(64);
+  auto intensity = [&](SolverKind kind) {
+    memsim::Instrument ins;
+    (void)train(kind, k.view(), s.labels, idx, kDefault, &ins);
+    return ins.events().vector_intensity();
+  };
+  const double lib = intensity(SolverKind::kLibSvm);
+  const double opt = intensity(SolverKind::kOptimizedLibSvm);
+  const double phi = intensity(SolverKind::kPhiSvm);
+  // LibSVM's sparse/double/scalar loops score ~1-2; the dense float
+  // implementations approach the vector width.
+  EXPECT_LT(lib, 3.0);
+  EXPECT_GT(opt, 8.0);
+  EXPECT_GT(phi, 8.0);
+}
+
+TEST(SvmEvents, InstrumentedResultMatchesUninstrumented) {
+  const Separable s = make_separable(30, 0.3f, 71);
+  const linalg::Matrix k = kernel_from_points(s.points);
+  const auto idx = all_indices(30);
+  memsim::Instrument ins;
+  const Model with = phisvm_train(k.view(), s.labels, idx, kDefault, &ins);
+  const Model without = phisvm_train(k.view(), s.labels, idx, kDefault);
+  ASSERT_EQ(with.alpha_y.size(), without.alpha_y.size());
+  for (std::size_t i = 0; i < with.alpha_y.size(); ++i) {
+    EXPECT_EQ(with.alpha_y[i], without.alpha_y[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guard rails
+// ---------------------------------------------------------------------------
+
+TEST(SvmValidation, RejectsNonSquareKernel) {
+  linalg::Matrix k(4, 5);
+  const std::vector<std::int8_t> labels{1, -1, 1, -1};
+  EXPECT_THROW(
+      (void)phisvm_train(k.view(), labels, all_indices(4), kDefault), Error);
+}
+
+TEST(SvmValidation, RejectsBadLabels) {
+  linalg::Matrix k(4, 4);
+  k.fill(0.0f);
+  for (int i = 0; i < 4; ++i) k(i, i) = 1.0f;
+  const std::vector<std::int8_t> labels{1, 0, 1, -1};
+  EXPECT_THROW(
+      (void)phisvm_train(k.view(), labels, all_indices(4), kDefault), Error);
+  EXPECT_THROW(
+      (void)libsvm_train(k.view(), labels, all_indices(4), kDefault), Error);
+}
+
+TEST(SvmValidation, RejectsSingleSample) {
+  linalg::Matrix k(2, 2);
+  k.fill(1.0f);
+  const std::vector<std::int8_t> labels{1, -1};
+  const std::vector<std::size_t> one{0};
+  EXPECT_THROW((void)phisvm_train(k.view(), labels, one, kDefault), Error);
+}
+
+TEST(Model, SupportVectorCount) {
+  Model m;
+  m.alpha_y = {0.5, 0.0, -0.5, 0.0};
+  EXPECT_EQ(m.support_vectors(), 2u);
+}
+
+}  // namespace
+}  // namespace fcma::svm

@@ -1,0 +1,99 @@
+// Unit tests for the thread pool and parallel_for helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace fcma::threading {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw Error("boom"); });
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(ParallelFor, CoversEntireRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, 37, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, 1,
+               [&calls](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, ZeroGrainThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 10, 0, [](std::size_t, std::size_t) {}),
+      Error);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10, 1,
+                            [](std::size_t lo, std::size_t) {
+                              if (lo == 5) throw Error("body failed");
+                            }),
+               Error);
+}
+
+TEST(ParallelForEach, SumsCorrectly) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  parallel_for_each(pool, 1, 101, [&sum](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeStillWorks) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 0, 7, 100, [&total](std::size_t lo, std::size_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 7);
+}
+
+}  // namespace
+}  // namespace fcma::threading

@@ -1,0 +1,270 @@
+// fcma — command-line driver for the FCMA toolkit.
+//
+// Wraps the library's main workflows behind one binary so an analysis can
+// run end-to-end without writing C++:
+//
+//   fcma generate   --out study --voxels 512 --subjects 8
+//   fcma info       --in study
+//   fcma preprocess --in study --out clean --detrend 1 --spike-threshold 8
+//   fcma analyze    --in clean --report analysis.txt --fdr 0.05
+//   fcma offline    --in clean --report offline.txt --top-k 32
+//
+// Datasets live in the FCMB/epoch-file pair written by fmri::save_dataset;
+// `generate --grid X,Y,Z` additionally writes an FCMM brain mask and the
+// analysis report then includes ROI clusters.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "fcma/offline.hpp"
+#include "fcma/pipeline.hpp"
+#include "fcma/report.hpp"
+#include "fcma/scoreboard.hpp"
+#include "fcma/selection.hpp"
+#include "fmri/io.hpp"
+#include "fmri/preprocess.hpp"
+#include "fmri/presets.hpp"
+#include "fmri/synthetic.hpp"
+
+namespace {
+
+using namespace fcma;
+
+void usage() {
+  std::puts(
+      "fcma <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate    synthesize a dataset (optionally volumetric)\n"
+      "  info        summarize a dataset\n"
+      "  preprocess  detrend + censor motion spikes (+ smooth if a mask "
+      "exists)\n"
+      "  analyze     run the FCMA pipeline and write a report\n"
+      "  offline     run the nested leave-one-subject-out study\n"
+      "\n"
+      "run `fcma <command> --help` for that command's flags.");
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  Cli cli("fcma generate", "synthesize a planted-connectivity dataset");
+  cli.add_flag("out", "study", "output stem (<stem>.fcmb/.epochs[/.fcmm])");
+  cli.add_flag("voxels", "512", "brain voxels (ignored with --grid)");
+  cli.add_flag("subjects", "8", "subject count");
+  cli.add_flag("epochs-per-subject", "12", "epochs per subject (even)");
+  cli.add_flag("informative", "64", "planted informative voxels");
+  cli.add_flag("signal", "0.8", "latent loading of informative voxels");
+  cli.add_flag("seed", "42", "generator seed");
+  cli.add_flag("grid", "",
+               "volumetric mode: X,Y,Z grid with an ellipsoid brain mask "
+               "and blob-planted ROIs");
+  cli.add_flag("blobs", "4", "ROI blob count (volumetric mode)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.name = cli.get("out");
+  spec.voxels = static_cast<std::size_t>(cli.get_int("voxels"));
+  spec.subjects = static_cast<std::int32_t>(cli.get_int("subjects"));
+  spec.epochs_total = static_cast<std::size_t>(
+      cli.get_int("epochs-per-subject") * cli.get_int("subjects"));
+  spec.informative = static_cast<std::size_t>(cli.get_int("informative"));
+  spec.signal = cli.get_double("signal");
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const std::string stem = cli.get("out");
+  const std::string grid = cli.get("grid");
+  if (!grid.empty()) {
+    int nx = 0;
+    int ny = 0;
+    int nz = 0;
+    FCMA_CHECK(std::sscanf(grid.c_str(), "%d,%d,%d", &nx, &ny, &nz) == 3,
+               "--grid expects X,Y,Z");
+    const fmri::VolumetricDataset vol = fmri::generate_synthetic_volumetric(
+        spec, fmri::VolumeGeometry{nx, ny, nz},
+        static_cast<std::size_t>(cli.get_int("blobs")));
+    fmri::save_dataset(stem, vol.dataset);
+    fmri::save_mask(stem + ".fcmm", vol.mask);
+    std::printf("wrote %s.fcmb/.epochs/.fcmm: %zu brain voxels in a "
+                "%dx%dx%d grid, %zu planted ROI voxels in %zu blobs\n",
+                stem.c_str(), vol.dataset.voxels(), nx, ny, nz,
+                vol.dataset.informative_voxels().size(),
+                vol.planted_rois.size());
+  } else {
+    const fmri::Dataset d = fmri::generate_synthetic(spec);
+    fmri::save_dataset(stem, d);
+    std::printf("wrote %s.fcmb/.epochs: %zu voxels, %d subjects, %zu "
+                "epochs, %zu planted informative voxels\n",
+                stem.c_str(), d.voxels(), d.subjects(), d.epochs().size(),
+                d.informative_voxels().size());
+  }
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  Cli cli("fcma info", "summarize a dataset");
+  cli.add_flag("in", "study", "dataset stem");
+  if (!cli.parse(argc, argv)) return 0;
+  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
+  std::printf("dataset %s\n", d.name().c_str());
+  std::printf("  voxels:      %zu\n", d.voxels());
+  std::printf("  time points: %zu\n", d.timepoints());
+  std::printf("  subjects:    %d\n", d.subjects());
+  std::printf("  epochs:      %zu (%zu per subject, length %u)\n",
+              d.epochs().size(), d.epochs_per_subject(),
+              d.epochs().front().length);
+  std::size_t ones = 0;
+  for (const auto& e : d.epochs()) ones += (e.label == 1);
+  std::printf("  label balance: %.2f\n",
+              static_cast<double>(ones) /
+                  static_cast<double>(d.epochs().size()));
+  return 0;
+}
+
+int cmd_preprocess(int argc, const char* const* argv) {
+  Cli cli("fcma preprocess", "detrend, censor, and (with a mask) smooth");
+  cli.add_flag("in", "study", "input dataset stem");
+  cli.add_flag("out", "clean", "output dataset stem");
+  cli.add_flag("detrend", "1", "polynomial detrend order (-1 = off)");
+  cli.add_flag("spike-threshold", "8.0",
+               "motion-spike threshold in robust SDs (0 = off)");
+  cli.add_flag("fwhm", "0", "Gaussian smoothing FWHM in voxels (needs "
+                            "<in>.fcmm; 0 = off)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
+  const long order = cli.get_int("detrend");
+  if (order >= 0) {
+    fmri::detrend_dataset(d, static_cast<int>(order));
+    std::printf("detrended (order %ld)\n", order);
+  }
+  const double fwhm = cli.get_double("fwhm");
+  if (fwhm > 0.0) {
+    const fmri::BrainMask mask = fmri::load_mask(cli.get("in") + ".fcmm");
+    fmri::spatial_smooth(d, mask, fwhm);
+    fmri::save_mask(cli.get("out") + ".fcmm", mask);
+    std::printf("smoothed (FWHM %.1f voxels)\n", fwhm);
+  }
+  const double thresh = cli.get_double("spike-threshold");
+  if (thresh > 0.0) {
+    const auto spikes = fmri::detect_motion_spikes(d, thresh);
+    const auto censored = fmri::censored_epochs(d, spikes);
+    std::printf("motion spikes: %zu -> %zu epoch(s) censored\n",
+                spikes.size(), censored.size());
+    // Censoring is recorded by *dropping* the epochs from the label file:
+    // rebuild the dataset with only usable epochs referenced.
+    if (!censored.empty()) {
+      const auto usable = fmri::usable_epochs(d, spikes);
+      std::vector<fmri::Epoch> keep;
+      for (const std::size_t e : usable) keep.push_back(d.epochs()[e]);
+      fmri::save_activity(cli.get("out") + ".fcmb", d.data());
+      fmri::save_epochs(cli.get("out") + ".epochs", keep);
+      std::printf("wrote %s (with %zu usable epochs)\n",
+                  cli.get("out").c_str(), keep.size());
+      return 0;
+    }
+  }
+  fmri::save_dataset(cli.get("out"), d);
+  std::printf("wrote %s\n", cli.get("out").c_str());
+  return 0;
+}
+
+int cmd_analyze(int argc, const char* const* argv) {
+  Cli cli("fcma analyze", "score every voxel and write a report");
+  cli.add_flag("in", "study", "dataset stem");
+  cli.add_flag("report", "analysis.txt", "report output path");
+  cli.add_flag("top-k", "20", "voxels listed in the report");
+  cli.add_flag("fdr", "0.05", "FDR level for the selected set");
+  cli.add_flag("grouped", "64", "voxels in flight (memory-bounded driver)");
+  cli.add_flag("baseline", "false", "use the baseline implementation");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
+  const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(d);
+  const core::PipelineConfig config = cli.get_bool("baseline")
+                                          ? core::PipelineConfig::baseline()
+                                          : core::PipelineConfig::optimized();
+  WallTimer timer;
+  core::Scoreboard board(d.voxels());
+  board.add(core::run_task_grouped(
+      epochs, core::VoxelTask{0, static_cast<std::uint32_t>(d.voxels())},
+      config, static_cast<std::size_t>(cli.get_int("grouped"))));
+  std::printf("scored %zu voxels in %.1f s\n", d.voxels(), timer.seconds());
+
+  const auto selected = core::significant_voxels(
+      board, epochs.meta.size(), cli.get_double("fdr"),
+      core::Correction::kFdr);
+  std::printf("FDR (q = %.3g) selected %zu voxels\n",
+              cli.get_double("fdr"), selected.size());
+
+  core::ReportOptions opts;
+  opts.cv_total = epochs.meta.size();
+  opts.top_voxels = static_cast<std::size_t>(cli.get_int("top-k"));
+  std::string report;
+  // Use the mask for ROI clustering when one exists alongside the data.
+  try {
+    const fmri::BrainMask mask = fmri::load_mask(cli.get("in") + ".fcmm");
+    report = core::render_report(board, selected, &mask, opts);
+  } catch (const Error&) {
+    report = core::render_report(board, selected, nullptr, opts);
+  }
+  core::write_report(cli.get("report"), report);
+  std::printf("report written to %s\n", cli.get("report").c_str());
+  return 0;
+}
+
+int cmd_offline(int argc, const char* const* argv) {
+  Cli cli("fcma offline", "nested leave-one-subject-out study");
+  cli.add_flag("in", "study", "dataset stem");
+  cli.add_flag("report", "offline.txt", "report output path");
+  cli.add_flag("top-k", "32", "voxels selected per fold");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
+  core::OfflineOptions opts;
+  opts.top_k = static_cast<std::size_t>(cli.get_int("top-k"));
+  WallTimer timer;
+  const core::OfflineResult result = core::run_offline_analysis(d, opts);
+  std::printf("%zu folds in %.1f s; mean held-out accuracy %.3f\n",
+              result.folds.size(), timer.seconds(),
+              result.mean_test_accuracy());
+  std::string report;
+  try {
+    const fmri::BrainMask mask = fmri::load_mask(cli.get("in") + ".fcmm");
+    report = core::render_offline_report(result, d.voxels(), &mask,
+                                         core::ReportOptions{});
+  } catch (const Error&) {
+    report = core::render_offline_report(result, d.voxels(), nullptr,
+                                         core::ReportOptions{});
+  }
+  core::write_report(cli.get("report"), report);
+  std::printf("report written to %s\n", cli.get("report").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own flags.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (command == "info") return cmd_info(sub_argc, sub_argv);
+    if (command == "preprocess") return cmd_preprocess(sub_argc, sub_argv);
+    if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
+    if (command == "offline") return cmd_offline(sub_argc, sub_argv);
+    std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+    usage();
+    return 1;
+  } catch (const fcma::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end smoke test of the fcma CLI: generate -> info -> preprocess ->
+# analyze -> offline, asserting each artifact exists and the reports carry
+# the expected sections.
+set -eu
+FCMA="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+"$FCMA" generate --out study --grid 10,10,8 --subjects 4 \
+    --epochs-per-subject 12 --informative 16 --blobs 2
+test -f study.fcmb && test -f study.epochs && test -f study.fcmm
+
+"$FCMA" info --in study | grep -q "subjects:    4"
+
+"$FCMA" preprocess --in study --out clean --detrend 1 --fwhm 1.2
+test -f clean.fcmb && test -f clean.fcmm
+
+"$FCMA" analyze --in clean --report analysis.txt --top-k 6
+grep -q "top voxels" analysis.txt
+grep -q "ROI clusters" analysis.txt
+
+"$FCMA" offline --in clean --report offline.txt --top-k 12
+grep -q "per-fold results" offline.txt
+grep -q "mean held-out accuracy" offline.txt
+
+# Error paths exit non-zero with a message.
+if "$FCMA" info --in /nonexistent 2>/dev/null; then
+  echo "expected failure for a missing dataset" >&2
+  exit 1
+fi
+if "$FCMA" bogus-command 2>/dev/null; then
+  echo "expected failure for an unknown command" >&2
+  exit 1
+fi
+echo "cli smoke test passed"
