@@ -42,6 +42,7 @@ double gemm_with_panel(const linalg::Matrix& a, const linalg::Matrix& b,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_ablation_block_size",
           "ablation: blocking parameter sweeps for the optimized kernels");
   cli.add_flag("voxels", "8192", "brain size N for the gemm sweep");

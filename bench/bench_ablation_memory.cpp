@@ -10,6 +10,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_ablation_memory",
           "memory regimes: correlation data vs kernel-matrix reduction");
   cli.add_flag("group", "8", "voxels in flight in the grouped pipeline");

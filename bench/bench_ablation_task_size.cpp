@@ -10,6 +10,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_ablation_task_size",
           "ablation: task granularity vs 96-node speedup");
   cli.add_flag("voxels", "1024", "scaled brain size for calibration");

@@ -11,6 +11,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_ablation_wss",
           "ablation: SMO working-set selection heuristics");
   cli.add_flag("voxels", "1024", "scaled brain size");

@@ -16,6 +16,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "fcma/pipeline.hpp"
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
@@ -88,6 +89,34 @@ inline cluster::CalibratedCost calibrate(const Workload& w,
       instrumented_task(w, calib_task_voxels, config, model_lanes, machine);
   return cluster::CalibratedCost(run, dims_of(w, calib_task_voxels));
 }
+
+/// Writes the global trace registry (stage spans, thread-pool and comm
+/// counters) as JSON to `path`.
+inline void dump_metrics(const std::string& path) {
+  trace::global().write_json(path);
+}
+
+/// Turns tracing on for the bench's lifetime and writes the metrics
+/// sidecar `<argv0>.metrics.json` when main() returns, so every table and
+/// figure reproduction leaves a machine-readable stage breakdown next to
+/// its printed output.  Declare first in main().
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(const std::string& argv0)
+      : path_(argv0 + ".metrics.json") {
+    trace::set_enabled(true);
+  }
+  ~MetricsSidecar() {
+    dump_metrics(path_);
+    std::printf("\nmetrics sidecar written to %s\n", path_.c_str());
+  }
+
+  MetricsSidecar(const MetricsSidecar&) = delete;
+  MetricsSidecar& operator=(const MetricsSidecar&) = delete;
+
+ private:
+  std::string path_;
+};
 
 /// Standard preamble: describes the modeled-machine methodology once per
 /// bench so table outputs are self-explanatory.

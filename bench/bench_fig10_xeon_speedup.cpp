@@ -9,6 +9,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_fig10_xeon_speedup",
           "Fig 10: optimized vs baseline per-voxel time on the Xeon");
   cli.add_flag("voxels", "1024", "scaled brain size for calibration");

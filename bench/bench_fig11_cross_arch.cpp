@@ -11,6 +11,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_fig11_cross_arch",
           "Fig 11: processor vs coprocessor, baseline and optimized");
   cli.add_flag("voxels", "4096", "scaled brain size for calibration");

@@ -11,6 +11,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_fig8_speedup", "Fig 8: offline-analysis speedup curves");
   cli.add_flag("voxels", "1024", "scaled brain size for calibration");
   cli.add_flag("subjects", "6", "scaled subject count for calibration");

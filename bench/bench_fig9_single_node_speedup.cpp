@@ -19,6 +19,7 @@ struct DatasetRow {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_fig9_single_node_speedup",
           "Fig 9: optimized vs baseline per-voxel time on the Phi");
   cli.add_flag("voxels", "4096", "scaled brain size for calibration");

@@ -12,6 +12,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_knl_projection",
           "projection of the single-node comparison onto Knights Landing");
   cli.add_flag("voxels", "4096", "scaled brain size for calibration");

@@ -16,6 +16,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_seed_vs_fcma",
           "recall of planted connectivity: seed maps vs FCMA");
   cli.add_flag("voxels", "256", "brain size");

@@ -16,6 +16,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table1_baseline_profile",
           "Table 1: instrumentation of the baseline implementation");
   cli.add_flag("voxels", "1024", "scaled brain size");

@@ -7,6 +7,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table2_datasets", "Table 2: dataset descriptions");
   cli.add_flag("generate", "true",
                "actually generate scaled instances to verify the specs");

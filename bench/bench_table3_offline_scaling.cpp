@@ -12,6 +12,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table3_offline_scaling",
           "Table 3: offline analysis scaling across coprocessors");
   cli.add_flag("voxels", "1024", "scaled brain size for calibration");

@@ -13,6 +13,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table4_online_scaling",
           "Table 4: online voxel-selection scaling across coprocessors");
   cli.add_flag("voxels", "1024", "scaled brain size for calibration");

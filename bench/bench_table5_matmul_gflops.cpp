@@ -41,6 +41,7 @@ OpResult measure(Op&& op, double paper_gflop_count) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table5_matmul_gflops",
           "Table 5: matmul GFLOPS, blocked kernels vs generic baseline");
   cli.add_flag("voxels", "16384", "scaled brain size N for the corr gemm");

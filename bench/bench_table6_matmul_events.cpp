@@ -24,6 +24,7 @@ linalg::Matrix random_matrix(std::size_t r, std::size_t c,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table6_matmul_events",
           "Table 6: matmul memory references, L2 misses, vector intensity");
   cli.add_flag("voxels", "16384", "scaled brain size N for the corr gemm");

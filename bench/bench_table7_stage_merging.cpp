@@ -10,6 +10,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table7_stage_merging",
           "Table 7: merged vs separated correlation+normalization stages");
   cli.add_flag("voxels", "2048", "scaled brain size");

@@ -11,6 +11,7 @@
 using namespace fcma;
 
 int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
   Cli cli("bench_table8_svm",
           "Table 8: SVM cross-validation across the three solvers");
   cli.add_flag("voxels", "1024", "scaled brain size");

@@ -15,12 +15,17 @@
 #include "cluster/driver.hpp"
 #include "cluster/sim.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "fcma/task.hpp"
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
 
 int main() {
   using namespace fcma;
+
+  // Trace the run: the sidecar picks up comm message/byte counters and the
+  // per-worker task latency spans from part 1's real protocol run.
+  trace::set_enabled(true);
 
   fmri::DatasetSpec spec = fmri::tiny_spec();
   spec.voxels = 256;
@@ -39,10 +44,15 @@ int main() {
       cluster::run_cluster_analysis(epochs, dataset.voxels(), options,
                                     &stats);
   std::printf("  %zu tasks, %zu messages, %.2f s; recovery of planted "
-              "voxels: %.0f%%\n\n",
+              "voxels: %.0f%%\n",
               stats.tasks_dispatched, stats.messages, timer.seconds(),
               100.0 * distributed.recovery_rate(
                           dataset.informative_voxels()));
+  std::printf("  traced: %lld comm messages, %lld payload bytes\n\n",
+              static_cast<long long>(
+                  trace::global().counter("comm/messages")),
+              static_cast<long long>(trace::global().counter("comm/bytes")));
+  trace::global().write_json("cluster_scaling.trace.json");
 
   // ---- Part 2: virtual-time projection to a 96-node cluster ------------
   std::printf("part 2: virtual 48-node cluster, paper-scale face-scene\n");

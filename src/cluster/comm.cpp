@@ -3,6 +3,8 @@
 #include <cstring>
 #include <memory>
 
+#include "common/trace.hpp"
+
 namespace fcma::cluster {
 
 Comm::Comm(std::size_t ranks) {
@@ -16,6 +18,10 @@ Comm::Comm(std::size_t ranks) {
 void Comm::send(std::size_t from, std::size_t to, Tag tag,
                 std::vector<std::uint8_t> payload) {
   FCMA_CHECK(from < size() && to < size(), "rank out of range");
+  if (trace::enabled()) {
+    trace::count("comm/messages");
+    trace::count("comm/bytes", static_cast<std::int64_t>(payload.size()));
+  }
   Inbox& inbox = *inboxes_[to];
   {
     const std::lock_guard<std::mutex> lock(inbox.mutex);

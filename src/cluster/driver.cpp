@@ -1,7 +1,9 @@
 #include "cluster/driver.hpp"
 
+#include <string>
 #include <thread>
 
+#include "common/trace.hpp"
 #include "fcma/task.hpp"
 
 namespace fcma::cluster {
@@ -14,11 +16,16 @@ namespace {
 void worker_main(Comm& comm, std::size_t rank,
                  const fmri::NormalizedEpochs& epochs,
                  const core::PipelineConfig& pipeline) {
+  // Per-worker span family: count/total/min/max of this rank's task
+  // latencies, the cluster-level analogue of Table 3's load-balance data.
+  const std::string task_label =
+      "cluster/worker" + std::to_string(rank) + "/task";
   for (;;) {
     const Message m = comm.recv(rank);
     if (m.tag == Tag::kShutdown) return;
     FCMA_CHECK(m.tag == Tag::kTaskAssign, "worker expected a task");
     const auto task = decode<core::VoxelTask>(m.payload);
+    const trace::Span task_span(task_label);
     const core::TaskResult result = core::run_task(epochs, task, pipeline);
     // Result message: the task descriptor followed by the accuracies.
     std::vector<double> packed;
@@ -95,6 +102,8 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
   }
 
   for (auto& t : workers) t.join();
+  trace::count("cluster/tasks_dispatched",
+               static_cast<std::int64_t>(local_stats.tasks_dispatched));
   if (stats != nullptr) *stats = local_stats;
   return board;
 }

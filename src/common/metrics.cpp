@@ -1,0 +1,145 @@
+#include "common/metrics.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace fcma::trace {
+
+namespace {
+
+// Labels are library-chosen, but escape defensively so the exporter always
+// emits valid JSON even for user-supplied label text.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Registry::record_span(const std::string& label, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_[label].record(seconds);
+}
+
+void Registry::count(const std::string& name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Registry::gauge_set(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void Registry::gauge_max(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = gauges_.emplace(name, value);
+  if (!inserted && value > it->second) it->second = value;
+}
+
+SpanStats Registry::span(const std::string& label) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = spans_.find(label);
+  return it == spans_.end() ? SpanStats{} : it->second;
+}
+
+std::int64_t Registry::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::string> Registry::span_labels() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(spans_.size());
+  for (const auto& [label, stats] : spans_) out.push_back(label);
+  return out;
+}
+
+std::string Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"schema\": \"fcma.trace.v1\",\n  \"spans\": {";
+  bool first = true;
+  for (const auto& [label, s] : spans_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(label) + "\": {\"count\": " +
+           std::to_string(s.count) + ", \"total_s\": " +
+           json_double(s.total_s) + ", \"min_s\": " + json_double(s.min_s) +
+           ", \"max_s\": " + json_double(s.max_s) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"counters\": {";
+  first = true;
+  for (const auto& [name, v] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + json_double(v);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void Registry::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FCMA_CHECK(f != nullptr, "cannot open trace output file " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  FCMA_CHECK(written == json.size(), "short write to trace file " + path);
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  counters_.clear();
+  gauges_.clear();
+}
+
+Registry& global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace fcma::trace

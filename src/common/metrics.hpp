@@ -1,0 +1,85 @@
+// Thread-safe metrics registry: span statistics, counters, and gauges.
+//
+// This is the aggregation substrate of the fcma::trace layer (trace.hpp).
+// A Registry holds three label-keyed families:
+//
+//   spans     — duration aggregates (count / total / min / max seconds),
+//               fed by trace::Span RAII timers or record_span() directly;
+//   counters  — monotonically adjusted signed integers (messages, bytes,
+//               tasks executed, SVM iterations, ...);
+//   gauges    — last-or-max point-in-time values (queue depth, ...).
+//
+// All mutation goes through one mutex: the layer records at *stage*
+// granularity (a pipeline stage, a thread-pool task, a cluster message),
+// where a lock per record is noise next to the work being measured.  The
+// process-wide instance is trace::global(); tests construct their own.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fcma::trace {
+
+/// Aggregate of every duration recorded under one span label.
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+
+  void record(double seconds) {
+    if (count == 0 || seconds < min_s) min_s = seconds;
+    if (count == 0 || seconds > max_s) max_s = seconds;
+    total_s += seconds;
+    ++count;
+  }
+};
+
+/// Label-keyed holder of span aggregates, counters, and gauges.
+class Registry {
+ public:
+  /// Folds one duration into the aggregate for `label`.
+  void record_span(const std::string& label, double seconds);
+
+  /// Adjusts the counter `name` by `delta` (creating it at zero).
+  void count(const std::string& name, std::int64_t delta = 1);
+
+  /// Sets the gauge `name` to `value`.
+  void gauge_set(const std::string& name, double value);
+
+  /// Raises the gauge `name` to `value` if larger (high-water mark).
+  void gauge_max(const std::string& name, double value);
+
+  [[nodiscard]] SpanStats span(const std::string& label) const;
+  [[nodiscard]] std::int64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> span_labels() const;
+
+  /// Serializes everything as one JSON object:
+  ///   {"schema": "fcma.trace.v1",
+  ///    "spans": {"<label>": {"count": C, "total_s": T, "min_s": m,
+  ///              "max_s": M}, ...},
+  ///    "counters": {"<name>": N, ...},
+  ///    "gauges": {"<name>": V, ...}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path` (throws fcma::Error on I/O failure).
+  void write_json(const std::string& path) const;
+
+  /// Drops every recorded value (labels included).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, SpanStats> spans_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// The process-wide registry every production span/counter reports to.
+[[nodiscard]] Registry& global();
+
+}  // namespace fcma::trace

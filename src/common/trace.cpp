@@ -1,0 +1,71 @@
+#include "common/trace.hpp"
+
+#ifndef FCMA_TRACE_DISABLED
+
+namespace fcma::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+// Per-thread span nesting path; spans push "<label>" segments separated by
+// '/' on construction and pop them on destruction.
+thread_local std::string t_path;
+
+const std::string& thread_path() { return t_path; }
+
+std::string qualified(std::string_view label) {
+  if (t_path.empty()) return std::string(label);
+  std::string full;
+  full.reserve(t_path.size() + 1 + label.size());
+  full += t_path;
+  full += '/';
+  full += label;
+  return full;
+}
+
+}  // namespace detail
+
+Span::Span(std::string_view label, Registry* registry) {
+  if (!enabled()) return;
+  registry_ = registry != nullptr ? registry : &global();
+  std::string& path = detail::t_path;
+  parent_len_ = path.size();
+  if (!path.empty()) path += '/';
+  path += label;
+  label_ = path;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  detail::t_path.resize(parent_len_);
+  registry_->record_span(label_, seconds);
+}
+
+void record_span(std::string_view label, double seconds) {
+  if (!enabled()) return;
+  global().record_span(detail::qualified(label), seconds);
+}
+
+void count(std::string_view name, std::int64_t delta) {
+  if (!enabled()) return;
+  global().count(std::string(name), delta);
+}
+
+void gauge_set(std::string_view name, double value) {
+  if (!enabled()) return;
+  global().gauge_set(std::string(name), value);
+}
+
+void gauge_max(std::string_view name, double value) {
+  if (!enabled()) return;
+  global().gauge_max(std::string(name), value);
+}
+
+}  // namespace fcma::trace
+
+#endif  // FCMA_TRACE_DISABLED

@@ -1,0 +1,101 @@
+// Structured tracing: RAII spans + cheap counter/gauge helpers.
+//
+// Tracing answers the question the whole paper is built on (§3.3, Tables
+// 1/5-8): *where* do the time and events of an analysis go, per stage?
+// Every pipeline stage, thread-pool task, cluster message and blocked
+// kernel reports here when tracing is on; `fcma analyze --trace out.json`
+// and the bench MetricsSidecar export the aggregate.
+//
+// Label hierarchy.  A Span opened while another Span is active *on the same
+// thread* records under "<parent>/<label>", so one analyze run aggregates
+// e.g. "task", "task/correlation", "task/correlation/gemm_nt",
+// "task/svm", ... — a static call-tree profile.  Threads root their own
+// hierarchy (a pool worker's spans are not children of the submitter's).
+//
+// Kill switches.  Runtime: tracing is *off* by default; when off, every
+// helper is one relaxed atomic load + branch, so instrumented hot paths
+// (the blocked kernels run millions of times in benches) pay nothing
+// measurable.  Compile time: configure with -DFCMA_TRACE=OFF (defines
+// FCMA_TRACE_DISABLED) and every helper collapses to an inline no-op.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.hpp"
+
+namespace fcma::trace {
+
+#ifndef FCMA_TRACE_DISABLED
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Current span path of the calling thread ("" outside any span).
+[[nodiscard]] const std::string& thread_path();
+/// Prefixes `label` with the calling thread's span path.
+[[nodiscard]] std::string qualified(std::string_view label);
+}  // namespace detail
+
+/// Turns the runtime switch on/off (off at process start).
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// True when tracing is recording.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII span: times its scope and folds the duration into the registry
+/// under the nesting-qualified label.  No-op while tracing is disabled.
+class Span {
+ public:
+  /// Opens a span against `registry` (default: the global registry).
+  explicit Span(std::string_view label, Registry* registry = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Registry* registry_ = nullptr;  // null = disabled at construction
+  std::size_t parent_len_ = 0;
+  std::string label_;  // full nesting-qualified label
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records one duration under the nesting-qualified `label` without the
+/// RAII scope — for callers that time disjoint pieces themselves (e.g. the
+/// fused correlate+normalize stage separating its two halves).
+void record_span(std::string_view label, double seconds);
+
+/// Counter/gauge helpers against the global registry; no-ops when disabled.
+/// Names are used verbatim (no nesting prefix): counters are process-wide
+/// totals, not call-tree nodes.
+void count(std::string_view name, std::int64_t delta = 1);
+void gauge_set(std::string_view name, double value);
+void gauge_max(std::string_view name, double value);
+
+#else  // FCMA_TRACE_DISABLED: everything collapses to no-ops.
+
+inline void set_enabled(bool) {}
+[[nodiscard]] constexpr bool enabled() { return false; }
+
+class Span {
+ public:
+  explicit Span(std::string_view, Registry* = nullptr) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+inline void record_span(std::string_view, double) {}
+inline void count(std::string_view, std::int64_t = 1) {}
+inline void gauge_set(std::string_view, double) {}
+inline void gauge_max(std::string_view, double) {}
+
+#endif  // FCMA_TRACE_DISABLED
+
+}  // namespace fcma::trace

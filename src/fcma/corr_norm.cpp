@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "linalg/baseline.hpp"
 #include "linalg/opt.hpp"
 #include "stats/normalization.hpp"
@@ -61,6 +63,7 @@ linalg::Matrix make_corr_buffer(const VoxelTask& task, std::size_t epochs,
 
 void normalize_corr_buffer(const std::vector<fmri::Epoch>& meta,
                            const VoxelTask& task, linalg::MatrixView buf) {
+  const trace::Span span("normalization");
   const std::size_t m_total = meta.size();
   const auto runs = subject_runs(meta);
   for (std::size_t v = 0; v < task.count; ++v) {
@@ -77,10 +80,13 @@ void baseline_correlate_normalize(const fmri::NormalizedEpochs& epochs,
                                   linalg::MatrixView out) {
   const std::size_t m_total = epochs.per_epoch.size();
   FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
-  for (std::size_t m = 0; m < m_total; ++m) {
-    linalg::baseline::gemm_nt(task_rows(epochs.per_epoch[m], task),
-                              epochs.per_epoch[m].view(),
-                              epoch_slice(out, task, m_total, m));
+  {
+    const trace::Span span("correlation");
+    for (std::size_t m = 0; m < m_total; ++m) {
+      linalg::baseline::gemm_nt(task_rows(epochs.per_epoch[m], task),
+                                epochs.per_epoch[m].view(),
+                                epoch_slice(out, task, m_total, m));
+    }
   }
   normalize_corr_buffer(epochs.meta, task, out);
 }
@@ -91,10 +97,13 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
   const std::size_t m_total = epochs.per_epoch.size();
   FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
   if (mode == NormMode::kSeparated) {
-    for (std::size_t m = 0; m < m_total; ++m) {
-      linalg::opt::gemm_nt(task_rows(epochs.per_epoch[m], task),
-                           epochs.per_epoch[m].view(),
-                           epoch_slice(out, task, m_total, m));
+    {
+      const trace::Span span("correlation");
+      for (std::size_t m = 0; m < m_total; ++m) {
+        linalg::opt::gemm_nt(task_rows(epochs.per_epoch[m], task),
+                             epochs.per_epoch[m].view(),
+                             epoch_slice(out, task, m_total, m));
+      }
     }
     normalize_corr_buffer(epochs.meta, task, out);
     return;
@@ -102,7 +111,13 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
 
   // Merged (idea #2): per subject and per column panel, compute that
   // subject's E epoch rows for each voxel and normalize them immediately,
-  // while the freshly-written panel is still cache resident.
+  // while the freshly-written panel is still cache resident.  The two
+  // logical stages interleave per panel, so their trace spans are split by
+  // accumulating the normalization slices and attributing the rest of the
+  // elapsed time to correlation.
+  const bool tracing = trace::enabled();
+  const WallTimer fused_timer;
+  double norm_s = 0.0;
   const std::size_t n = out.cols;
   const auto runs = subject_runs(epochs.meta);
   std::size_t max_e = 0;
@@ -127,10 +142,21 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
               bt.data() + e * t_len * width, width,
               out.row(v * m_total + run.first + e) + j0);
         }
-        stats::fisher_zscore_block(out.row(v * m_total + run.first) + j0,
-                                   e_count, width, out.ld);
+        if (tracing) {
+          const WallTimer norm_timer;
+          stats::fisher_zscore_block(out.row(v * m_total + run.first) + j0,
+                                     e_count, width, out.ld);
+          norm_s += norm_timer.seconds();
+        } else {
+          stats::fisher_zscore_block(out.row(v * m_total + run.first) + j0,
+                                     e_count, width, out.ld);
+        }
       }
     }
+  }
+  if (tracing) {
+    trace::record_span("normalization", norm_s);
+    trace::record_span("correlation", fused_timer.seconds() - norm_s);
   }
 }
 
@@ -139,6 +165,9 @@ void baseline_correlate_normalize_instrumented(
     linalg::MatrixView out, memsim::Instrument& ins, unsigned model_lanes) {
   const std::size_t m_total = epochs.per_epoch.size();
   FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
+  // One span for the fused stage 1+2; wall time here includes the cache
+  // simulator, so use the sidecar for call counts and relative shares.
+  const trace::Span span("corr_norm");
   for (std::size_t m = 0; m < m_total; ++m) {
     linalg::baseline::gemm_nt_instrumented(
         task_rows(epochs.per_epoch[m], task), epochs.per_epoch[m].view(),
@@ -160,6 +189,7 @@ void optimized_correlate_normalize_instrumented(
     unsigned model_lanes) {
   const std::size_t m_total = epochs.per_epoch.size();
   FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
+  const trace::Span span("corr_norm");
   if (mode == NormMode::kSeparated) {
     for (std::size_t m = 0; m < m_total; ++m) {
       linalg::opt::gemm_nt_instrumented(

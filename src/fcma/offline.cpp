@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/trace.hpp"
 #include "linalg/opt.hpp"
 #include "stats/normalization.hpp"
 
@@ -106,6 +107,8 @@ OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
       options.voxels_per_task == 0 ? v_total : options.voxels_per_task;
 
   for (std::int32_t fold = 0; fold < dataset.subjects(); ++fold) {
+    const trace::Span fold_span("offline_fold");
+    trace::count("offline/folds");
     // Training epochs: everything not belonging to the held-out subject.
     std::vector<std::size_t> train_epochs;
     for (std::size_t e = 0; e < dataset.epochs().size(); ++e) {

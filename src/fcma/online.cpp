@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace.hpp"
 #include "fcma/offline.hpp"
 #include "fcma/scoreboard.hpp"
 #include "linalg/opt.hpp"
@@ -23,6 +24,7 @@ OnlineResult run_online_selection(const fmri::Dataset& dataset,
                                   const OnlineOptions& options) {
   FCMA_CHECK(subject >= 0 && subject < dataset.subjects(),
              "subject out of range");
+  const trace::Span span("online_selection");
   const std::vector<std::size_t> subject_epochs =
       dataset.epochs_of_subject(subject);
   const fmri::NormalizedEpochs epochs =

@@ -2,11 +2,15 @@
 
 #include <atomic>
 
+#include "common/trace.hpp"
+
 namespace fcma::core {
 
 TaskResult run_task(const fmri::NormalizedEpochs& epochs,
                     const VoxelTask& task, const PipelineConfig& config) {
   FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
+  const trace::Span task_span("task");
+  trace::count("pipeline/tasks");
   const std::size_t m = epochs.per_epoch.size();
   const std::size_t n = epochs.per_epoch.front().rows();
   linalg::Matrix corr = make_corr_buffer(task, m, n);
@@ -35,6 +39,8 @@ TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
                             std::size_t group_voxels) {
   FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
   FCMA_CHECK(group_voxels > 0, "group size must be positive");
+  const trace::Span task_span("task");
+  trace::count("pipeline/tasks");
   const std::size_t m = epochs.per_epoch.size();
   const std::size_t n = epochs.per_epoch.front().rows();
 
@@ -66,6 +72,7 @@ TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
 
   // Phase 2: cross-validate the accumulated kernel matrices — all voxels at
   // once, the regime where every hardware thread has a problem to solve.
+  const trace::Span svm_span("svm");
   const auto folds = config.cv_folds != nullptr
                          ? *config.cv_folds
                          : epoch_loso_folds(epochs.meta);
@@ -87,6 +94,7 @@ TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
     for (std::size_t v = 0; v < task.count; ++v) run_voxel(v);
   }
   result.svm_iterations = iterations.load();
+  trace::count("svm/cv_iterations", result.svm_iterations);
   return result;
 }
 
@@ -95,6 +103,8 @@ InstrumentedTaskResult run_task_instrumented(
     const PipelineConfig& config, memsim::Instrument& ins,
     unsigned model_lanes) {
   FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
+  const trace::Span task_span("instrumented_task");
+  trace::count("pipeline/instrumented_tasks");
   const std::size_t m = epochs.per_epoch.size();
   const std::size_t n = epochs.per_epoch.front().rows();
   linalg::Matrix corr = make_corr_buffer(task, m, n);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 
+#include "common/trace.hpp"
 #include "linalg/baseline.hpp"
 #include "linalg/opt.hpp"
 
@@ -63,6 +64,7 @@ SvmStageResult svm_stage(linalg::ConstMatrixView corr,
                          svm::SolverKind solver,
                          const svm::TrainOptions& options,
                          threading::ThreadPool* pool) {
+  const trace::Span span("svm");
   const std::size_t m = meta.size();
   const auto labels = epoch_labels(meta);
   SvmStageResult result;
@@ -84,6 +86,7 @@ SvmStageResult svm_stage(linalg::ConstMatrixView corr,
     for (std::size_t v = 0; v < task.count; ++v) run_voxel(v);
   }
   result.svm_iterations = iterations.load();
+  trace::count("svm/cv_iterations", result.svm_iterations);
   return result;
 }
 
@@ -93,6 +96,7 @@ SvmStageResult svm_stage_instrumented(
     Impl impl, svm::SolverKind solver, const svm::TrainOptions& options,
     memsim::Instrument& ins, unsigned model_lanes,
     memsim::KernelEvents* kernel_events) {
+  const trace::Span span("svm");
   const std::size_t m = meta.size();
   const auto labels = epoch_labels(meta);
   SvmStageResult result;

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "common/trace.hpp"
 #include "linalg/baseline.hpp"
 
 namespace fcma::linalg::baseline {
@@ -36,6 +37,7 @@ void gemm_tile(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   FCMA_CHECK(a.cols == b.cols, "gemm_nt: inner dimensions differ");
   FCMA_CHECK(c.rows == a.rows && c.cols == b.rows, "gemm_nt: bad C shape");
+  const trace::Span span("baseline_gemm_nt");
   for (std::size_t i0 = 0; i0 < a.rows; i0 += kRowBlock) {
     const std::size_t i1 = std::min(a.rows, i0 + kRowBlock);
     for (std::size_t j0 = 0; j0 < b.rows; j0 += kColBlock) {
@@ -49,6 +51,7 @@ void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
              threading::ThreadPool& pool) {
   FCMA_CHECK(a.cols == b.cols, "gemm_nt: inner dimensions differ");
   FCMA_CHECK(c.rows == a.rows && c.cols == b.rows, "gemm_nt: bad C shape");
+  const trace::Span span("baseline_gemm_nt");
   threading::parallel_for(
       pool, 0, a.rows, kRowBlock,
       [&](std::size_t i0, std::size_t i1) {

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "common/trace.hpp"
 #include "linalg/baseline.hpp"
 
 namespace fcma::linalg::baseline {
@@ -34,6 +35,7 @@ void syrk_tile(ConstMatrixView a, MatrixView c, std::size_t i0,
 
 void syrk(ConstMatrixView a, MatrixView c) {
   FCMA_CHECK(c.rows == a.rows && c.cols == a.rows, "syrk: bad C shape");
+  const trace::Span span("baseline_syrk");
   for (std::size_t i0 = 0; i0 < a.rows; i0 += kTile) {
     const std::size_t i1 = std::min(a.rows, i0 + kTile);
     syrk_tile(a, c, i0, i1);
@@ -42,6 +44,7 @@ void syrk(ConstMatrixView a, MatrixView c) {
 
 void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
   FCMA_CHECK(c.rows == a.rows && c.cols == a.rows, "syrk: bad C shape");
+  const trace::Span span("baseline_syrk");
   threading::parallel_for(pool, 0, a.rows, kTile,
                           [&](std::size_t i0, std::size_t i1) {
                             syrk_tile(a, c, i0, i1);

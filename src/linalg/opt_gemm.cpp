@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/trace.hpp"
 #include "linalg/opt.hpp"
 
 namespace fcma::linalg::opt {
@@ -73,6 +74,7 @@ void gemm_panels(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   FCMA_CHECK(a.cols == b.cols, "gemm_nt: inner dimensions differ");
   FCMA_CHECK(c.rows == a.rows && c.cols == b.rows, "gemm_nt: bad C shape");
+  const trace::Span span("gemm_nt");
   AlignedBuffer<float> bt(a.cols * kGemmPanelCols);
   gemm_panels(a, b, c, 0, b.rows, bt);
 }
@@ -81,6 +83,7 @@ void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
              threading::ThreadPool& pool) {
   FCMA_CHECK(a.cols == b.cols, "gemm_nt: inner dimensions differ");
   FCMA_CHECK(c.rows == a.rows && c.cols == b.rows, "gemm_nt: bad C shape");
+  const trace::Span span("gemm_nt");
   threading::parallel_for(
       pool, 0, b.rows, kGemmPanelCols, [&](std::size_t j0, std::size_t j1) {
         AlignedBuffer<float> bt(a.cols * kGemmPanelCols);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/trace.hpp"
 #include "linalg/opt.hpp"
 
 namespace fcma::linalg::opt {
@@ -121,6 +122,7 @@ void mirror_upper(MatrixView c) {
 
 void syrk(ConstMatrixView a, MatrixView c) {
   FCMA_CHECK(c.rows == a.rows && c.cols == a.rows, "syrk: bad C shape");
+  const trace::Span span("syrk");
   const std::size_t m = a.rows;
   const std::size_t n = a.cols;
   for (std::size_t i = 0; i < m; ++i) {
@@ -138,6 +140,7 @@ void syrk(ConstMatrixView a, MatrixView c) {
 
 void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
   FCMA_CHECK(c.rows == a.rows && c.cols == a.rows, "syrk: bad C shape");
+  const trace::Span span("syrk");
   const std::size_t m = a.rows;
   const std::size_t n = a.cols;
   for (std::size_t i = 0; i < m; ++i) {

@@ -1,10 +1,21 @@
 #include "threading/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace fcma::threading {
+
+namespace {
+// Set for the lifetime of every pool worker thread; parallel_for consults
+// it to detect re-entrant use (a task spawning nested parallel work).
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+bool ThreadPool::inside_worker() { return t_inside_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -12,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,17 +36,44 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::enqueue(std::function<void()> fn) {
+  std::size_t depth;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+    depth = queue_.size();
+  }
+  cv_.notify_one();
+  if (trace::enabled()) {
+    trace::count("threadpool/tasks_submitted");
+    trace::gauge_max("threadpool/max_queue_depth",
+                     static_cast<double>(depth));
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  t_inside_worker = true;
+  const std::string busy_label =
+      "threadpool/worker" + std::to_string(worker) + "/busy";
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      // stopping_ alone is not enough to exit: the destructor promises to
+      // drain, so a worker leaves only once the queue is empty.
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (trace::enabled()) {
+      WallTimer timer;
+      task();
+      trace::record_span(busy_label, timer.seconds());
+      trace::count("threadpool/tasks_executed");
+    } else {
+      task();
+    }
   }
 }
 
@@ -44,6 +82,15 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   FCMA_CHECK(grain > 0, "parallel_for grain must be positive");
   if (begin >= end) return;
+  if (ThreadPool::inside_worker()) {
+    // Nested call from inside a pool task: blocking on futures here could
+    // leave every worker waiting with nobody to run the queue.  Run the
+    // chunks inline on this thread instead.
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve((end - begin + grain - 1) / grain);
   for (std::size_t lo = begin; lo < end; lo += grain) {

@@ -19,6 +19,12 @@
 namespace fcma::threading {
 
 /// Fixed pool of worker threads consuming a FIFO task queue.
+///
+/// Shutdown semantics: the destructor *drains* the queue — every task
+/// already submitted runs to completion before the workers exit, so a
+/// future held past the pool's lifetime resolves normally instead of
+/// throwing std::future_error(broken_promise).  Destruction therefore
+/// blocks until the queue is empty and in-flight tasks return.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
@@ -34,18 +40,21 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return future;
   }
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool.  Blocking
+  /// on futures from inside a worker can deadlock (every worker waiting,
+  /// none left to run the queue), so parallel_for falls back to inline
+  /// execution when this holds.
+  [[nodiscard]] static bool inside_worker();
+
  private:
-  void worker_loop();
+  void enqueue(std::function<void()> fn);
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -56,6 +65,8 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [begin, end) across the pool, in chunks of `grain`.
 /// Blocks until all iterations finish; rethrows the first task exception.
+/// Re-entrant: when called from inside a pool worker the chunks run inline
+/// on the calling thread (serially) instead of deadlocking on the queue.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& body);

@@ -95,5 +95,82 @@ TEST(ParallelFor, GrainLargerThanRangeStillWorks) {
   EXPECT_EQ(total.load(), 7);
 }
 
+TEST(ParallelFor, NestedCallFromWorkerRunsInlineWithoutDeadlock) {
+  // A parallel_for issued from inside a pool worker must not wait on the
+  // same (possibly saturated) queue; it runs the range inline.  With a
+  // 1-thread pool the old behavior deadlocks: the only worker blocks on
+  // futures no one can execute.
+  ThreadPool pool(1);
+  std::atomic<int> inner_hits{0};
+  parallel_for(pool, 0, 4, 1,
+               [&pool, &inner_hits](std::size_t, std::size_t) {
+                 EXPECT_TRUE(ThreadPool::inside_worker());
+                 parallel_for(pool, 0, 10, 2,
+                              [&inner_hits](std::size_t lo, std::size_t hi) {
+                                inner_hits +=
+                                    static_cast<int>(hi - lo);
+                              });
+               });
+  EXPECT_EQ(inner_hits.load(), 40);
+  EXPECT_FALSE(ThreadPool::inside_worker());
+}
+
+TEST(ParallelFor, NestedCallStillCoversRangeOnSaturatedPool) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(256);
+  parallel_for(pool, 0, 16, 1,
+               [&pool, &hits](std::size_t lo, std::size_t) {
+                 parallel_for(pool, lo * 16, (lo + 1) * 16, 3,
+                              [&hits](std::size_t a, std::size_t b) {
+                                for (std::size_t i = a; i < b; ++i) {
+                                  ++hits[i];
+                                }
+                              });
+               });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  // Drain-on-destruction contract: ~ThreadPool() completes every task
+  // already submitted — futures from abandoned submits never carry
+  // broken_promise, and side effects of all 100 tasks are visible.
+  std::atomic<int> executed{0};
+  std::future<int> last;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      last = pool.submit([&executed, i] {
+        ++executed;
+        return i;
+      });
+    }
+    // No .get() before destruction: the destructor must drain the queue.
+  }
+  EXPECT_EQ(executed.load(), 100);
+  EXPECT_EQ(last.get(), 99);  // resolved, not std::future_error
+}
+
+TEST(ThreadPool, DestructorResolvesEveryFuture) {
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([i] { return i * i; }));
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NO_THROW(EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(),
+                              i * i));
+  }
+}
+
+TEST(ThreadPool, InsideWorkerIsFalseOnCallerThread) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::inside_worker());
+  auto f = pool.submit([] { return ThreadPool::inside_worker(); });
+  EXPECT_TRUE(f.get());
+  EXPECT_FALSE(ThreadPool::inside_worker());
+}
+
 }  // namespace
 }  // namespace fcma::threading

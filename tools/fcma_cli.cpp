@@ -18,6 +18,7 @@
 
 #include "common/cli.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "fcma/offline.hpp"
 #include "fcma/pipeline.hpp"
 #include "fcma/report.hpp"
@@ -27,6 +28,7 @@
 #include "fmri/preprocess.hpp"
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
+#include "threading/thread_pool.hpp"
 
 namespace {
 
@@ -177,13 +179,23 @@ int cmd_analyze(int argc, const char* const* argv) {
   cli.add_flag("fdr", "0.05", "FDR level for the selected set");
   cli.add_flag("grouped", "64", "voxels in flight (memory-bounded driver)");
   cli.add_flag("baseline", "false", "use the baseline implementation");
+  cli.add_flag("threads", "0",
+               "worker threads for stage 3 (0 = hardware concurrency)");
+  cli.add_flag("trace", "",
+               "write a JSON span/counter trace of the run to this path");
   if (!cli.parse(argc, argv)) return 0;
+
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) trace::set_enabled(true);
 
   const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
   const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(d);
-  const core::PipelineConfig config = cli.get_bool("baseline")
-                                          ? core::PipelineConfig::baseline()
-                                          : core::PipelineConfig::optimized();
+  core::PipelineConfig config = cli.get_bool("baseline")
+                                    ? core::PipelineConfig::baseline()
+                                    : core::PipelineConfig::optimized();
+  threading::ThreadPool pool(
+      static_cast<std::size_t>(cli.get_int("threads")));
+  config.pool = &pool;
   WallTimer timer;
   core::Scoreboard board(d.voxels());
   board.add(core::run_task_grouped(
@@ -210,6 +222,10 @@ int cmd_analyze(int argc, const char* const* argv) {
   }
   core::write_report(cli.get("report"), report);
   std::printf("report written to %s\n", cli.get("report").c_str());
+  if (!trace_path.empty()) {
+    trace::global().write_json(trace_path);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
   return 0;
 }
 
@@ -218,7 +234,12 @@ int cmd_offline(int argc, const char* const* argv) {
   cli.add_flag("in", "study", "dataset stem");
   cli.add_flag("report", "offline.txt", "report output path");
   cli.add_flag("top-k", "32", "voxels selected per fold");
+  cli.add_flag("trace", "",
+               "write a JSON span/counter trace of the run to this path");
   if (!cli.parse(argc, argv)) return 0;
+
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) trace::set_enabled(true);
 
   const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
   core::OfflineOptions opts;
@@ -239,6 +260,10 @@ int cmd_offline(int argc, const char* const* argv) {
   }
   core::write_report(cli.get("report"), report);
   std::printf("report written to %s\n", cli.get("report").c_str());
+  if (!trace_path.empty()) {
+    trace::global().write_json(trace_path);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
   return 0;
 }
 

@@ -21,6 +21,16 @@ test -f clean.fcmb && test -f clean.fcmm
 grep -q "top voxels" analysis.txt
 grep -q "ROI clusters" analysis.txt
 
+# Tracing: the run's span/counter breakdown lands in a JSON file with all
+# three pipeline stages and the thread-pool activity.
+"$FCMA" analyze --in clean --report traced.txt --top-k 6 --trace trace.json
+test -f trace.json
+grep -q '"fcma.trace.v1"' trace.json
+grep -q 'correlation' trace.json
+grep -q 'normalization' trace.json
+grep -q 'svm' trace.json
+grep -q 'threadpool/' trace.json
+
 "$FCMA" offline --in clean --report offline.txt --top-k 12
 grep -q "per-fold results" offline.txt
 grep -q "mean held-out accuracy" offline.txt
