@@ -20,6 +20,7 @@
 #include "fcma/pipeline.hpp"
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
+#include "linalg/simd.hpp"
 
 namespace fcma::bench {
 
@@ -105,6 +106,8 @@ class MetricsSidecar {
   explicit MetricsSidecar(const std::string& argv0)
       : path_(argv0 + ".metrics.json") {
     trace::set_enabled(true);
+    trace::meta_set("simd/isa",
+                    linalg::simd::isa_name(linalg::simd::active_isa()));
   }
   ~MetricsSidecar() {
     dump_metrics(path_);

@@ -62,6 +62,11 @@ void Registry::gauge_max(const std::string& name, double value) {
   if (!inserted && value > it->second) it->second = value;
 }
 
+void Registry::meta_set(const std::string& name, const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  meta_[name] = value;
+}
+
 SpanStats Registry::span(const std::string& label) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = spans_.find(label);
@@ -80,6 +85,12 @@ double Registry::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+std::string Registry::meta(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = meta_.find(name);
+  return it == meta_.end() ? std::string() : it->second;
+}
+
 std::vector<std::string> Registry::span_labels() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
@@ -90,8 +101,16 @@ std::vector<std::string> Registry::span_labels() const {
 
 std::string Registry::to_json() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\n  \"schema\": \"fcma.trace.v1\",\n  \"spans\": {";
+  std::string out = "{\n  \"schema\": \"fcma.trace.v1\",\n  \"meta\": {";
   bool first = true;
+  for (const auto& [name, v] : meta_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": \"" + json_escape(v) + "\"";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"spans\": {";
+  first = true;
   for (const auto& [label, s] : spans_) {
     out += first ? "\n" : ",\n";
     first = false;
@@ -135,6 +154,7 @@ void Registry::reset() {
   spans_.clear();
   counters_.clear();
   gauges_.clear();
+  meta_.clear();
 }
 
 Registry& global() {

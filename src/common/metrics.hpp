@@ -53,13 +53,18 @@ class Registry {
   /// Raises the gauge `name` to `value` if larger (high-water mark).
   void gauge_max(const std::string& name, double value);
 
+  /// Sets the run-metadata string `name` (ISA in use, host name, ...).
+  void meta_set(const std::string& name, const std::string& value);
+
   [[nodiscard]] SpanStats span(const std::string& label) const;
   [[nodiscard]] std::int64_t counter(const std::string& name) const;
   [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] std::string meta(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> span_labels() const;
 
   /// Serializes everything as one JSON object:
   ///   {"schema": "fcma.trace.v1",
+  ///    "meta": {"<name>": "<value>", ...},
   ///    "spans": {"<label>": {"count": C, "total_s": T, "min_s": m,
   ///              "max_s": M}, ...},
   ///    "counters": {"<name>": N, ...},
@@ -77,6 +82,7 @@ class Registry {
   std::map<std::string, SpanStats> spans_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, std::string> meta_;
 };
 
 /// The process-wide registry every production span/counter reports to.

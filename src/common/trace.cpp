@@ -66,6 +66,11 @@ void gauge_max(std::string_view name, double value) {
   global().gauge_max(std::string(name), value);
 }
 
+void meta_set(std::string_view name, std::string_view value) {
+  if (!enabled()) return;
+  global().meta_set(std::string(name), std::string(value));
+}
+
 }  // namespace fcma::trace
 
 #endif  // FCMA_TRACE_DISABLED

@@ -79,6 +79,10 @@ void count(std::string_view name, std::int64_t delta = 1);
 void gauge_set(std::string_view name, double value);
 void gauge_max(std::string_view name, double value);
 
+/// Attaches a run-metadata string (e.g. "simd/isa" -> "avx512") to the
+/// global registry's exported JSON.  No-op while tracing is disabled.
+void meta_set(std::string_view name, std::string_view value);
+
 #else  // FCMA_TRACE_DISABLED: everything collapses to no-ops.
 
 inline void set_enabled(bool) {}
@@ -95,6 +99,7 @@ inline void record_span(std::string_view, double) {}
 inline void count(std::string_view, std::int64_t = 1) {}
 inline void gauge_set(std::string_view, double) {}
 inline void gauge_max(std::string_view, double) {}
+inline void meta_set(std::string_view, std::string_view) {}
 
 #endif  // FCMA_TRACE_DISABLED
 

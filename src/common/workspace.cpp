@@ -1,0 +1,68 @@
+#include "common/workspace.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+
+namespace fcma::core {
+
+void Workspace::Lease::release() noexcept {
+  if (owner_ != nullptr && !buf_.empty()) {
+    owner_->put_back(std::move(buf_));
+  }
+  owner_ = nullptr;
+}
+
+std::size_t Workspace::bucket_of(std::size_t floats) noexcept {
+  const std::size_t units =
+      (floats + kMinBucketFloats - 1) / kMinBucketFloats;
+  return std::bit_width(std::bit_ceil(units)) - 1;
+}
+
+Workspace::Lease Workspace::acquire(std::size_t floats) {
+  if (floats == 0) return {};
+  ++acquires_;
+  const std::size_t b = bucket_of(floats);
+  FCMA_ASSERT(b < kBucketCount);
+  if (free_count_[b] > 0) {
+    ++hits_;
+    AlignedBuffer<float> buf = std::move(free_[b][--free_count_[b]]);
+    bytes_held_ -= buf.size() * sizeof(float);
+    if (trace::enabled()) trace::count("workspace/pool_hits");
+    return Lease(this, std::move(buf));
+  }
+  if (trace::enabled()) trace::count("workspace/pool_misses");
+  return Lease(this, AlignedBuffer<float>(kMinBucketFloats << b));
+}
+
+void Workspace::put_back(AlignedBuffer<float> buf) noexcept {
+  const std::size_t b = bucket_of(buf.size());
+  if (b < kBucketCount && free_count_[b] < kMaxFreePerBucket &&
+      (kMinBucketFloats << b) == buf.size()) {
+    bytes_held_ += buf.size() * sizeof(float);
+    free_[b][free_count_[b]++] = std::move(buf);
+    if (trace::enabled()) {
+      trace::gauge_max("workspace/bytes_held",
+                       static_cast<double>(bytes_held_));
+    }
+  }
+  // Otherwise the buffer simply frees here.
+}
+
+void Workspace::trim() {
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    for (std::size_t i = 0; i < free_count_[b]; ++i) {
+      free_[b][i] = AlignedBuffer<float>();
+    }
+    free_count_[b] = 0;
+  }
+  bytes_held_ = 0;
+}
+
+Workspace& Workspace::local() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace fcma::core

@@ -1,0 +1,116 @@
+// Per-thread workspace: a pool of aligned, size-bucketed scratch buffers.
+//
+// The FCMA hot path used to heap-allocate on every task: a count*M x N
+// correlation buffer per task, a packed B^T panel per gemm call, an M x M
+// kernel matrix per voxel, and private accumulators per syrk worker.  At
+// paper dimensions that is thousands of malloc/free round trips per second,
+// all for buffers whose sizes repeat across tasks.  Workspace::local()
+// gives each thread its own arena: checkout rounds the request up to a
+// power-of-two bucket, reuses a cached buffer when one is free, and the
+// RAII Lease returns it on scope exit.  Steady state allocates nothing.
+//
+// Thread affinity: a Lease must be released on the thread that acquired it
+// (every user acquires and releases within one task body, which the pool
+// runs on a single worker).  Because each thread owns its arena there is no
+// locking anywhere on the checkout path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/aligned.hpp"
+
+namespace fcma::core {
+
+class Workspace {
+ public:
+  /// RAII checkout of one buffer; returns it to the owning workspace on
+  /// destruction.  Movable, not copyable.  data() is 64-byte aligned and
+  /// holds at least the requested element count (capacity is the bucket
+  /// size); contents are uninitialized.
+  class Lease {
+   public:
+    Lease() = default;
+
+    Lease(Lease&& other) noexcept
+        : owner_(std::exchange(other.owner_, nullptr)),
+          buf_(std::move(other.buf_)) {}
+
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        owner_ = std::exchange(other.owner_, nullptr);
+        buf_ = std::move(other.buf_);
+      }
+      return *this;
+    }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ~Lease() { release(); }
+
+    [[nodiscard]] float* data() noexcept { return buf_.data(); }
+    [[nodiscard]] const float* data() const noexcept { return buf_.data(); }
+
+    /// Capacity in floats (>= the requested count).
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+    [[nodiscard]] bool empty() const noexcept { return buf_.empty(); }
+
+   private:
+    friend class Workspace;
+    Lease(Workspace* owner, AlignedBuffer<float> buf)
+        : owner_(owner), buf_(std::move(buf)) {}
+
+    void release() noexcept;
+
+    Workspace* owner_ = nullptr;
+    AlignedBuffer<float> buf_;
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Checks out a buffer of at least `floats` elements (floats == 0 yields
+  /// an empty lease).
+  [[nodiscard]] Lease acquire(std::size_t floats);
+
+  /// Total checkouts / checkouts served from the pool without allocating.
+  [[nodiscard]] std::size_t acquires() const noexcept { return acquires_; }
+  [[nodiscard]] std::size_t pool_hits() const noexcept { return hits_; }
+
+  /// Bytes currently cached in the free lists (leased buffers excluded).
+  [[nodiscard]] std::size_t bytes_held() const noexcept { return bytes_held_; }
+
+  /// Frees every cached buffer (outstanding leases are unaffected).
+  void trim();
+
+  /// The calling thread's arena (created on first use, lives for the
+  /// thread's lifetime).
+  [[nodiscard]] static Workspace& local();
+
+ private:
+  friend class Lease;
+
+  static std::size_t bucket_of(std::size_t floats) noexcept;
+
+  void put_back(AlignedBuffer<float> buf) noexcept;
+
+  // Bucket b caches buffers of exactly (kMinBucketFloats << b) floats.
+  static constexpr std::size_t kMinBucketFloats = 256;  // 1 KiB
+  static constexpr std::size_t kBucketCount = 44;
+  // Free lists kept tiny: the hot paths lease at most a handful of
+  // distinct sizes at once per thread.
+  static constexpr std::size_t kMaxFreePerBucket = 4;
+
+  std::array<std::array<AlignedBuffer<float>, kMaxFreePerBucket>, kBucketCount>
+      free_{};
+  std::array<std::size_t, kBucketCount> free_count_{};
+  std::size_t acquires_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t bytes_held_ = 0;
+};
+
+}  // namespace fcma::core

@@ -6,6 +6,7 @@
 #include "common/aligned.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "common/workspace.hpp"
 #include "linalg/baseline.hpp"
 #include "linalg/opt.hpp"
 #include "stats/normalization.hpp"
@@ -123,7 +124,8 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
   std::size_t max_e = 0;
   for (const SubjectRun& r : runs) max_e = std::max(max_e, r.last - r.first);
   const std::size_t t_len = epochs.per_epoch.front().cols();
-  AlignedBuffer<float> bt(max_e * t_len * linalg::opt::kGemmPanelCols);
+  auto bt = Workspace::local().acquire(max_e * t_len *
+                                       linalg::opt::kGemmPanelCols);
   for (const SubjectRun& run : runs) {
     const std::size_t e_count = run.last - run.first;
     for (std::size_t j0 = 0; j0 < n; j0 += linalg::opt::kGemmPanelCols) {

@@ -1,9 +1,11 @@
 #include "fcma/offline.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
 #include "common/trace.hpp"
+#include "common/workspace.hpp"
 #include "linalg/opt.hpp"
 #include "stats/normalization.hpp"
 
@@ -55,18 +57,29 @@ linalg::Matrix selected_correlation_features(
   const std::size_t m = epochs.per_epoch.size();
   const std::size_t dim = k * (k - 1) / 2;
   linalg::Matrix features(m, dim);
+  // Per epoch: gather the k selected rows into a packed k x T panel and let
+  // the blocked syrk produce the k x k Gram matrix; its strict upper
+  // triangle, read row-major, is exactly the (i, j>i) pair ordering of the
+  // feature vector.  Entries are already Pearson r's (eq. 2/3
+  // normalization).
+  const std::size_t t_len = epochs.per_epoch.front().cols();
+  auto& workspace = Workspace::local();
+  auto packed = workspace.acquire(k * t_len);
+  auto gram = workspace.acquire(k * k);
   for (std::size_t e = 0; e < m; ++e) {
     const linalg::Matrix& act = epochs.per_epoch[e];
+    for (std::size_t i = 0; i < k; ++i) {
+      std::memcpy(packed.data() + i * t_len, act.row(selected[i]),
+                  t_len * sizeof(float));
+    }
+    linalg::opt::syrk(
+        linalg::ConstMatrixView{packed.data(), k, t_len, t_len},
+        linalg::MatrixView{gram.data(), k, k, k});
     float* row = features.row(e);
     std::size_t f = 0;
     for (std::size_t i = 0; i < k; ++i) {
-      const float* vi = act.row(selected[i]);
-      for (std::size_t j = i + 1; j < k; ++j) {
-        const float* vj = act.row(selected[j]);
-        float acc = 0.0f;
-        for (std::size_t t = 0; t < act.cols(); ++t) acc += vi[t] * vj[t];
-        row[f++] = acc;  // already a Pearson r (eq. 2/3 normalization)
-      }
+      const float* gram_row = gram.data() + i * k;
+      for (std::size_t j = i + 1; j < k; ++j) row[f++] = gram_row[j];
     }
   }
   return features;
@@ -105,6 +118,11 @@ OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
   const std::size_t v_total = dataset.voxels();
   const std::size_t per_task =
       options.voxels_per_task == 0 ? v_total : options.voxels_per_task;
+  const std::vector<VoxelTask> tasks = partition_voxels(v_total, per_task);
+
+  // All-epoch normalization feeds the final per-fold classifier but does
+  // not depend on the fold, so compute it once for the whole analysis.
+  const fmri::NormalizedEpochs all = fmri::normalize_epochs(dataset);
 
   for (std::int32_t fold = 0; fold < dataset.subjects(); ++fold) {
     const trace::Span fold_span("offline_fold");
@@ -117,10 +135,12 @@ OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
     const fmri::NormalizedEpochs training =
         fmri::normalize_epochs(dataset, train_epochs);
 
-    // Voxel selection: full FCMA over the training subjects.
+    // Voxel selection: full FCMA over the training subjects.  Tasks run
+    // through the configured pool; results come back in task order, so the
+    // scoreboard fills identically at any thread count.
     Scoreboard board(v_total);
-    for (const VoxelTask& task : partition_voxels(v_total, per_task)) {
-      board.add(run_task(training, task, options.pipeline));
+    for (const TaskResult& tr : run_tasks(training, tasks, options.pipeline)) {
+      board.add(tr);
     }
     FoldResult fr;
     fr.left_out_subject = fold;
@@ -134,7 +154,6 @@ OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
 
     // Final classifier: selected-voxel correlation patterns over *all*
     // epochs; train on the training subjects, test on the held-out one.
-    const fmri::NormalizedEpochs all = fmri::normalize_epochs(dataset);
     linalg::Matrix features =
         selected_correlation_features(all, fr.selected);
     zscore_features_within_subject(features, all.meta);

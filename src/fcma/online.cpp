@@ -37,9 +37,10 @@ OnlineResult run_online_selection(const fmri::Dataset& dataset,
   const std::size_t v_total = dataset.voxels();
   const std::size_t per_task =
       options.voxels_per_task == 0 ? v_total : options.voxels_per_task;
+  const std::vector<VoxelTask> tasks = partition_voxels(v_total, per_task);
   Scoreboard board(v_total);
-  for (const VoxelTask& task : partition_voxels(v_total, per_task)) {
-    board.add(run_task(epochs, task, pipeline));
+  for (const TaskResult& tr : run_tasks(epochs, tasks, pipeline)) {
+    board.add(tr);
   }
 
   OnlineResult result;

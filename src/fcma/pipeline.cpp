@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/trace.hpp"
+#include "common/workspace.hpp"
 
 namespace fcma::core {
 
@@ -13,24 +14,51 @@ TaskResult run_task(const fmri::NormalizedEpochs& epochs,
   trace::count("pipeline/tasks");
   const std::size_t m = epochs.per_epoch.size();
   const std::size_t n = epochs.per_epoch.front().rows();
-  linalg::Matrix corr = make_corr_buffer(task, m, n);
+  // The count*M x N correlation buffer is the single biggest allocation of
+  // the pipeline; tasks of equal size reuse it through the worker's arena.
+  auto corr_lease =
+      Workspace::local().acquire(static_cast<std::size_t>(task.count) * m * n);
+  const linalg::MatrixView corr{corr_lease.data(),
+                                static_cast<std::size_t>(task.count) * m, n,
+                                n};
   if (config.impl == Impl::kBaseline) {
-    baseline_correlate_normalize(epochs, task, corr.view());
+    baseline_correlate_normalize(epochs, task, corr);
   } else {
-    optimized_correlate_normalize(epochs, task, corr.view(),
-                                  config.norm_mode);
+    optimized_correlate_normalize(epochs, task, corr, config.norm_mode);
   }
   const auto folds = config.cv_folds != nullptr
                          ? *config.cv_folds
                          : epoch_loso_folds(epochs.meta);
   const SvmStageResult stage3 =
-      svm_stage(corr.view(), epochs.meta, folds, task, config.impl,
-                config.solver, config.svm_options, config.pool);
+      svm_stage(corr, epochs.meta, folds, task, config.impl, config.solver,
+                config.svm_options, config.pool);
   TaskResult result;
   result.task = task;
   result.accuracy = stage3.accuracy;
   result.svm_iterations = stage3.svm_iterations;
   return result;
+}
+
+std::vector<TaskResult> run_tasks(const fmri::NormalizedEpochs& epochs,
+                                  std::span<const VoxelTask> tasks,
+                                  const PipelineConfig& config) {
+  std::vector<TaskResult> results(tasks.size());
+  if (config.pool != nullptr && tasks.size() > 1) {
+    // One worker per task.  Inside a worker the nested parallel_for calls
+    // fall back to inline execution, so each task runs serially on its
+    // worker — identical arithmetic to the single-thread path, merely
+    // spread across cores.
+    threading::parallel_for_each(
+        *config.pool, 0, tasks.size(),
+        [&](std::size_t i) { results[i] = run_task(epochs, tasks[i], config); });
+  } else {
+    // A single task (or no pool): run on the calling thread so the pool
+    // stays free for the task's inner stage-3 parallelism.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      results[i] = run_task(epochs, tasks[i], config);
+    }
+  }
+  return results;
 }
 
 TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
@@ -45,27 +73,29 @@ TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
   const std::size_t n = epochs.per_epoch.front().rows();
 
   // Phase 1: per group, correlate+normalize into a reusable buffer and
-  // reduce each voxel to its kernel matrix.
+  // reduce each voxel to its kernel matrix.  One group-sized workspace
+  // lease covers every group (the last, possibly shorter group just views
+  // a prefix).
   std::vector<linalg::Matrix> kernels;
   kernels.reserve(task.count);
-  linalg::Matrix corr;  // allocated lazily to the group size
+  const std::size_t max_group =
+      std::min<std::size_t>(group_voxels, task.count);
+  auto corr_lease = Workspace::local().acquire(max_group * m * n);
   for (std::uint32_t g0 = 0; g0 < task.count; g0 += group_voxels) {
     const VoxelTask group{
         task.first + g0,
         static_cast<std::uint32_t>(
             std::min<std::size_t>(group_voxels, task.count - g0))};
-    if (corr.rows() != static_cast<std::size_t>(group.count) * m) {
-      corr = make_corr_buffer(group, m, n);
-    }
+    const linalg::MatrixView corr{
+        corr_lease.data(), static_cast<std::size_t>(group.count) * m, n, n};
     if (config.impl == Impl::kBaseline) {
-      baseline_correlate_normalize(epochs, group, corr.view());
+      baseline_correlate_normalize(epochs, group, corr);
     } else {
-      optimized_correlate_normalize(epochs, group, corr.view(),
-                                    config.norm_mode);
+      optimized_correlate_normalize(epochs, group, corr, config.norm_mode);
     }
     for (std::uint32_t v = 0; v < group.count; ++v) {
       linalg::Matrix kernel(m, m);
-      compute_voxel_kernel(corr.view(), m, v, config.impl, kernel.view());
+      compute_voxel_kernel(corr, m, v, config.impl, kernel.view());
       kernels.push_back(std::move(kernel));
     }
   }

@@ -8,6 +8,8 @@
 // reproductions.
 #pragma once
 
+#include <span>
+
 #include "fcma/corr_norm.hpp"
 #include "fcma/svm_stage.hpp"
 
@@ -52,6 +54,19 @@ struct TaskResult {
 [[nodiscard]] TaskResult run_task(const fmri::NormalizedEpochs& epochs,
                                   const VoxelTask& task,
                                   const PipelineConfig& config);
+
+/// Runs every task and returns the results in task order.
+///
+/// With a pool configured and more than one task, tasks are distributed
+/// across the workers (the paper's task-level parallelism); each task's
+/// inner stages then run inline on their worker.  With one task — or no
+/// pool — tasks run on the calling thread, which keeps the pool available
+/// to the *inner* stage parallelism instead.  Either way the result vector
+/// is ordered by task index, so downstream consumers see an identical
+/// sequence regardless of thread count.
+[[nodiscard]] std::vector<TaskResult> run_tasks(
+    const fmri::NormalizedEpochs& epochs, std::span<const VoxelTask> tasks,
+    const PipelineConfig& config);
 
 /// Per-stage event breakdown of an instrumented task run.
 struct InstrumentedTaskResult {

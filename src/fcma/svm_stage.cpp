@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/trace.hpp"
+#include "common/workspace.hpp"
 #include "linalg/baseline.hpp"
 #include "linalg/opt.hpp"
 
@@ -72,10 +73,13 @@ SvmStageResult svm_stage(linalg::ConstMatrixView corr,
   std::atomic<long> iterations{0};
 
   auto run_voxel = [&](std::size_t v) {
-    linalg::Matrix kernel(m, m);
-    compute_voxel_kernel(corr, m, v, impl, kernel.view());
+    // Every voxel of a task needs the same M x M kernel matrix; drawing it
+    // from the executing worker's arena turns count allocations into one.
+    auto kernel_lease = Workspace::local().acquire(m * m);
+    const linalg::MatrixView kernel{kernel_lease.data(), m, m, m};
+    compute_voxel_kernel(corr, m, v, impl, kernel);
     const svm::CvResult cv =
-        svm::cross_validate(solver, kernel.view(), labels, folds, options);
+        svm::cross_validate(solver, kernel, labels, folds, options);
     result.accuracy[v] = cv.accuracy();
     iterations.fetch_add(cv.iterations, std::memory_order_relaxed);
   };

@@ -3,17 +3,18 @@
 
 #include "common/aligned.hpp"
 #include "common/trace.hpp"
+#include "common/workspace.hpp"
 #include "linalg/opt.hpp"
+#include "linalg/simd.hpp"
 
 namespace fcma::linalg::opt {
 
 namespace {
 
-// SIMD columns advanced together per broadcast of an A element.  Amortizing
-// the broadcast over several column vectors is what pushes the optimized
-// kernel's memory-reference count well below the baseline's.
+// SIMD columns advanced together per broadcast of an A element (the
+// instrumented model's register-block width).  The production inner loop
+// lives in linalg/simd.cpp, selected per ISA at runtime.
 constexpr std::size_t kMicroCols = 4;
-constexpr std::size_t kVec = kNativeSimdWidthF32;
 
 }  // namespace
 
@@ -31,40 +32,20 @@ void pack_bt_panel(ConstMatrixView b, std::size_t j0, std::size_t j1,
 void gemm_row_panel(const float* FCMA_RESTRICT a, std::size_t k,
                     const float* FCMA_RESTRICT bt, std::size_t width,
                     float* FCMA_RESTRICT c) {
-  constexpr std::size_t kStep = kVec * kMicroCols;
-  std::size_t j = 0;
-  for (; j + kStep <= width; j += kStep) {
-    // Register block: kMicroCols vectors of kVec accumulators.  The inner
-    // loop is a pure broadcast-FMA stream over the packed panel, which GCC
-    // vectorizes at full width.
-    float acc[kStep] = {};
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = a[kk];
-      const float* FCMA_RESTRICT btk = bt + kk * width + j;
-      for (std::size_t w = 0; w < kStep; ++w) acc[w] += av * btk[w];
-    }
-    float* FCMA_RESTRICT cj = c + j;
-    for (std::size_t w = 0; w < kStep; ++w) cj[w] = acc[w];
-  }
-  // Remainder columns.
-  for (; j < width; ++j) {
-    float acc = 0.0f;
-    for (std::size_t kk = 0; kk < k; ++kk) acc += a[kk] * bt[kk * width + j];
-    c[j] = acc;
-  }
+  simd::kernels().gemm_row_panel(a, k, bt, width, c);
 }
 
 namespace {
 
 void gemm_panels(ConstMatrixView a, ConstMatrixView b, MatrixView c,
-                 std::size_t panel0, std::size_t panel1,
-                 AlignedBuffer<float>& bt) {
+                 std::size_t panel0, std::size_t panel1, float* bt) {
+  const auto& kernels = simd::kernels();
   for (std::size_t j0 = panel0; j0 < panel1; j0 += kGemmPanelCols) {
     const std::size_t j1 = std::min(panel1, j0 + kGemmPanelCols);
     const std::size_t width = j1 - j0;
-    pack_bt_panel(b, j0, j1, bt.data());
+    pack_bt_panel(b, j0, j1, bt);
     for (std::size_t i = 0; i < a.rows; ++i) {
-      gemm_row_panel(a.row(i), a.cols, bt.data(), width, c.row(i) + j0);
+      kernels.gemm_row_panel(a.row(i), a.cols, bt, width, c.row(i) + j0);
     }
   }
 }
@@ -75,8 +56,8 @@ void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   FCMA_CHECK(a.cols == b.cols, "gemm_nt: inner dimensions differ");
   FCMA_CHECK(c.rows == a.rows && c.cols == b.rows, "gemm_nt: bad C shape");
   const trace::Span span("gemm_nt");
-  AlignedBuffer<float> bt(a.cols * kGemmPanelCols);
-  gemm_panels(a, b, c, 0, b.rows, bt);
+  auto bt = core::Workspace::local().acquire(a.cols * kGemmPanelCols);
+  gemm_panels(a, b, c, 0, b.rows, bt.data());
 }
 
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
@@ -86,8 +67,10 @@ void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
   const trace::Span span("gemm_nt");
   threading::parallel_for(
       pool, 0, b.rows, kGemmPanelCols, [&](std::size_t j0, std::size_t j1) {
-        AlignedBuffer<float> bt(a.cols * kGemmPanelCols);
-        gemm_panels(a, b, c, j0, j1, bt);
+        // Each chunk runs on one worker; the packed panel comes from that
+        // worker's arena and is reused by every chunk it executes.
+        auto bt = core::Workspace::local().acquire(a.cols * kGemmPanelCols);
+        gemm_panels(a, b, c, j0, j1, bt.data());
       });
 }
 

@@ -5,15 +5,13 @@
 
 #include "common/aligned.hpp"
 #include "common/trace.hpp"
+#include "common/workspace.hpp"
 #include "linalg/opt.hpp"
+#include "linalg/simd.hpp"
 
 namespace fcma::linalg::opt {
 
 namespace {
-
-constexpr std::size_t kVec = kNativeSimdWidthF32;
-// Micro-tile width in floats: one vector register of output columns.
-constexpr std::size_t kMicroCols = kVec;
 
 // Packs A's columns [k0, k1) for all M rows into a_local[M][kb], then its
 // transpose at_local[kb][M] (paper Fig 7: blocks of A_local are transposed
@@ -32,83 +30,14 @@ void pack_panel(ConstMatrixView a, std::size_t k0, std::size_t k1,
   }
 }
 
-// Micro-kernel hot path: one full 9-row x 16-col tile.  Both the tile
-// bounds AND the panel depth KB are compile-time constants — with a runtime
-// kb the strided a_col loads defeat unrolling (GCC falls back to gathers
-// and spills the accumulator block).
-template <std::size_t KB>
-void micro_kernel_full(const float* FCMA_RESTRICT a_local,
-                       const float* FCMA_RESTRICT at_local, std::size_t m,
-                       std::size_t i0, std::size_t j0,
-                       float* FCMA_RESTRICT c, std::size_t ldc) {
-  float acc[kSyrkMicroRows][kMicroCols] = {};
-  for (std::size_t k = 0; k < KB; ++k) {
-    const float* FCMA_RESTRICT at_row = at_local + k * m + j0;
-    const float* FCMA_RESTRICT a_col = a_local + i0 * KB + k;
-    for (std::size_t r = 0; r < kSyrkMicroRows; ++r) {
-      const float av = a_col[r * KB];
-      for (std::size_t wv = 0; wv < kMicroCols; ++wv) {
-        acc[r][wv] += av * at_row[wv];
-      }
-    }
-  }
-  for (std::size_t r = 0; r < kSyrkMicroRows; ++r) {
-    float* FCMA_RESTRICT crow = c + (i0 + r) * ldc + j0;
-    for (std::size_t wv = 0; wv < kMicroCols; ++wv) crow[wv] += acc[r][wv];
-  }
-}
-
-// Ragged edges of the triangle (short rows and/or short columns).
-void micro_kernel_edge(const float* FCMA_RESTRICT a_local,
-                       const float* FCMA_RESTRICT at_local, std::size_t m,
-                       std::size_t kb, std::size_t i0, std::size_t rows,
-                       std::size_t j0, std::size_t cols,
-                       float* FCMA_RESTRICT c, std::size_t ldc) {
-  float acc[kSyrkMicroRows][kMicroCols] = {};
-  for (std::size_t k = 0; k < kb; ++k) {
-    const float* FCMA_RESTRICT at_row = at_local + k * m + j0;
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float av = a_local[(i0 + r) * kb + k];
-      for (std::size_t wv = 0; wv < cols; ++wv) {
-        acc[r][wv] += av * at_row[wv];
-      }
-    }
-  }
-  for (std::size_t r = 0; r < rows; ++r) {
-    float* crow = c + (i0 + r) * ldc + j0;
-    for (std::size_t wv = 0; wv < cols; ++wv) crow[wv] += acc[r][wv];
-  }
-}
-
-void micro_kernel(const float* FCMA_RESTRICT a_local,
-                  const float* FCMA_RESTRICT at_local, std::size_t m,
-                  std::size_t kb, std::size_t i0, std::size_t rows,
-                  std::size_t j0, std::size_t cols,
-                  float* FCMA_RESTRICT c, std::size_t ldc) {
-  if (rows == kSyrkMicroRows && cols == kMicroCols && kb == kSyrkPanelK) {
-    micro_kernel_full<kSyrkPanelK>(a_local, at_local, m, i0, j0, c, ldc);
-  } else {
-    micro_kernel_edge(a_local, at_local, m, kb, i0, rows, j0, cols, c, ldc);
-  }
-}
-
 // Accumulates the contribution of panel [k0, k1) into c (ldc-strided, full
-// lower triangle in micro-tile granularity).
+// lower triangle in micro-tile granularity).  The tile sweep and its
+// register-blocked micro-kernel live in the runtime-dispatched simd layer.
 void panel_contribution(ConstMatrixView a, std::size_t k0, std::size_t k1,
                         float* a_local, float* at_local, float* c,
                         std::size_t ldc) {
-  const std::size_t m = a.rows;
   pack_panel(a, k0, k1, a_local, at_local);
-  const std::size_t kb = k1 - k0;
-  for (std::size_t i0 = 0; i0 < m; i0 += kSyrkMicroRows) {
-    const std::size_t rows = std::min(kSyrkMicroRows, m - i0);
-    // Only tiles intersecting the lower triangle are computed; the final
-    // mirror step fills the upper triangle.
-    for (std::size_t j0 = 0; j0 <= i0 + rows - 1; j0 += kMicroCols) {
-      const std::size_t cols = std::min(kMicroCols, m - j0);
-      micro_kernel(a_local, at_local, m, kb, i0, rows, j0, cols, c, ldc);
-    }
-  }
+  simd::kernels().syrk_panel(a_local, at_local, a.rows, k1 - k0, c, ldc);
 }
 
 // Mirrors the computed lower triangle into the upper one.
@@ -128,8 +57,9 @@ void syrk(ConstMatrixView a, MatrixView c) {
   for (std::size_t i = 0; i < m; ++i) {
     std::memset(c.row(i), 0, m * sizeof(float));
   }
-  AlignedBuffer<float> a_local(m * kSyrkPanelK);
-  AlignedBuffer<float> at_local(kSyrkPanelK * m);
+  auto& workspace = core::Workspace::local();
+  auto a_local = workspace.acquire(m * kSyrkPanelK);
+  auto at_local = workspace.acquire(kSyrkPanelK * m);
   for (std::size_t k0 = 0; k0 < n; k0 += kSyrkPanelK) {
     const std::size_t k1 = std::min(n, k0 + kSyrkPanelK);
     panel_contribution(a, k0, k1, a_local.data(), at_local.data(), c.data,
@@ -147,7 +77,9 @@ void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
     std::memset(c.row(i), 0, m * sizeof(float));
   }
   // Each task owns a contiguous range of panels, accumulates into a private
-  // C, and merges under the lock — the paper's OpenMP-lock scheme.
+  // C, and merges under the lock — the paper's OpenMP-lock scheme.  The
+  // packing buffers and the private C come from the executing worker's
+  // arena, so repeated syrk calls stop churning the allocator.
   std::mutex c_mutex;
   const std::size_t panels = (n + kSyrkPanelK - 1) / kSyrkPanelK;
   const std::size_t tasks = std::min<std::size_t>(pool.size() * 2, panels);
@@ -155,9 +87,10 @@ void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
   threading::parallel_for(
       pool, 0, panels, panels_per_task,
       [&](std::size_t p0, std::size_t p1) {
-        AlignedBuffer<float> a_local(m * kSyrkPanelK);
-        AlignedBuffer<float> at_local(kSyrkPanelK * m);
-        AlignedBuffer<float> c_local(m * m);
+        auto& workspace = core::Workspace::local();
+        auto a_local = workspace.acquire(m * kSyrkPanelK);
+        auto at_local = workspace.acquire(kSyrkPanelK * m);
+        auto c_local = workspace.acquire(m * m);
         std::memset(c_local.data(), 0, m * m * sizeof(float));
         for (std::size_t p = p0; p < p1; ++p) {
           const std::size_t k0 = p * kSyrkPanelK;

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <vector>
 
+#include "linalg/simd.hpp"
 #include "stats/normalization.hpp"
 #include "stats/stats.hpp"
 
@@ -11,24 +12,22 @@ void fisher_zscore_block(float* data, std::size_t epochs, std::size_t width,
                          std::size_t ld) {
   if (epochs == 0 || width == 0) return;
   const float inv_e = 1.0f / static_cast<float>(epochs);
-  // Column-chunked two-pass sweep; the j loops vectorize, the logf inside
-  // fisher_z stays scalar (the EMU hardware the paper leans on has no
-  // portable equivalent, and normalization is not the pipeline bottleneck).
+  // Column-chunked two-pass sweep.  The moment accumulation and the final
+  // (x - mean) * inv_sd pass run through the runtime-dispatched SIMD
+  // micro-kernels; the logf inside fisher_z stays scalar (no portable
+  // vector equivalent, and it is elementwise — identical on every ISA).
+  const auto& kernels = linalg::simd::kernels();
   constexpr std::size_t kChunk = 64;
-  float sum[kChunk];
-  float sumsq[kChunk];
+  alignas(64) float sum[kChunk];
+  alignas(64) float sumsq[kChunk];
   for (std::size_t j0 = 0; j0 < width; j0 += kChunk) {
     const std::size_t w = std::min(kChunk, width - j0);
     std::fill(sum, sum + w, 0.0f);
     std::fill(sumsq, sumsq + w, 0.0f);
     for (std::size_t e = 0; e < epochs; ++e) {
       float* row = data + e * ld + j0;
-      for (std::size_t j = 0; j < w; ++j) {
-        const float z = fisher_z(row[j]);
-        row[j] = z;
-        sum[j] += z;
-        sumsq[j] += z * z;
-      }
+      for (std::size_t j = 0; j < w; ++j) row[j] = fisher_z(row[j]);
+      kernels.accumulate_moments(row, sum, sumsq, w);
     }
     for (std::size_t j = 0; j < w; ++j) {
       const float m = sum[j] * inv_e;
@@ -38,10 +37,7 @@ void fisher_zscore_block(float* data, std::size_t epochs, std::size_t width,
       sumsq[j] = inv_sd;   // reuse: per-column inverse stddev
     }
     for (std::size_t e = 0; e < epochs; ++e) {
-      float* row = data + e * ld + j0;
-      for (std::size_t j = 0; j < w; ++j) {
-        row[j] = (row[j] - sum[j]) * sumsq[j];
-      }
+      kernels.zscore_finish(data + e * ld + j0, sum, sumsq, w);
     }
   }
 }

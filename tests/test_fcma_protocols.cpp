@@ -10,6 +10,7 @@
 #include "fcma/scoreboard.hpp"
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
+#include "threading/thread_pool.hpp"
 
 namespace fcma::core {
 namespace {
@@ -155,6 +156,29 @@ TEST(Offline, TaskPartitioningDoesNotChangeSelection) {
   ASSERT_EQ(a.folds.size(), b.folds.size());
   for (std::size_t f = 0; f < a.folds.size(); ++f) {
     EXPECT_EQ(a.folds[f].selected, b.folds[f].selected);
+  }
+}
+
+TEST(Offline, PooledTasksBitIdenticalToSerial) {
+  // Task-parallel execution must be invisible in the result: each task is
+  // computed serially on one worker and the merge is in task order, so the
+  // OfflineResult has to match the single-thread run bit for bit.
+  const fmri::Dataset d = protocol_dataset();
+  OfflineOptions serial;
+  serial.top_k = 8;
+  serial.voxels_per_task = 24;
+  OfflineOptions pooled = serial;
+  threading::ThreadPool pool(4);
+  pooled.pipeline.pool = &pool;
+  const OfflineResult a = run_offline_analysis(d, serial);
+  const OfflineResult b = run_offline_analysis(d, pooled);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t f = 0; f < a.folds.size(); ++f) {
+    EXPECT_EQ(a.folds[f].left_out_subject, b.folds[f].left_out_subject);
+    EXPECT_EQ(a.folds[f].selected, b.folds[f].selected);
+    EXPECT_EQ(a.folds[f].mean_selected_cv_accuracy,
+              b.folds[f].mean_selected_cv_accuracy);
+    EXPECT_EQ(a.folds[f].test_accuracy, b.folds[f].test_accuracy);
   }
 }
 

@@ -1,0 +1,206 @@
+// Tests for the runtime-dispatched SIMD micro-kernels (linalg/simd.hpp).
+//
+// Every ISA variant — portable-scalar, AVX2, AVX-512 lane widths — must
+// agree with a double-precision reference to tolerance AND bit-identically
+// with the other variants: dispatch may change speed, never answers.  The
+// variants are all compiled from GCC vector extensions, so each one runs on
+// any host (wide vectors are synthesized from narrower ops where needed),
+// which is what makes this suite meaningful on every machine.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/opt.hpp"
+#include "linalg/simd.hpp"
+
+namespace fcma::linalg::simd {
+namespace {
+
+constexpr Isa kAllIsas[] = {Isa::kScalar, Isa::kAvx2, Isa::kAvx512};
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  for (float& x : v) x = rng.uniform(-1.0f, 1.0f);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch resolution
+// ---------------------------------------------------------------------------
+
+// Must run before anything else in this process touches active_isa(): the
+// FCMA_FORCE_ISA override is resolved once and cached.  (Keep this test
+// first in the file; under ctest each test is its own process anyway.)
+TEST(SimdDispatch, ForceIsaEnvOverridesDetection) {
+  ::setenv("FCMA_FORCE_ISA", "scalar", 1);
+  EXPECT_EQ(active_isa(), Isa::kScalar);
+  ::unsetenv("FCMA_FORCE_ISA");
+}
+
+TEST(SimdDispatch, IsaNamesRoundTrip) {
+  for (const Isa isa : kAllIsas) {
+    Isa parsed = Isa::kAvx512;
+    ASSERT_TRUE(parse_isa(isa_name(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa ignored;
+  EXPECT_FALSE(parse_isa("", &ignored));
+  EXPECT_FALSE(parse_isa("avx", &ignored));
+  EXPECT_FALSE(parse_isa("AVX512", &ignored));
+}
+
+TEST(SimdDispatch, DetectedIsaIsValid) {
+  const Isa isa = detect_isa();
+  EXPECT_TRUE(isa == Isa::kScalar || isa == Isa::kAvx2 ||
+              isa == Isa::kAvx512);
+  // Whatever was detected must have a working kernel table.
+  EXPECT_NE(kernels(isa).gemm_row_panel, nullptr);
+  EXPECT_NE(kernels(isa).syrk_panel, nullptr);
+  EXPECT_NE(kernels(isa).accumulate_moments, nullptr);
+  EXPECT_NE(kernels(isa).zscore_finish, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// gemm row-panel: every variant vs the double reference, and bit-identical
+// across variants.  width = 150 exercises the 4-vector block, the single-
+// vector loop, and the scalar remainder at every lane width.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, GemmRowPanelMatchesReferenceOnEveryIsa) {
+  const std::size_t k = 37;
+  const std::size_t width = 150;
+  const auto a = random_vec(k, 1);
+  const auto bt = random_vec(k * width, 2);
+
+  std::vector<float> want(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    double acc = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      acc += static_cast<double>(a[kk]) *
+             static_cast<double>(bt[kk * width + j]);
+    }
+    want[j] = static_cast<float>(acc);
+  }
+
+  std::vector<std::vector<float>> got;
+  for (const Isa isa : kAllIsas) {
+    std::vector<float> c(width, -42.0f);
+    kernels(isa).gemm_row_panel(a.data(), k, bt.data(), width, c.data());
+    for (std::size_t j = 0; j < width; ++j) {
+      EXPECT_NEAR(c[j], want[j], 1e-4f)
+          << "isa " << isa_name(isa) << " col " << j;
+    }
+    got.push_back(std::move(c));
+  }
+  // Dispatch must not change answers: ascending-k accumulation per output
+  // element makes every lane width produce the same bits.
+  EXPECT_EQ(got[0], got[1]);
+  EXPECT_EQ(got[0], got[2]);
+}
+
+// ---------------------------------------------------------------------------
+// syrk packed-panel sweep: full-depth panels (the compile-time-KB fast
+// path) and a ragged panel, on an M that has both full 9-row tiles and an
+// edge tile.  Only the lower triangle is compared — the tile sweep writes
+// scratch above the diagonal that mirror_upper overwrites in production.
+// ---------------------------------------------------------------------------
+
+void check_syrk_panel(std::size_t m, std::size_t kb) {
+  const auto a_local = random_vec(m * kb, 3);
+  std::vector<float> at_local(kb * m);
+  for (std::size_t k = 0; k < kb; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      at_local[k * m + i] = a_local[i * kb + k];
+    }
+  }
+
+  std::vector<std::vector<float>> got;
+  for (const Isa isa : kAllIsas) {
+    std::vector<float> c(m * m, 0.0f);
+    kernels(isa).syrk_panel(a_local.data(), at_local.data(), m, kb, c.data(),
+                            m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < kb; ++k) {
+          acc += static_cast<double>(a_local[i * kb + k]) *
+                 static_cast<double>(a_local[j * kb + k]);
+        }
+        EXPECT_NEAR(c[i * m + j], static_cast<float>(acc), 1e-4f)
+            << "isa " << isa_name(isa) << " at (" << i << ", " << j << ")";
+      }
+    }
+    // Keep only the defined (lower-triangle) part for the bit comparison.
+    std::vector<float> lower;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) lower.push_back(c[i * m + j]);
+    }
+    got.push_back(std::move(lower));
+  }
+  EXPECT_EQ(got[0], got[1]);
+  EXPECT_EQ(got[0], got[2]);
+}
+
+TEST(SimdDispatch, SyrkPanelFullDepthMatchesReferenceOnEveryIsa) {
+  check_syrk_panel(21, opt::kSyrkPanelK);
+}
+
+TEST(SimdDispatch, SyrkPanelRaggedDepthMatchesReferenceOnEveryIsa) {
+  check_syrk_panel(13, 33);
+}
+
+// ---------------------------------------------------------------------------
+// Normalization inner loops: column-parallel, so every lane width performs
+// the identical per-column accumulation.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, AccumulateMomentsMatchesScalarOnEveryIsa) {
+  const std::size_t width = 100;
+  const std::size_t rows = 3;
+  const auto data = random_vec(rows * width, 4);
+
+  std::vector<float> want_sum(width, 0.0f);
+  std::vector<float> want_sumsq(width, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const float z = data[r * width + j];
+      want_sum[j] += z;
+      want_sumsq[j] += z * z;
+    }
+  }
+
+  for (const Isa isa : kAllIsas) {
+    std::vector<float> sum(width, 0.0f);
+    std::vector<float> sumsq(width, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+      kernels(isa).accumulate_moments(data.data() + r * width, sum.data(),
+                                      sumsq.data(), width);
+    }
+    EXPECT_EQ(sum, want_sum) << "isa " << isa_name(isa);
+    EXPECT_EQ(sumsq, want_sumsq) << "isa " << isa_name(isa);
+  }
+}
+
+TEST(SimdDispatch, ZscoreFinishMatchesScalarOnEveryIsa) {
+  const std::size_t width = 77;
+  const auto row0 = random_vec(width, 5);
+  const auto mean = random_vec(width, 6);
+  const auto inv_sd = random_vec(width, 7);
+
+  std::vector<float> want(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    want[j] = (row0[j] - mean[j]) * inv_sd[j];
+  }
+
+  for (const Isa isa : kAllIsas) {
+    std::vector<float> row = row0;
+    kernels(isa).zscore_finish(row.data(), mean.data(), inv_sd.data(), width);
+    EXPECT_EQ(row, want) << "isa " << isa_name(isa);
+  }
+}
+
+}  // namespace
+}  // namespace fcma::linalg::simd

@@ -1,0 +1,92 @@
+#!/bin/sh
+# Scaled-down smoke run of the paper benches: Table 5 (matmul GFLOPS),
+# Table 7 (stage merging), Table 8 (SVM solvers), and Fig 9 (single-node
+# speedup).  Each bench runs at a fraction of its default problem size so
+# the whole sweep finishes in seconds, and the results land in one JSON
+# file: per-bench wall-clock plus the Table 5 per-kernel GFLOPS.
+#
+# Usage: bench_smoke.sh <bench-dir> [output.json]
+set -eu
+
+BENCH_DIR="$1"
+OUT="${2:-BENCH_pr2.json}"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Milliseconds since the epoch (GNU date nanoseconds, truncated).
+now_ms() {
+  date +%s%N | cut -c1-13
+}
+
+# run_bench <name> <binary> [args...]: runs the bench, stores stdout in
+# $WORK/<name>.txt and its wall-clock milliseconds in $WORK/<name>.ms.
+run_bench() {
+  name="$1"
+  shift
+  start=$(now_ms)
+  "$@" > "$WORK/$name.txt"
+  end=$(now_ms)
+  echo $((end - start)) > "$WORK/$name.ms"
+  echo "  $name: $((end - start)) ms"
+}
+
+wall_s() {
+  awk '{printf "%.3f", $1 / 1000.0}' "$WORK/$1.ms"
+}
+
+echo "bench smoke sweep (scaled-down problem sizes)"
+run_bench table5_matmul_gflops "$BENCH_DIR/bench_table5_matmul_gflops" \
+  --voxels 2048 --syrk-voxels 512 --epochs 2
+run_bench table7_stage_merging "$BENCH_DIR/bench_table7_stage_merging" \
+  --voxels 512 --subjects 4 --task 16
+run_bench table8_svm "$BENCH_DIR/bench_table8_svm" \
+  --voxels 256 --subjects 6 --task 4
+run_bench fig9_single_node_speedup \
+  "$BENCH_DIR/bench_fig9_single_node_speedup" \
+  --voxels 1024 --subjects 4 --calib-task 6
+
+# Every table must have produced its metrics sidecar with the dispatched
+# ISA recorded.
+ISA=$(sed -n 's/.*"simd\/isa": "\([a-z0-9]*\)".*/\1/p' \
+  "$BENCH_DIR/bench_table5_matmul_gflops.metrics.json" | head -n 1)
+test -n "$ISA"
+
+# Table 5 GFLOPS per kernel, keyed impl x function.  Table rows look like:
+#   | our blocking        | correlation matrix | 86        | 248    | ...
+t5_gflops() {
+  grep -F "| $1" "$WORK/table5_matmul_gflops.txt" \
+    | grep -F "$2" \
+    | awk -F'|' '{gsub(/ /, "", $5); print $5}'
+}
+OPT_CORR=$(t5_gflops "our blocking" "correlation matrix")
+OPT_SYRK=$(t5_gflops "our blocking" "SVM kernel matrix")
+BASE_CORR=$(t5_gflops "baseline" "correlation matrix")
+BASE_SYRK=$(t5_gflops "baseline" "SVM kernel matrix")
+test -n "$OPT_CORR" && test -n "$OPT_SYRK"
+test -n "$BASE_CORR" && test -n "$BASE_SYRK"
+
+# Fig 9 must report a speedup > 1x for both datasets.
+grep -qE "face-scene.*\|[^|]*x" "$WORK/fig9_single_node_speedup.txt"
+grep -qE "attention" "$WORK/fig9_single_node_speedup.txt"
+
+cat > "$OUT" <<EOF
+{
+  "schema": "fcma.bench_smoke.v1",
+  "simd_isa": "$ISA",
+  "benches": {
+    "table5_matmul_gflops": {
+      "wall_s": $(wall_s table5_matmul_gflops),
+      "gflops": {
+        "opt_corr_gemm": $OPT_CORR,
+        "opt_svm_syrk": $OPT_SYRK,
+        "baseline_corr_gemm": $BASE_CORR,
+        "baseline_svm_syrk": $BASE_SYRK
+      }
+    },
+    "table7_stage_merging": {"wall_s": $(wall_s table7_stage_merging)},
+    "table8_svm": {"wall_s": $(wall_s table8_svm)},
+    "fig9_single_node_speedup": {"wall_s": $(wall_s fig9_single_node_speedup)}
+  }
+}
+EOF
+echo "bench smoke results written to $OUT (isa: $ISA)"

@@ -28,6 +28,7 @@
 #include "fmri/preprocess.hpp"
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
+#include "linalg/simd.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace {
@@ -186,7 +187,11 @@ int cmd_analyze(int argc, const char* const* argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string trace_path = cli.get("trace");
-  if (!trace_path.empty()) trace::set_enabled(true);
+  if (!trace_path.empty()) {
+    trace::set_enabled(true);
+    trace::meta_set("simd/isa",
+                    linalg::simd::isa_name(linalg::simd::active_isa()));
+  }
 
   const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
   const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(d);
@@ -234,16 +239,30 @@ int cmd_offline(int argc, const char* const* argv) {
   cli.add_flag("in", "study", "dataset stem");
   cli.add_flag("report", "offline.txt", "report output path");
   cli.add_flag("top-k", "32", "voxels selected per fold");
+  cli.add_flag("threads", "0",
+               "worker threads for the task/stage parallelism (0 = hardware "
+               "concurrency)");
+  cli.add_flag("voxels-per-task", "64",
+               "voxels per pipeline task (0 = the whole brain in one task)");
   cli.add_flag("trace", "",
                "write a JSON span/counter trace of the run to this path");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string trace_path = cli.get("trace");
-  if (!trace_path.empty()) trace::set_enabled(true);
+  if (!trace_path.empty()) {
+    trace::set_enabled(true);
+    trace::meta_set("simd/isa",
+                    linalg::simd::isa_name(linalg::simd::active_isa()));
+  }
 
   const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
   core::OfflineOptions opts;
   opts.top_k = static_cast<std::size_t>(cli.get_int("top-k"));
+  opts.voxels_per_task =
+      static_cast<std::size_t>(cli.get_int("voxels-per-task"));
+  threading::ThreadPool pool(
+      static_cast<std::size_t>(cli.get_int("threads")));
+  opts.pipeline.pool = &pool;
   WallTimer timer;
   const core::OfflineResult result = core::run_offline_analysis(d, opts);
   std::printf("%zu folds in %.1f s; mean held-out accuracy %.3f\n",

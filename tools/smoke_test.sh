@@ -31,7 +31,19 @@ grep -q 'normalization' trace.json
 grep -q 'svm' trace.json
 grep -q 'threadpool/' trace.json
 
-"$FCMA" offline --in clean --report offline.txt --top-k 12
+# Forced-ISA dispatch: every variant runs on any host (portable vector
+# code), reports itself in the trace metadata, and — because dispatch never
+# changes answers — produces an identical report.
+for isa in scalar avx2 avx512; do
+  FCMA_FORCE_ISA=$isa "$FCMA" analyze --in clean --report "isa_$isa.txt" \
+      --top-k 6 --trace "isa_$isa.json"
+  grep -q "\"simd/isa\": \"$isa\"" "isa_$isa.json"
+done
+cmp isa_scalar.txt isa_avx2.txt
+cmp isa_scalar.txt isa_avx512.txt
+
+"$FCMA" offline --in clean --report offline.txt --top-k 12 --threads 2 \
+    --voxels-per-task 100
 grep -q "per-fold results" offline.txt
 grep -q "mean held-out accuracy" offline.txt
 
