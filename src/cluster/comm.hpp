@@ -23,9 +23,10 @@ namespace fcma::cluster {
 
 /// Well-known message tags of the FCMA protocol.
 enum class Tag : std::int32_t {
-  kTaskAssign = 1,   ///< master -> worker: VoxelTask payload
+  kTaskAssign = 1,   ///< master -> worker: batch of VoxelTasks payload
   kTaskResult = 2,   ///< worker -> master: accuracies payload
   kShutdown = 3,     ///< master -> worker: no more tasks
+  kWorkRequest = 4,  ///< worker -> master: local queue low, send more tasks
   kUser = 100,       ///< first tag available to applications
 };
 

@@ -1,5 +1,7 @@
 #include "cluster/driver.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <string>
 #include <thread>
 
@@ -10,23 +12,41 @@ namespace fcma::cluster {
 
 namespace {
 
-/// Worker loop: receive tasks, run the pipeline, return accuracies, until
-/// shutdown.  Workers share the read-only normalized epoch data, exactly as
-/// the paper's workers share the broadcast dataset.
+/// Worker loop: receive task batches, run the pipeline task by task, return
+/// one accuracies message per task, and request the next batch when the
+/// local queue reaches the low-water mark — the request overlaps the
+/// remaining local compute, so the worker never idles waiting for the
+/// master unless the master itself is the bottleneck.  Workers share the
+/// read-only normalized epoch data, exactly as the paper's workers share
+/// the broadcast dataset.
 void worker_main(Comm& comm, std::size_t rank,
                  const fmri::NormalizedEpochs& epochs,
-                 const core::PipelineConfig& pipeline) {
+                 const DriverOptions& options) {
   // Per-worker span family: count/total/min/max of this rank's task
   // latencies, the cluster-level analogue of Table 3's load-balance data.
   const std::string task_label =
       "cluster/worker" + std::to_string(rank) + "/task";
+  std::deque<core::VoxelTask> local;
+  bool requested = false;
   for (;;) {
-    const Message m = comm.recv(rank);
-    if (m.tag == Tag::kShutdown) return;
-    FCMA_CHECK(m.tag == Tag::kTaskAssign, "worker expected a task");
-    const auto task = decode<core::VoxelTask>(m.payload);
+    if (local.empty()) {
+      const Message m = comm.recv(rank);
+      if (m.tag == Tag::kShutdown) return;
+      FCMA_CHECK(m.tag == Tag::kTaskAssign, "worker expected a task batch");
+      const auto batch = decode_vector<core::VoxelTask>(m.payload);
+      FCMA_CHECK(!batch.empty(), "empty task batch");
+      local.insert(local.end(), batch.begin(), batch.end());
+      requested = false;
+    }
+    if (!requested && local.size() <= options.low_water) {
+      comm.send(rank, 0, Tag::kWorkRequest, {});
+      requested = true;
+    }
+    const core::VoxelTask task = local.front();
+    local.pop_front();
     const trace::Span task_span(task_label);
-    const core::TaskResult result = core::run_task(epochs, task, pipeline);
+    const core::TaskResult result =
+        core::run_task(epochs, task, options.pipeline);
     // Result message: the task descriptor followed by the accuracies.
     std::vector<double> packed;
     packed.reserve(2 + result.accuracy.size());
@@ -45,43 +65,70 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
                                       const DriverOptions& options,
                                       DriverStats* stats) {
   FCMA_CHECK(options.workers >= 1, "need at least one worker");
+  FCMA_CHECK(options.low_water >= 1, "low_water must be at least 1");
   const std::size_t per_task =
       options.voxels_per_task != 0
           ? options.voxels_per_task
           : (total_voxels + options.workers - 1) / options.workers;
   auto tasks = core::partition_voxels(total_voxels, per_task);
+  const std::size_t batch_size =
+      options.batch != 0
+          ? options.batch
+          : std::max<std::size_t>(
+                1, tasks.size() / (options.workers * 4));
 
   Comm comm(options.workers + 1);  // rank 0 = master
   std::vector<std::thread> workers;
   workers.reserve(options.workers);
   for (std::size_t w = 1; w <= options.workers; ++w) {
     workers.emplace_back(worker_main, std::ref(comm), w, std::cref(epochs),
-                         std::cref(options.pipeline));
+                         std::cref(options));
   }
 
   core::Scoreboard board(total_voxels);
   DriverStats local_stats;
   std::size_t next_task = 0;
-  std::size_t in_flight = 0;
+  std::size_t shutdowns = 0;
 
-  // Prime every worker with one task (or shut it down if none remain).
-  for (std::size_t w = 1; w <= options.workers; ++w) {
-    if (next_task < tasks.size()) {
-      comm.send(0, w, Tag::kTaskAssign, encode(tasks[next_task++]));
-      ++in_flight;
-      ++local_stats.tasks_dispatched;
-      ++local_stats.messages;
-    } else {
+  // Sends the next batch to `w`, or a shutdown when no tasks remain.
+  auto dispatch = [&](std::size_t w) {
+    if (next_task >= tasks.size()) {
       comm.send(0, w, Tag::kShutdown, {});
+      ++shutdowns;
       ++local_stats.messages;
+      return;
     }
-  }
-
-  // Collect results; a finishing worker immediately gets the next task.
-  while (in_flight > 0) {
-    const Message m = comm.recv(0);
-    FCMA_CHECK(m.tag == Tag::kTaskResult, "master expected a result");
+    const std::size_t count =
+        std::min(batch_size, tasks.size() - next_task);
+    const std::vector<core::VoxelTask> batch(
+        tasks.begin() + static_cast<std::ptrdiff_t>(next_task),
+        tasks.begin() + static_cast<std::ptrdiff_t>(next_task + count));
+    next_task += count;
+    comm.send(0, w, Tag::kTaskAssign, encode_vector(batch));
+    local_stats.tasks_dispatched += count;
+    ++local_stats.batches;
     ++local_stats.messages;
+  };
+
+  // Prime every worker with one batch (or shut it down if none remain).
+  for (std::size_t w = 1; w <= options.workers; ++w) dispatch(w);
+
+  // Collect results and answer work requests until every task's result is
+  // in and every worker has been released.  A worker's final work request
+  // always precedes its final result in its FIFO mailbox, so the request
+  // loop cannot stall: either results remain (recv will yield something)
+  // or only shutdown replies are owed (already counted via dispatch).
+  std::size_t results = 0;
+  while (results < tasks.size() || shutdowns < options.workers) {
+    const Message m = comm.recv(0);
+    ++local_stats.messages;
+    if (m.tag == Tag::kWorkRequest) {
+      ++local_stats.work_requests;
+      dispatch(m.source);
+      continue;
+    }
+    FCMA_CHECK(m.tag == Tag::kTaskResult,
+               "master expected a result or work request");
     const auto packed = decode_vector<double>(m.payload);
     FCMA_CHECK(packed.size() >= 2, "malformed result payload");
     core::TaskResult result;
@@ -89,21 +136,14 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
     result.task.count = static_cast<std::uint32_t>(packed[1]);
     result.accuracy.assign(packed.begin() + 2, packed.end());
     board.add(result);
-    --in_flight;
-    if (next_task < tasks.size()) {
-      comm.send(0, m.source, Tag::kTaskAssign, encode(tasks[next_task++]));
-      ++in_flight;
-      ++local_stats.tasks_dispatched;
-      ++local_stats.messages;
-    } else {
-      comm.send(0, m.source, Tag::kShutdown, {});
-      ++local_stats.messages;
-    }
+    ++results;
   }
 
   for (auto& t : workers) t.join();
   trace::count("cluster/tasks_dispatched",
                static_cast<std::int64_t>(local_stats.tasks_dispatched));
+  trace::count("cluster/work_requests",
+               static_cast<std::int64_t>(local_stats.work_requests));
   if (stats != nullptr) *stats = local_stats;
   return board;
 }

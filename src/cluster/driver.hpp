@@ -1,13 +1,15 @@
 // Functional master-worker FCMA driver over the in-process communicator.
 //
 // Runs the real distribution protocol of paper §3.1.1 with real threads:
-// rank 0 (master) partitions the brain into voxel-range tasks and hands one
-// to each worker; a worker runs the three-stage pipeline on its task and
-// returns the accuracies; the master feeds the scoreboard and keeps
-// dispatching until all voxels are scored.  Used by tests and examples to
-// validate that the distributed analysis is bit-identical to the
-// single-node one; the virtual-time simulator (sim.hpp) answers the timing
-// questions at 96-node scale.
+// rank 0 (master) partitions the brain into voxel-range tasks and streams
+// them to the workers in *batches*; a worker runs the three-stage pipeline
+// task by task, returning one accuracies message per task, and sends a
+// work request when its local queue drops to the low-water mark so the
+// next batch overlaps the tail of the current one (the paper's dynamic
+// load-balancing protocol, where idle coprocessors pull work).  Used by
+// tests and examples to validate that the distributed analysis is
+// bit-identical to the single-node one; the virtual-time simulator
+// (sim.hpp) answers the timing questions at 96-node scale.
 #pragma once
 
 #include "cluster/comm.hpp"
@@ -21,17 +23,29 @@ namespace fcma::cluster {
 struct DriverOptions {
   std::size_t workers = 2;
   std::size_t voxels_per_task = 0;  ///< 0 = one task per worker
+  /// Tasks per kTaskAssign batch.  0 = auto: a quarter of a worker's even
+  /// share, so every worker refills ~4 times and the tail stays balanced.
+  std::size_t batch = 0;
+  /// A worker requests more work when its local queue drops to this many
+  /// tasks (it keeps computing while the request is in flight).
+  std::size_t low_water = 1;
   core::PipelineConfig pipeline;
 };
 
 /// Statistics of a driver run.
 struct DriverStats {
   std::size_t tasks_dispatched = 0;
-  std::size_t messages = 0;
+  std::size_t batches = 0;        ///< kTaskAssign messages sent
+  std::size_t work_requests = 0;  ///< kWorkRequest messages received
+  std::size_t messages = 0;       ///< every protocol message, both ways
 };
 
 /// Runs the task farm over `epochs` (already normalized), scoring every
-/// voxel of the brain.  Returns the populated scoreboard.
+/// voxel of the brain.  Returns the populated scoreboard.  The result is a
+/// pure function of (epochs, total_voxels, pipeline, voxels_per_task):
+/// workers/batch/low_water only move tasks between ranks, and the
+/// scoreboard stores per-voxel slots, so any configuration is bit-identical
+/// to the single-node run over the same tasks.
 [[nodiscard]] core::Scoreboard run_cluster_analysis(
     const fmri::NormalizedEpochs& epochs, std::size_t total_voxels,
     const DriverOptions& options, DriverStats* stats = nullptr);

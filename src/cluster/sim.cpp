@@ -26,6 +26,8 @@ FarmOutcome simulate_task_farm(const FarmConfig& config,
                                std::size_t folds) {
   FCMA_CHECK(config.workers >= 1, "need at least one worker");
   FCMA_CHECK(!fold_task_seconds.empty(), "need at least one task");
+  FCMA_CHECK(config.tasks_per_request >= 1,
+             "tasks_per_request must be at least 1");
 
   FarmOutcome outcome;
   double clock = broadcast_s(config.net, config.broadcast_bytes,
@@ -33,10 +35,12 @@ FarmOutcome simulate_task_farm(const FarmConfig& config,
 
   const double assign_s = config.net.transfer_s(config.assign_bytes);
   const double result_s = config.net.transfer_s(config.result_bytes);
+  const std::size_t tasks = fold_task_seconds.size();
+  const std::size_t batch = config.tasks_per_request;
 
   for (std::size_t fold = 0; fold < folds; ++fold) {
     // Worker availability: min-heap of times each worker can accept a new
-    // task (it has returned its previous result by then).
+    // batch (it has returned its previous batch's last result by then).
     std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
     for (std::size_t w = 0; w < config.workers; ++w) free_at.push(clock);
     // The master's NIC/control loop is a serial resource.  Sends serialize
@@ -44,25 +48,37 @@ FarmOutcome simulate_task_farm(const FarmConfig& config,
     // account as an aggregate throughput floor below.
     double master_send_free = clock;
     double fold_end = clock;
+    std::size_t batches = 0;
 
-    for (const double task_s : fold_task_seconds) {
-      FCMA_CHECK(task_s >= 0.0, "task time must be non-negative");
+    for (std::size_t t = 0; t < tasks; t += batch) {
+      const std::size_t count = std::min(batch, tasks - t);
+      double batch_s = 0.0;
+      for (std::size_t i = t; i < t + count; ++i) {
+        FCMA_CHECK(fold_task_seconds[i] >= 0.0,
+                   "task time must be non-negative");
+        batch_s += fold_task_seconds[i];
+      }
+      ++batches;
       const double worker_free = free_at.top();
       free_at.pop();
       const double send_begin = std::max(master_send_free, worker_free);
       master_send_free = send_begin + assign_s;
       const double compute_done =
-          send_begin + assign_s + config.task_overhead_s + task_s;
+          send_begin + assign_s +
+          static_cast<double>(count) * config.task_overhead_s + batch_s;
+      // Results before the batch's last overlap the remaining compute; the
+      // worker is free again once its final result is on the wire.
       const double result_arrives = compute_done + result_s;
       free_at.push(result_arrives);
       fold_end = std::max(fold_end, result_arrives);
-      outcome.compute_s += task_s;
+      outcome.compute_s += batch_s;
     }
-    // Master message-throughput floor: every assignment and result passes
-    // through the master's single link.
+    // Master message-throughput floor: one assignment per batch plus one
+    // result per task passes through the master's single link — batching
+    // amortizes the assignment half of the old per-task floor.
     const double master_floor =
-        clock + static_cast<double>(fold_task_seconds.size()) *
-                    (assign_s + result_s);
+        clock + static_cast<double>(batches) * assign_s +
+        static_cast<double>(tasks) * result_s;
     clock = std::max(fold_end, master_floor) + config.fold_overhead_s;
   }
   outcome.makespan_s = clock;

@@ -44,6 +44,12 @@ struct FarmConfig {
   double assign_bytes = 64.0;      ///< task-assignment message size
   double result_bytes = 1024.0;    ///< per-task result message size
   double task_overhead_s = 1e-3;   ///< per-task node-side setup cost
+  /// Tasks streamed per assignment message (the driver's batch dispatch +
+  /// work-request protocol).  1 = the classic one-task-per-round farm; a
+  /// larger batch amortizes the master's per-assignment serialization, the
+  /// lever that lifts the communication floor on short-task folds.  Applies
+  /// to the homogeneous model; the fault-injected overload stays per-task.
+  std::size_t tasks_per_request = 1;
   /// Serial master-side work at the end of every fold: collecting and
   /// ranking voxel scores, training/testing the fold's final classifier.
   /// This floor is what keeps short-fold datasets from scaling ideally

@@ -44,10 +44,11 @@ std::vector<TaskResult> run_tasks(const fmri::NormalizedEpochs& epochs,
                                   const PipelineConfig& config) {
   std::vector<TaskResult> results(tasks.size());
   if (config.pool != nullptr && tasks.size() > 1) {
-    // One worker per task.  Inside a worker the nested parallel_for calls
-    // fall back to inline execution, so each task runs serially on its
-    // worker — identical arithmetic to the single-thread path, merely
-    // spread across cores.
+    // One task per scheduler task; the nested stage-3 parallel_for inside
+    // each runs through the same scheduler (help-first joins), so small
+    // task counts still fill the machine.  Arithmetic is identical to the
+    // single-thread path: every voxel writes its own accuracy slot and the
+    // results vector is indexed by task order, not completion order.
     threading::parallel_for_each(
         *config.pool, 0, tasks.size(),
         [&](std::size_t i) { results[i] = run_task(epochs, tasks[i], config); });

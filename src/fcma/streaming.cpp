@@ -8,8 +8,10 @@
 #include "fcma/online.hpp"
 #include "fcma/pipeline.hpp"
 #include "fcma/scoreboard.hpp"
+#include "fcma/task.hpp"
 #include "linalg/opt.hpp"
 #include "stats/stats.hpp"
+#include "threading/thread_pool.hpp"
 
 namespace fcma::core {
 
@@ -93,14 +95,22 @@ void StreamingAnalyzer::train() {
   const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(data);
   const auto folds = kfold_groups(m, options_.k_folds);
 
-  // Voxel selection over the buffered localizer.
+  // Voxel selection over the buffered localizer, fanned out through the
+  // scheduler when one is configured.  Task results feed the scoreboard in
+  // task order and each voxel owns its slot, so the selection is identical
+  // at any pool size.
   PipelineConfig pipeline = PipelineConfig::optimized();
   pipeline.svm_options = options_.svm_options;
   pipeline.cv_folds = &folds;
+  pipeline.pool = options_.pool;
+  const std::size_t grain = options_.voxels_per_task != 0
+                                ? options_.voxels_per_task
+                                : options_.voxels;
+  const auto tasks = partition_voxels(options_.voxels, grain);
   Scoreboard board(options_.voxels);
-  board.add(run_task(
-      epochs,
-      VoxelTask{0, static_cast<std::uint32_t>(options_.voxels)}, pipeline));
+  for (const TaskResult& result : run_tasks(epochs, tasks, pipeline)) {
+    board.add(result);
+  }
   selected_ = board.top_voxels(options_.top_k);
 
   // Feedback classifier on the selected voxels' correlation features, with
@@ -138,21 +148,35 @@ void StreamingAnalyzer::train() {
   }
 
   // CV accuracy estimate on the frozen features, then the final model on
-  // every epoch.
-  double correct = 0.0;
-  std::size_t total = 0;
-  for (const auto& test : folds) {
+  // every epoch.  Folds run through the scheduler when available; each fold
+  // writes its own slot and the sum folds them in fold order, matching the
+  // serial loop's floating-point order exactly.
+  std::vector<double> fold_correct(folds.size(), 0.0);
+  std::vector<std::size_t> fold_total(folds.size(), 0);
+  auto eval_fold = [&](std::size_t f) {
+    const auto& test = folds[f];
     std::vector<bool> in_test(m, false);
     for (const std::size_t t : test) in_test[t] = true;
     std::vector<std::size_t> train_idx;
     for (std::size_t t = 0; t < m; ++t) {
       if (!in_test[t]) train_idx.push_back(t);
     }
-    correct += train_and_test_classifier(train_features_,
-                                         data.epochs(), train_idx, test,
-                                         options_.svm_options) *
-               static_cast<double>(test.size());
-    total += test.size();
+    fold_correct[f] = train_and_test_classifier(train_features_,
+                                                data.epochs(), train_idx,
+                                                test, options_.svm_options) *
+                      static_cast<double>(test.size());
+    fold_total[f] = test.size();
+  };
+  if (options_.pool != nullptr) {
+    threading::parallel_for_each(*options_.pool, 0, folds.size(), eval_fold);
+  } else {
+    for (std::size_t f = 0; f < folds.size(); ++f) eval_fold(f);
+  }
+  double correct = 0.0;
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    correct += fold_correct[f];
+    total += fold_total[f];
   }
   training_cv_accuracy_ = total == 0 ? 0.0 : correct / total;
 

@@ -25,6 +25,10 @@
 #include "linalg/matrix.hpp"
 #include "svm/types.hpp"
 
+namespace fcma::threading {
+class ThreadPool;
+}
+
 namespace fcma::core {
 
 /// Online classification result for one epoch.
@@ -43,6 +47,12 @@ class StreamingAnalyzer {
     std::size_t top_k = 32;         ///< voxels selected by train()
     std::size_t k_folds = 4;        ///< CV folds used during selection
     svm::TrainOptions svm_options;
+    /// Scheduler for train(): voxel selection fans out in tasks of
+    /// `voxels_per_task` voxels and the CV-estimate folds run concurrently.
+    /// Results are merged in task/fold order, so any pool size (including
+    /// none) produces bit-identical selections and accuracy estimates.
+    threading::ThreadPool* pool = nullptr;
+    std::size_t voxels_per_task = 0;  ///< selection task grain (0 = one task)
   };
 
   explicit StreamingAnalyzer(const Options& options);

@@ -5,6 +5,7 @@
 // [first, first+count)".
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,10 @@ struct VoxelTask {
 [[nodiscard]] inline std::vector<VoxelTask> partition_voxels(
     std::size_t total_voxels, std::size_t voxels_per_task) {
   FCMA_CHECK(voxels_per_task > 0, "voxels_per_task must be positive");
+  // VoxelTask carries 32-bit offsets (they cross the wire in the cluster
+  // protocol); a larger brain would silently truncate in the casts below.
+  FCMA_CHECK(total_voxels <= UINT32_MAX,
+             "partition_voxels: total_voxels exceeds the 32-bit task range");
   std::vector<VoxelTask> tasks;
   tasks.reserve((total_voxels + voxels_per_task - 1) / voxels_per_task);
   for (std::size_t v = 0; v < total_voxels; v += voxels_per_task) {

@@ -1,6 +1,5 @@
 #include <algorithm>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -76,35 +75,43 @@ void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
   for (std::size_t i = 0; i < m; ++i) {
     std::memset(c.row(i), 0, m * sizeof(float));
   }
-  // Each task owns a contiguous range of panels, accumulates into a private
-  // C, and merges under the lock — the paper's OpenMP-lock scheme.  The
-  // packing buffers and the private C come from the executing worker's
-  // arena, so repeated syrk calls stop churning the allocator.
-  std::mutex c_mutex;
+  // Each chunk owns a contiguous range of panels and accumulates into its
+  // own slot of a caller-owned buffer; the caller then folds the slots into
+  // C *in chunk order*.  The paper uses an OpenMP lock here, but a
+  // completion-order merge stops being reproducible now that nested
+  // parallel_for really runs parallel (the scheduler's help-first joins
+  // replaced the inline fallback) — ordered slots keep the result a pure
+  // function of the chunking, whatever worker ran what and when.  Packing
+  // buffers still come from the executing worker's arena; the slots cannot
+  // (workspace leases are thread-affine, the merge runs on the caller).
   const std::size_t panels = (n + kSyrkPanelK - 1) / kSyrkPanelK;
   const std::size_t tasks = std::min<std::size_t>(pool.size() * 2, panels);
   const std::size_t panels_per_task = (panels + tasks - 1) / tasks;
+  const std::size_t chunks = (panels + panels_per_task - 1) / panels_per_task;
+  AlignedBuffer<float> partials(chunks * m * m);
+  std::memset(partials.data(), 0, chunks * m * m * sizeof(float));
   threading::parallel_for(
       pool, 0, panels, panels_per_task,
       [&](std::size_t p0, std::size_t p1) {
         auto& workspace = core::Workspace::local();
         auto a_local = workspace.acquire(m * kSyrkPanelK);
         auto at_local = workspace.acquire(kSyrkPanelK * m);
-        auto c_local = workspace.acquire(m * m);
-        std::memset(c_local.data(), 0, m * m * sizeof(float));
+        float* c_chunk = partials.data() + (p0 / panels_per_task) * m * m;
         for (std::size_t p = p0; p < p1; ++p) {
           const std::size_t k0 = p * kSyrkPanelK;
           const std::size_t k1 = std::min(n, k0 + kSyrkPanelK);
           panel_contribution(a, k0, k1, a_local.data(), at_local.data(),
-                             c_local.data(), m);
-        }
-        const std::lock_guard<std::mutex> lock(c_mutex);
-        for (std::size_t i = 0; i < m; ++i) {
-          float* FCMA_RESTRICT dst = c.row(i);
-          const float* FCMA_RESTRICT src = c_local.data() + i * m;
-          for (std::size_t j = 0; j <= i; ++j) dst[j] += src[j];
+                             c_chunk, m);
         }
       });
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const float* chunk_c = partials.data() + chunk * m * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      float* FCMA_RESTRICT dst = c.row(i);
+      const float* FCMA_RESTRICT src = chunk_c + i * m;
+      for (std::size_t j = 0; j <= i; ++j) dst[j] += src[j];
+    }
+  }
   mirror_upper(c);
 }
 

@@ -1,35 +1,33 @@
-// Fixed-size thread pool and data-parallel helpers.
+// Thread-pool compatibility shim over the work-stealing scheduler.
 //
 // FCMA's worker pipeline parallelizes over voxels (one SVM problem per
-// voxel) and over panel blocks inside the matrix kernels.  Both use this
-// pool rather than OpenMP so the library has no compiler-runtime dependency
-// and thread counts are an explicit runtime parameter (the paper studies
-// 16- vs 240-thread regimes, which we model irrespective of the host).
+// voxel) and over panel blocks inside the matrix kernels.  Both used to run
+// on a single shared-FIFO pool defined here; PR 3 moved dispatch to
+// `sched::Scheduler` (per-worker deques, randomized stealing, help-first
+// joins — see sched/scheduler.hpp), and this header keeps the original
+// `ThreadPool` / `parallel_for` surface as a thin forwarding layer so the
+// many existing call sites did not have to churn.  New code should target
+// `sched::Scheduler` directly (`pool.scheduler()` bridges).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "sched/scheduler.hpp"
 
 namespace fcma::threading {
 
-/// Fixed pool of worker threads consuming a FIFO task queue.
+/// Compatibility wrapper: owns a `sched::Scheduler` and forwards to it.
 ///
-/// Shutdown semantics: the destructor *drains* the queue — every task
-/// already submitted runs to completion before the workers exit, so a
-/// future held past the pool's lifetime resolves normally instead of
-/// throwing std::future_error(broken_promise).  Destruction therefore
-/// blocks until the queue is empty and in-flight tasks return.
+/// Shutdown semantics are inherited from the scheduler: the destructor
+/// *drains* — every task already submitted runs to completion before the
+/// workers exit, so a future held past the pool's lifetime resolves
+/// normally instead of throwing std::future_error(broken_promise).
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
-  explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
+  explicit ThreadPool(std::size_t threads = 0) : sched_(threads) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -37,42 +35,46 @@ class ThreadPool {
   /// Enqueues a task; the future resolves with its result (or exception).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
-    using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> future = task->get_future();
-    enqueue([task] { (*task)(); });
-    return future;
+    return sched_.submit(std::forward<F>(fn));
   }
 
-  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  [[nodiscard]] std::size_t size() const { return sched_.size(); }
 
-  /// True when the calling thread is a worker of *any* ThreadPool.  Blocking
-  /// on futures from inside a worker can deadlock (every worker waiting,
-  /// none left to run the queue), so parallel_for falls back to inline
-  /// execution when this holds.
-  [[nodiscard]] static bool inside_worker();
+  /// The scheduler behind this pool — for callers that want TaskGroup,
+  /// spawn(), or dispatch stats.
+  [[nodiscard]] sched::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const sched::Scheduler& scheduler() const { return sched_; }
+
+  /// True when the calling thread is a worker of *this* pool's scheduler.
+  /// The old process-global variant wrongly reported true on workers of
+  /// *other* pools (so a task on pool A inlined parallel_for on pool B);
+  /// the check is now instance-scoped, and with help-first joins nothing
+  /// keys dispatch off it anyway.
+  [[nodiscard]] bool inside_worker() const {
+    return sched_.on_worker_thread();
+  }
 
  private:
-  void enqueue(std::function<void()> fn);
-  void worker_loop(std::size_t worker);
-
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  sched::Scheduler sched_;
 };
 
-/// Runs fn(i) for i in [begin, end) across the pool, in chunks of `grain`.
-/// Blocks until all iterations finish; rethrows the first task exception.
-/// Re-entrant: when called from inside a pool worker the chunks run inline
-/// on the calling thread (serially) instead of deadlocking on the queue.
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& body);
+/// Runs fn(lo, hi) over [begin, end) across the pool, in chunks of `grain`.
+/// Blocks until all iterations finish; rethrows the first chunk exception
+/// once every chunk has completed.  Re-entrant at any depth: a worker
+/// calling this helps execute chunks while it waits (and other workers
+/// steal them), so nested calls are genuinely parallel instead of inlining
+/// serially; an external caller parks until the chunks drain.
+inline void parallel_for(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  pool.scheduler().parallel_for(begin, end, grain, body);
+}
 
 /// Convenience overload: body receives a single index.
-void parallel_for_each(ThreadPool& pool, std::size_t begin, std::size_t end,
-                       const std::function<void(std::size_t)>& body);
+inline void parallel_for_each(ThreadPool& pool, std::size_t begin,
+                              std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  pool.scheduler().parallel_for_each(begin, end, body);
+}
 
 }  // namespace fcma::threading

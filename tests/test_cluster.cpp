@@ -106,18 +106,49 @@ TEST(Driver, DistributedMatchesSingleNode) {
   }
 }
 
-TEST(Driver, SingleWorkerWorks) {
+// Serial single-node reference over the same task partition the driver
+// uses: the determinism contract says moving tasks between ranks must not
+// change a single bit of any voxel's score.
+core::Scoreboard single_node_reference(const fmri::NormalizedEpochs& ne,
+                                       std::size_t voxels,
+                                       std::size_t voxels_per_task,
+                                       std::size_t workers) {
+  const std::size_t per_task =
+      voxels_per_task != 0 ? voxels_per_task
+                           : (voxels + workers - 1) / workers;
+  core::Scoreboard board(voxels);
+  for (const auto& task : core::partition_voxels(voxels, per_task)) {
+    board.add(core::run_task(ne, task, core::PipelineConfig::optimized()));
+  }
+  return board;
+}
+
+void expect_bit_identical(const core::Scoreboard& reference,
+                          const core::Scoreboard& distributed,
+                          std::size_t voxels) {
+  for (std::uint32_t v = 0; v < voxels; ++v) {
+    EXPECT_EQ(reference.accuracy_of(v), distributed.accuracy_of(v)) << v;
+  }
+}
+
+TEST(Driver, SingleWorkerIsBitIdenticalToSingleNode) {
   fmri::DatasetSpec spec = fmri::tiny_spec();
   spec.voxels = 64;
   const fmri::Dataset d = fmri::generate_synthetic(spec);
   const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
   DriverOptions opts;
   opts.workers = 1;
-  const core::Scoreboard board = run_cluster_analysis(ne, d.voxels(), opts);
+  opts.voxels_per_task = 16;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(ne, d.voxels(), opts, &stats);
   EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.tasks_dispatched, 4u);
+  expect_bit_identical(single_node_reference(ne, d.voxels(), 16, 1), board,
+                       d.voxels());
 }
 
-TEST(Driver, MoreWorkersThanTasks) {
+TEST(Driver, MoreWorkersThanTasksIsBitIdentical) {
   fmri::DatasetSpec spec = fmri::tiny_spec();
   spec.voxels = 64;
   const fmri::Dataset d = fmri::generate_synthetic(spec);
@@ -125,8 +156,56 @@ TEST(Driver, MoreWorkersThanTasks) {
   DriverOptions opts;
   opts.workers = 6;
   opts.voxels_per_task = 32;  // only 2 tasks for 6 workers
-  const core::Scoreboard board = run_cluster_analysis(ne, d.voxels(), opts);
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(ne, d.voxels(), opts, &stats);
   EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.tasks_dispatched, 2u);
+  // The 4 surplus workers are released with an immediate shutdown.
+  EXPECT_EQ(stats.batches, 2u);
+  expect_bit_identical(single_node_reference(ne, d.voxels(), 32, 6), board,
+                       d.voxels());
+}
+
+TEST(Driver, NonDividingGrainIsBitIdentical) {
+  // 61 voxels in tasks of 7: nine tasks, the last only 5 voxels.
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 61;
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  DriverOptions opts;
+  opts.workers = 3;
+  opts.voxels_per_task = 7;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(ne, d.voxels(), opts, &stats);
+  EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.tasks_dispatched, 9u);  // ceil(61/7)
+  expect_bit_identical(single_node_reference(ne, d.voxels(), 7, 3), board,
+                       d.voxels());
+}
+
+TEST(Driver, ExplicitBatchingDispatchesInBatchesAndStaysBitIdentical) {
+  fmri::DatasetSpec spec = fmri::tiny_spec();
+  spec.voxels = 64;
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  const fmri::NormalizedEpochs ne = fmri::normalize_epochs(d);
+  DriverOptions opts;
+  opts.workers = 2;
+  opts.voxels_per_task = 8;  // 8 tasks
+  opts.batch = 3;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(ne, d.voxels(), opts, &stats);
+  EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.tasks_dispatched, 8u);
+  // 3 + 3 primed, 2 more on the first refill: at least 3 assignments, and
+  // batching means strictly fewer assignment messages than tasks.
+  EXPECT_GE(stats.batches, 3u);
+  EXPECT_LT(stats.batches, 8u);
+  EXPECT_GE(stats.work_requests, 1u);
+  expect_bit_identical(single_node_reference(ne, d.voxels(), 8, 2), board,
+                       d.voxels());
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +262,35 @@ TEST(Sim, CommunicationFloorCapsTinyWorkloads) {
   const double t48 = simulate_task_farm(farm(48), tasks, 1).makespan_s;
   const double t96 = simulate_task_farm(farm(96), tasks, 1).makespan_s;
   EXPECT_LT(t48 / t96, 1.5);  // nowhere near 2x
+}
+
+TEST(Sim, BatchingLiftsTheCommunicationFloor) {
+  // Same tiny-task regime as above, but the master hands out 10 tasks per
+  // assignment message: the per-assignment latency amortizes 10x, so the
+  // serialization floor drops and the makespan strictly improves.
+  const std::vector<double> tasks(2000, 0.0005);
+  FarmConfig per_task = farm(48);
+  FarmConfig batched = farm(48);
+  batched.tasks_per_request = 10;
+  const double t1 = simulate_task_farm(per_task, tasks, 1).makespan_s;
+  const double t10 = simulate_task_farm(batched, tasks, 1).makespan_s;
+  EXPECT_LT(t10, t1);
+}
+
+TEST(Sim, BatchOfOneMatchesDefault) {
+  const std::vector<double> tasks(64, 0.5);
+  FarmConfig explicit_one = farm(8);
+  explicit_one.tasks_per_request = 1;
+  const double t_default = simulate_task_farm(farm(8), tasks, 2).makespan_s;
+  const double t_one = simulate_task_farm(explicit_one, tasks, 2).makespan_s;
+  EXPECT_DOUBLE_EQ(t_default, t_one);
+}
+
+TEST(Sim, ZeroBatchIsRejected) {
+  FarmConfig c = farm(2);
+  c.tasks_per_request = 0;
+  EXPECT_THROW((void)simulate_task_farm(c, std::vector<double>{1.0}, 1),
+               Error);
 }
 
 TEST(Sim, FoldsAreBarriers) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <set>
 
@@ -66,6 +67,17 @@ TEST(Partition, CoversEveryVoxelExactlyOnce) {
 
 TEST(Partition, ZeroPerTaskThrows) {
   EXPECT_THROW(partition_voxels(10, 0), Error);
+}
+
+TEST(Partition, RejectsVoxelCountsBeyondThe32BitTaskRange) {
+  // Regression: the old code cast total_voxels straight into the uint32_t
+  // VoxelTask fields, silently wrapping for brains (or stress configs)
+  // beyond 2^32 voxels.  The guard must throw instead of truncating.
+  if constexpr (sizeof(std::size_t) > 4) {
+    const std::size_t beyond =
+        static_cast<std::size_t>(UINT32_MAX) + std::size_t{7};
+    EXPECT_THROW(partition_voxels(beyond, 1u << 20), Error);
+  }
 }
 
 // ---------------------------------------------------------------------------

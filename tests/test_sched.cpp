@@ -1,0 +1,188 @@
+// Unit tests for the work-stealing scheduler (sched::Scheduler, TaskGroup).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace fcma::sched {
+namespace {
+
+TEST(Scheduler, SubmitReturnsValueThroughFuture) {
+  Scheduler sched(2);
+  auto f = sched.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(Scheduler, SubmitPropagatesExceptions) {
+  Scheduler sched(2);
+  auto f = sched.submit([]() -> int { throw Error("boom"); });
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(Scheduler, DefaultSizeIsPositive) {
+  Scheduler sched;
+  EXPECT_GE(sched.size(), 1u);
+}
+
+TEST(Scheduler, DestructorDrainsSpawnedTasks) {
+  std::atomic<int> executed{0};
+  {
+    Scheduler sched(2);
+    for (int i = 0; i < 100; ++i) {
+      sched.spawn([&executed] { ++executed; });
+    }
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(Scheduler, WorkerSubmittedTasksComplete) {
+  // A task spawned from a worker lands on that worker's own deque (not the
+  // inbox) and still completes: stolen by peers or drained at shutdown.
+  std::atomic<int> nested{0};
+  {
+    Scheduler sched(2);
+    sched
+        .submit([&sched, &nested] {
+          for (int i = 0; i < 10; ++i) sched.spawn([&nested] { ++nested; });
+        })
+        .get();
+  }
+  EXPECT_EQ(nested.load(), 10);
+}
+
+TEST(TaskGroup, WaitsForEveryTask) {
+  Scheduler sched(4);
+  std::atomic<int> done{0};
+  TaskGroup group(sched);
+  for (int i = 0; i < 64; ++i) {
+    group.run([&done] { ++done; });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstException) {
+  Scheduler sched(2);
+  TaskGroup group(sched);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 16; ++i) {
+    group.run([i, &completed] {
+      if (i == 7) throw Error("task failed");
+      ++completed;
+    });
+  }
+  EXPECT_THROW(group.wait(), Error);
+  // wait() returns only after *all* tasks finished, error or not — captured
+  // state is safe to destroy immediately after.
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(TaskGroup, WaitFromExternalThreadHelps) {
+  // The waiting thread is not a worker; it must still make progress by
+  // stealing the group's queued tasks even if every worker is busy.
+  Scheduler sched(1);
+  std::atomic<bool> release{false};
+  auto blocker = sched.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  TaskGroup group(sched);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) group.run([&done] { ++done; });
+  // The only worker is blocked; the external waiter must run all 8 itself.
+  std::thread unblock([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true);
+  });
+  group.wait();
+  EXPECT_EQ(done.load(), 8);
+  release.store(true);
+  blocker.get();
+  unblock.join();
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  Scheduler sched(4);
+  std::vector<std::atomic<int>> hits(500);
+  sched.parallel_for(0, 500, 13, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DeeplyNestedCallsStayParallelAndComplete) {
+  // Three levels of nesting on a 2-worker scheduler: help-first joins mean
+  // no level can deadlock, and the leaves all run.
+  Scheduler sched(2);
+  std::atomic<int> leaves{0};
+  sched.parallel_for_each(0, 4, [&](std::size_t) {
+    sched.parallel_for_each(0, 4, [&](std::size_t) {
+      sched.parallel_for_each(0, 4, [&](std::size_t) { ++leaves; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ParallelFor, ZeroGrainThrows) {
+  Scheduler sched(2);
+  EXPECT_THROW(
+      sched.parallel_for(0, 10, 0, [](std::size_t, std::size_t) {}),
+      Error);
+}
+
+TEST(ParallelFor, ResultsAreIndexDeterministic) {
+  // Each index writes its own slot; the outcome is independent of which
+  // worker ran which chunk.
+  Scheduler sched(4);
+  std::vector<std::size_t> out(1000, 0);
+  sched.parallel_for_each(0, 1000, [&out](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Scheduler, StatsAccountEveryExecutedTask) {
+  Scheduler sched(3);
+  const Scheduler::Stats before = sched.stats();
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) futures.push_back(sched.submit([] {}));
+  for (auto& f : futures) f.get();
+  const Scheduler::Stats after = sched.stats();
+  EXPECT_EQ(after.executed - before.executed, 200u);
+  // Every execution came off a deque exactly once.
+  EXPECT_EQ((after.local_hits + after.steals + after.inbox_hits) -
+                (before.local_hits + before.steals + before.inbox_hits),
+            200u);
+}
+
+TEST(Scheduler, OnWorkerThreadIsInstanceScoped) {
+  Scheduler a(1);
+  Scheduler b(1);
+  EXPECT_FALSE(a.on_worker_thread());
+  EXPECT_FALSE(Scheduler::on_any_worker());
+  auto f = a.submit([&a, &b] {
+    return a.on_worker_thread() && !b.on_worker_thread() &&
+           Scheduler::on_any_worker();
+  });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(Scheduler, CrossSchedulerParallelForDispatchesToTarget) {
+  Scheduler a(2);
+  Scheduler b(2);
+  const std::uint64_t executed_before = b.stats().executed;
+  std::atomic<int> hits{0};
+  a.submit([&b, &hits] {
+     b.parallel_for_each(0, 32, [&hits](std::size_t) { ++hits; });
+   }).get();
+  EXPECT_EQ(hits.load(), 32);
+  EXPECT_GE(b.stats().executed - executed_before, 32u);
+}
+
+}  // namespace
+}  // namespace fcma::sched

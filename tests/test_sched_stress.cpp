@@ -1,0 +1,152 @@
+// Scheduler stress suite — the `sched-stress` half of the TSan gate.
+//
+// These tests exist to give ThreadSanitizer maximal interleaving coverage
+// of the work-stealing machinery: thousands of tiny tasks hammering the
+// deques and the sleep/wake protocol, deep nested groups exercising the
+// help-first join from worker threads, and concurrent schedulers being
+// driven (and cross-called) from many external threads at once.  They are
+// built into the regular test run too; correctness assertions are exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace fcma::sched {
+namespace {
+
+TEST(SchedStress, ThousandsOfTinyTasks) {
+  Scheduler sched(4);
+  constexpr std::size_t kTasks = 20000;
+  std::vector<std::atomic<std::uint8_t>> hits(kTasks);
+  sched.parallel_for_each(0, kTasks, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.local_hits + stats.steals + stats.inbox_hits,
+            stats.executed);
+}
+
+TEST(SchedStress, TinyTaskWavesThroughSubmit) {
+  // Repeated bursts through the inbox exercise the sleep/wake transitions:
+  // between waves every worker goes idle, then the next wave must wake them
+  // without losing a notification.
+  Scheduler sched(4);
+  std::atomic<std::size_t> done{0};
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(sched.submit([&done] {
+        done.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(done.load(), 5000u);
+}
+
+TEST(SchedStress, RecursiveNestedGroups) {
+  // Divide-and-conquer sum over [0, 4096) with a fan-out of 4 per level:
+  // every interior node is a worker blocked in a help-first wait while its
+  // children run, several levels deep, on only 3 workers.
+  Scheduler sched(3);
+  struct Summer {
+    Scheduler& sched;
+    std::uint64_t operator()(std::size_t lo, std::size_t hi) const {
+      if (hi - lo <= 64) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += i;
+        return s;
+      }
+      const std::size_t quarter = (hi - lo) / 4;
+      std::uint64_t partial[4] = {0, 0, 0, 0};
+      TaskGroup group(sched);
+      for (int q = 0; q < 4; ++q) {
+        const std::size_t a = lo + static_cast<std::size_t>(q) * quarter;
+        const std::size_t b = q == 3 ? hi : a + quarter;
+        group.run([this, q, a, b, &partial] { partial[q] = (*this)(a, b); });
+      }
+      group.wait();
+      return partial[0] + partial[1] + partial[2] + partial[3];
+    }
+  };
+  const std::uint64_t total = Summer{sched}(0, 4096);
+  EXPECT_EQ(total, 4096ull * 4095ull / 2);
+}
+
+TEST(SchedStress, ConcurrentPoolsCrossTraffic) {
+  // Two schedulers, four external driver threads, and tasks on each
+  // scheduler fanning out onto the *other* one — the cross-instance case
+  // the old process-global inside_worker() flag got wrong.
+  Scheduler a(2);
+  Scheduler b(2);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(4);
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&a, &b, &total, d] {
+      Scheduler& mine = (d % 2 == 0) ? a : b;
+      Scheduler& other = (d % 2 == 0) ? b : a;
+      for (int round = 0; round < 20; ++round) {
+        mine.parallel_for_each(0, 8, [&other, &total](std::size_t) {
+          other.parallel_for_each(0, 8, [&total](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 8u * 8u);
+}
+
+TEST(SchedStress, ManyConcurrentGroupsFromExternalThreads) {
+  Scheduler sched(4);
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> callers;
+  callers.reserve(8);
+  for (int c = 0; c < 8; ++c) {
+    callers.emplace_back([&sched, &done] {
+      for (int round = 0; round < 25; ++round) {
+        TaskGroup group(sched);
+        for (int i = 0; i < 16; ++i) {
+          group.run([&done] {
+            done.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+        group.wait();
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(done.load(), 8u * 25u * 16u);
+}
+
+TEST(SchedStress, RapidConstructDestructWithPendingWork) {
+  // Shutdown races: destroy schedulers that still have queued and nested
+  // work; the drain contract says everything spawned must run.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> executed{0};
+    {
+      Scheduler sched(3);
+      for (int i = 0; i < 50; ++i) {
+        sched.spawn([&sched, &executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          sched.spawn([&executed] {
+            executed.fetch_add(1, std::memory_order_relaxed);
+          });
+        });
+      }
+    }
+    EXPECT_EQ(executed.load(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace fcma::sched

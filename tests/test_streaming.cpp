@@ -6,6 +6,7 @@
 #include "fcma/streaming.hpp"
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
+#include "threading/thread_pool.hpp"
 
 namespace fcma::core {
 namespace {
@@ -152,6 +153,37 @@ TEST(Streaming, RetrainingAfterMoreDataIsAllowed) {
   EXPECT_TRUE(analyzer.trained());
   // More data should not catastrophically hurt the estimate.
   EXPECT_GT(analyzer.training_cv_accuracy(), first - 0.15);
+}
+
+TEST(Streaming, PooledTrainIsBitIdenticalToSerial) {
+  // Training through the work-stealing scheduler must give the same result
+  // as the serial path: task partitioning fixes the arithmetic, the
+  // scheduler only moves tasks between threads.
+  const fmri::Dataset d = session_dataset();
+  StreamingAnalyzer::Options serial_opts = options_for(d);
+  serial_opts.voxels_per_task = 16;  // same partition, no pool
+  StreamingAnalyzer serial(serial_opts);
+  threading::ThreadPool pool(3);
+  StreamingAnalyzer::Options pooled_opts = options_for(d);
+  pooled_opts.pool = &pool;
+  pooled_opts.voxels_per_task = 16;
+  StreamingAnalyzer pooled(pooled_opts);
+  for (std::size_t e = 0; e < 32; ++e) {
+    push_epoch(serial, d, e);
+    serial.commit_epoch(d.epochs()[e].label);
+    push_epoch(pooled, d, e);
+    pooled.commit_epoch(d.epochs()[e].label);
+  }
+  serial.train();
+  pooled.train();
+  EXPECT_EQ(serial.selected_voxels(), pooled.selected_voxels());
+  EXPECT_EQ(serial.training_cv_accuracy(), pooled.training_cv_accuracy());
+  push_epoch(serial, d, 33);
+  push_epoch(pooled, d, 33);
+  const Feedback fs = serial.classify_pending();
+  const Feedback fp = pooled.classify_pending();
+  EXPECT_EQ(fs.label, fp.label);
+  EXPECT_EQ(fs.decision, fp.decision);
 }
 
 TEST(Streaming, BufferCapacityIsEnforced) {

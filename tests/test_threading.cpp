@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -95,16 +96,17 @@ TEST(ParallelFor, GrainLargerThanRangeStillWorks) {
   EXPECT_EQ(total.load(), 7);
 }
 
-TEST(ParallelFor, NestedCallFromWorkerRunsInlineWithoutDeadlock) {
-  // A parallel_for issued from inside a pool worker must not wait on the
-  // same (possibly saturated) queue; it runs the range inline.  With a
-  // 1-thread pool the old behavior deadlocks: the only worker blocks on
-  // futures no one can execute.
+TEST(ParallelFor, NestedCallFromWorkerCompletesWithoutDeadlock) {
+  // A parallel_for issued from inside a pool task must not wait on a queue
+  // nobody can drain.  The scheduler's help-first join makes this safe at
+  // any pool size: the blocked thread executes its own deque and steals
+  // until the nested group completes.  With a 1-thread pool a naive
+  // blocking join would deadlock (the only worker waiting on chunks no one
+  // can run).
   ThreadPool pool(1);
   std::atomic<int> inner_hits{0};
   parallel_for(pool, 0, 4, 1,
                [&pool, &inner_hits](std::size_t, std::size_t) {
-                 EXPECT_TRUE(ThreadPool::inside_worker());
                  parallel_for(pool, 0, 10, 2,
                               [&inner_hits](std::size_t lo, std::size_t hi) {
                                 inner_hits +=
@@ -112,7 +114,7 @@ TEST(ParallelFor, NestedCallFromWorkerRunsInlineWithoutDeadlock) {
                               });
                });
   EXPECT_EQ(inner_hits.load(), 40);
-  EXPECT_FALSE(ThreadPool::inside_worker());
+  EXPECT_FALSE(pool.inside_worker());
 }
 
 TEST(ParallelFor, NestedCallStillCoversRangeOnSaturatedPool) {
@@ -166,10 +168,39 @@ TEST(ThreadPool, DestructorResolvesEveryFuture) {
 
 TEST(ThreadPool, InsideWorkerIsFalseOnCallerThread) {
   ThreadPool pool(2);
-  EXPECT_FALSE(ThreadPool::inside_worker());
-  auto f = pool.submit([] { return ThreadPool::inside_worker(); });
+  EXPECT_FALSE(pool.inside_worker());
+  auto f = pool.submit([&pool] { return pool.inside_worker(); });
   EXPECT_TRUE(f.get());
-  EXPECT_FALSE(ThreadPool::inside_worker());
+  EXPECT_FALSE(pool.inside_worker());
+}
+
+TEST(ThreadPool, InsideWorkerIsScopedToTheOwningPool) {
+  // Regression: the old check was one process-global flag, so a task on
+  // pool A reported inside_worker() for pool B too and parallel_for on B
+  // wrongly ran inline on A's thread.
+  ThreadPool a(2);
+  ThreadPool b(2);
+  auto f = a.submit([&a, &b] {
+    return a.inside_worker() && !b.inside_worker();
+  });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(ParallelFor, CrossPoolCallDispatchesToTheTargetPool) {
+  // A task on pool A fanning out on pool B must spawn the chunks into B
+  // (where B's workers and the helping caller execute them), not inline
+  // them on A's worker.  Every chunk — wherever it ran — counts in B's
+  // executed tally; under the old global inside_worker() fallback nothing
+  // was ever submitted to B.
+  ThreadPool a(2);
+  ThreadPool b(2);
+  const std::uint64_t executed_before = b.scheduler().stats().executed;
+  std::atomic<int> hits{0};
+  a.submit([&b, &hits] {
+      parallel_for_each(b, 0, 32, [&hits](std::size_t) { ++hits; });
+    }).get();
+  EXPECT_EQ(hits.load(), 32);
+  EXPECT_GE(b.scheduler().stats().executed - executed_before, 32u);
 }
 
 }  // namespace

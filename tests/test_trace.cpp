@@ -143,7 +143,7 @@ TEST_F(TraceTest, GaugeMaxKeepsHighWaterMark) {
   EXPECT_DOUBLE_EQ(reg.gauge("depth"), 1.0);
 }
 
-TEST_F(TraceTest, ThreadPoolActivityIsTraced) {
+TEST_F(TraceTest, SchedulerActivityIsTraced) {
   {
     threading::ThreadPool pool(2);
     std::vector<std::future<void>> futures;
@@ -152,17 +152,30 @@ TEST_F(TraceTest, ThreadPoolActivityIsTraced) {
     }
     for (auto& f : futures) f.get();
   }
-  EXPECT_EQ(global().counter("threadpool/tasks_submitted"), 50);
-  EXPECT_EQ(global().counter("threadpool/tasks_executed"), 50);
-  EXPECT_GE(global().gauge("threadpool/max_queue_depth"), 1.0);
+  EXPECT_EQ(global().counter("sched/tasks_submitted"), 50);
+  EXPECT_EQ(global().counter("sched/tasks_executed"), 50);
+  // External submits land on the shared inbox; workers take all of them
+  // from there (the submitting thread blocks on futures, it doesn't help).
+  EXPECT_EQ(global().counter("sched/inbox_hits"), 50);
+  EXPECT_GE(global().gauge("sched/max_queue_depth"), 1.0);
   // Per-worker busy spans cover every executed task.
   std::uint64_t busy = 0;
   for (const auto& label : global().span_labels()) {
-    if (label.rfind("threadpool/worker", 0) == 0) {
+    if (label.rfind("sched/worker", 0) == 0) {
       busy += global().span(label).count;
     }
   }
   EXPECT_EQ(busy, 50u);
+}
+
+TEST_F(TraceTest, StealAndLocalHitCountersExistEvenWhenZero) {
+  // Bench sidecars extract sched/steals and sched/local_hits; the scheduler
+  // seeds both keys at construction so they are present even for runs where
+  // nothing was stolen (e.g. a 1-worker pool).
+  { threading::ThreadPool pool(1); }
+  const std::string json = global().to_json();
+  EXPECT_NE(json.find("\"sched/steals\""), std::string::npos);
+  EXPECT_NE(json.find("\"sched/local_hits\""), std::string::npos);
 }
 
 TEST_F(TraceTest, ResetDropsEverything) {

@@ -9,7 +9,7 @@
 set -eu
 
 BENCH_DIR="$1"
-OUT="${2:-BENCH_pr2.json}"
+OUT="${2:-BENCH_pr3.json}"
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -69,6 +69,19 @@ test -n "$BASE_CORR" && test -n "$BASE_SYRK"
 grep -qE "face-scene.*\|[^|]*x" "$WORK/fig9_single_node_speedup.txt"
 grep -qE "attention" "$WORK/fig9_single_node_speedup.txt"
 
+# Scheduler dispatch counters and the small-grain sweep wall-clock, from
+# the Fig 9 metrics sidecar.  The counters are always seeded, but fall back
+# to 0 so a missing sidecar key degrades instead of breaking the sweep.
+FIG9_METRICS="$BENCH_DIR/bench_fig9_single_node_speedup.metrics.json"
+sidecar_num() {
+  v=$(sed -n "s/.*\"$1\": \([0-9.eE+-]*\).*/\1/p" "$FIG9_METRICS" \
+    | head -n 1)
+  echo "${v:-0}"
+}
+SCHED_STEALS=$(sidecar_num "sched\\/steals")
+SCHED_LOCAL=$(sidecar_num "sched\\/local_hits")
+SMALL_GRAIN_S=$(sidecar_num "bench\\/fig9\\/small_grain_wall_s")
+
 cat > "$OUT" <<EOF
 {
   "schema": "fcma.bench_smoke.v1",
@@ -85,7 +98,12 @@ cat > "$OUT" <<EOF
     },
     "table7_stage_merging": {"wall_s": $(wall_s table7_stage_merging)},
     "table8_svm": {"wall_s": $(wall_s table8_svm)},
-    "fig9_single_node_speedup": {"wall_s": $(wall_s fig9_single_node_speedup)}
+    "fig9_single_node_speedup": {
+      "wall_s": $(wall_s fig9_single_node_speedup),
+      "small_grain_wall_s": $SMALL_GRAIN_S,
+      "sched_steals": $SCHED_STEALS,
+      "sched_local_hits": $SCHED_LOCAL
+    }
   }
 }
 EOF

@@ -1,7 +1,8 @@
 #!/bin/sh
 # ThreadSanitizer gate for the concurrency-sensitive layers: configures a
-# separate build tree with -DFCMA_SANITIZE=thread, builds the threading and
-# tracing test binaries, and runs them under TSan.  Any reported race fails
+# separate build tree with -DFCMA_SANITIZE=thread, builds the scheduler
+# (unit + sched-stress), threading, and tracing test binaries, and runs
+# them under TSan.  Any reported race fails
 # the script (halt_on_error); environments where TSan cannot compile or run
 # (no libtsan, unsupported kernel/ASLR settings) skip with exit 77, which
 # CTest maps to "skipped" via SKIP_RETURN_CODE.
@@ -44,10 +45,15 @@ cmake -S "$SRC" -B "$BUILD" \
   -DFCMA_NATIVE_ARCH=OFF > /dev/null
 
 JOBS=$(nproc 2>/dev/null || echo 4)
-cmake --build "$BUILD" --target test_threading test_trace -j "$JOBS" \
-  > /dev/null
+cmake --build "$BUILD" \
+  --target test_sched test_sched_stress test_threading test_trace \
+  -j "$JOBS" > /dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+echo "ci_tsan: running test_sched under TSan"
+"$BUILD/tests/test_sched"
+echo "ci_tsan: running test_sched_stress under TSan"
+"$BUILD/tests/test_sched_stress"
 echo "ci_tsan: running test_threading under TSan"
 "$BUILD/tests/test_threading"
 echo "ci_tsan: running test_trace under TSan"

@@ -14,6 +14,7 @@
 // analysis report then includes ROI clusters.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/cli.hpp"
@@ -182,9 +183,14 @@ int cmd_analyze(int argc, const char* const* argv) {
   cli.add_flag("baseline", "false", "use the baseline implementation");
   cli.add_flag("threads", "0",
                "worker threads for stage 3 (0 = hardware concurrency)");
+  cli.add_flag("sched", "steal",
+               "task scheduler: steal (work-stealing pool) or serial");
   cli.add_flag("trace", "",
                "write a JSON span/counter trace of the run to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const std::string sched = cli.get("sched");
+  FCMA_CHECK(sched == "steal" || sched == "serial",
+             "--sched expects 'steal' or 'serial'");
 
   const std::string trace_path = cli.get("trace");
   if (!trace_path.empty()) {
@@ -198,9 +204,11 @@ int cmd_analyze(int argc, const char* const* argv) {
   core::PipelineConfig config = cli.get_bool("baseline")
                                     ? core::PipelineConfig::baseline()
                                     : core::PipelineConfig::optimized();
-  threading::ThreadPool pool(
-      static_cast<std::size_t>(cli.get_int("threads")));
-  config.pool = &pool;
+  std::optional<threading::ThreadPool> pool;
+  if (sched == "steal") {
+    pool.emplace(static_cast<std::size_t>(cli.get_int("threads")));
+    config.pool = &*pool;
+  }
   WallTimer timer;
   core::Scoreboard board(d.voxels());
   board.add(core::run_task_grouped(
@@ -244,9 +252,14 @@ int cmd_offline(int argc, const char* const* argv) {
                "concurrency)");
   cli.add_flag("voxels-per-task", "64",
                "voxels per pipeline task (0 = the whole brain in one task)");
+  cli.add_flag("sched", "steal",
+               "task scheduler: steal (work-stealing pool) or serial");
   cli.add_flag("trace", "",
                "write a JSON span/counter trace of the run to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const std::string sched = cli.get("sched");
+  FCMA_CHECK(sched == "steal" || sched == "serial",
+             "--sched expects 'steal' or 'serial'");
 
   const std::string trace_path = cli.get("trace");
   if (!trace_path.empty()) {
@@ -260,9 +273,11 @@ int cmd_offline(int argc, const char* const* argv) {
   opts.top_k = static_cast<std::size_t>(cli.get_int("top-k"));
   opts.voxels_per_task =
       static_cast<std::size_t>(cli.get_int("voxels-per-task"));
-  threading::ThreadPool pool(
-      static_cast<std::size_t>(cli.get_int("threads")));
-  opts.pipeline.pool = &pool;
+  std::optional<threading::ThreadPool> pool;
+  if (sched == "steal") {
+    pool.emplace(static_cast<std::size_t>(cli.get_int("threads")));
+    opts.pipeline.pool = &*pool;
+  }
   WallTimer timer;
   const core::OfflineResult result = core::run_offline_analysis(d, opts);
   std::printf("%zu folds in %.1f s; mean held-out accuracy %.3f\n",

@@ -22,14 +22,25 @@ grep -q "top voxels" analysis.txt
 grep -q "ROI clusters" analysis.txt
 
 # Tracing: the run's span/counter breakdown lands in a JSON file with all
-# three pipeline stages and the thread-pool activity.
+# three pipeline stages and the work-stealing scheduler's activity.
 "$FCMA" analyze --in clean --report traced.txt --top-k 6 --trace trace.json
 test -f trace.json
 grep -q '"fcma.trace.v1"' trace.json
 grep -q 'correlation' trace.json
 grep -q 'normalization' trace.json
 grep -q 'svm' trace.json
-grep -q 'threadpool/' trace.json
+grep -q 'sched/' trace.json
+grep -q 'sched/steals' trace.json
+grep -q 'sched/local_hits' trace.json
+
+# --sched serial runs the same analysis without a pool and must produce an
+# identical report (the scheduler only moves tasks between threads).
+"$FCMA" analyze --in clean --report serial.txt --top-k 6 --sched serial
+cmp traced.txt serial.txt
+if "$FCMA" analyze --in clean --sched bogus 2>/dev/null; then
+  echo "expected failure for an unknown --sched value" >&2
+  exit 1
+fi
 
 # Forced-ISA dispatch: every variant runs on any host (portable vector
 # code), reports itself in the trace metadata, and — because dispatch never
