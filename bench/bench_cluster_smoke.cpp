@@ -1,0 +1,59 @@
+// Small real-driver cluster run for the observability smoke sweep: runs the
+// master-worker task farm (cluster/driver.hpp) with actual threads at a
+// reduced brain size and reports the straggler/load-imbalance view — per-rank
+// busy seconds, max/mean busy, and the imbalance ratio — that the driver
+// publishes as cluster/* gauges.  The metrics sidecar therefore captures the
+// same numbers machine-readably for bench_smoke.sh.
+#include "bench_common.hpp"
+#include "cluster/driver.hpp"
+
+using namespace fcma;
+
+int main(int argc, char** argv) {
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
+  Cli cli("bench_cluster_smoke",
+          "cluster observability smoke: real task farm + straggler report");
+  cli.add_flag("voxels", "512", "scaled brain size");
+  cli.add_flag("subjects", "4", "scaled subject count");
+  cli.add_flag("workers", "3", "worker ranks");
+  cli.add_flag("task", "32", "voxels per task");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_preamble(
+      "Cluster smoke: dynamic task farm with per-rank busy attribution");
+  const bench::Workload w = bench::make_workload(
+      fmri::face_scene_spec(), static_cast<std::size_t>(cli.get_int("voxels")),
+      static_cast<std::int32_t>(cli.get_int("subjects")));
+
+  cluster::DriverOptions options;
+  options.workers = static_cast<std::size_t>(cli.get_int("workers"));
+  options.voxels_per_task = static_cast<std::size_t>(cli.get_int("task"));
+  cluster::DriverStats stats;
+  const core::Scoreboard board = run_cluster_analysis(
+      w.epochs, w.dataset.voxels(), options, &stats);
+
+  Table t("per-rank busy time (dynamic farm)");
+  t.header({"rank", "busy (s)", "share of max"});
+  const double max_busy = stats.max_worker_busy_s();
+  for (std::size_t r = 0; r < stats.worker_busy_s.size(); ++r) {
+    const double busy = stats.worker_busy_s[r];
+    t.row({"worker" + std::to_string(r + 1), Table::num(busy, 3),
+           Table::num(max_busy > 0.0 ? 100.0 * busy / max_busy : 0.0, 0) +
+               "%"});
+  }
+  t.print();
+
+  Table s("load balance");
+  s.header({"metric", "value"});
+  s.row({"tasks dispatched", Table::count(static_cast<long long>(
+                                 stats.tasks_dispatched))});
+  s.row({"batches", Table::count(static_cast<long long>(stats.batches))});
+  s.row({"max busy (s)", Table::num(max_busy, 3)});
+  s.row({"mean busy (s)", Table::num(stats.mean_worker_busy_s(), 3)});
+  s.row({"imbalance (max/mean)", Table::num(stats.imbalance_ratio(), 3)});
+  s.print();
+
+  std::printf("scored %zu voxels across %zu ranks\n", board.scored(),
+              options.workers);
+  return 0;
+}

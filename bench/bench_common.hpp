@@ -92,8 +92,11 @@ inline cluster::CalibratedCost calibrate(const Workload& w,
 }
 
 /// Writes the global trace registry (stage spans, thread-pool and comm
-/// counters) as JSON to `path`.
+/// counters) as JSON to `path`.  Spans are recorded into per-thread shards
+/// first (see common/timeline.hpp), so drain them into the registry before
+/// serializing.
 inline void dump_metrics(const std::string& path) {
+  trace::flush();
   trace::global().write_json(path);
 }
 

@@ -1,0 +1,42 @@
+#include "archsim/roofline.hpp"
+
+#include <algorithm>
+
+namespace fcma::archsim {
+
+double modeled_mem_bw_gbs(const ArchModel& model) {
+  if (model.l2_miss_latency_cycles <= 0.0) return 0.0;
+  return model.cores * model.mlp * kLineBytes * model.freq_ghz /
+         model.l2_miss_latency_cycles;
+}
+
+trace::RooflineStats roofline_point(const ArchModel& model,
+                                    const memsim::KernelEvents& events,
+                                    int threads_used) {
+  trace::RooflineStats out;
+  out.modeled_s = model.modeled_seconds(events, threads_used);
+  out.gflops = model.modeled_gflops(events, threads_used);
+
+  const double bytes = static_cast<double>(events.l2_misses) * kLineBytes;
+  const double flops = static_cast<double>(events.flops);
+  const double peak = model.peak_sp_gflops();
+  const double bw = modeled_mem_bw_gbs(model);
+
+  if (bytes > 0.0) {
+    out.ai_flops_per_byte = flops / bytes;
+  } else {
+    // Everything hit in cache: the memory roof is unreachable; report the
+    // intensity as FLOPs per byte *referenced* so the number stays finite.
+    const double ref_bytes = static_cast<double>(events.mem_refs) * 4.0;
+    out.ai_flops_per_byte = ref_bytes > 0.0 ? flops / ref_bytes : 0.0;
+  }
+
+  const double mem_roof =
+      bytes > 0.0 ? out.ai_flops_per_byte * bw : peak;
+  const double roof = std::min(peak, mem_roof);
+  out.bound = mem_roof < peak ? "memory" : "compute";
+  out.pct_roofline = roof > 0.0 ? 100.0 * out.gflops / roof : 0.0;
+  return out;
+}
+
+}  // namespace fcma::archsim

@@ -1,0 +1,43 @@
+// Roofline attribution: placing a measured kernel on the machine roofline.
+//
+// The roofline model (Williams et al., CACM 2009) bounds a kernel's
+// attainable GFLOPS by min(peak_compute, AI * peak_mem_bw), where AI is the
+// kernel's arithmetic intensity — useful FLOPs per byte moved from memory.
+// The paper's whole optimization argument (§3.2, Fig. 6) is a roofline
+// argument: blocked correlation pushes AI high enough to leave the memory
+// slope, while naive SVM kernels sit pinned under it.
+//
+// Here both coordinates come from the *simulated* machine: AI is FLOPs per
+// L2-miss byte from the memsim event counts, achieved GFLOPS comes from the
+// ArchModel's modeled execution time, and the memory roof is the model's
+// sustained-bandwidth implied by its miss-latency/MLP parameters:
+//
+//   mem_bw_GB/s = cores * mlp * line_bytes * freq_ghz / miss_latency_cycles
+//
+// roofline_point() packages that as a trace::RooflineStats, which the
+// pipeline attaches to span labels in the fcma.trace.v2 "roofline" section.
+#pragma once
+
+#include "archsim/arch_model.hpp"
+#include "common/metrics.hpp"
+#include "memsim/instrument.hpp"
+
+namespace fcma::archsim {
+
+/// Cache line size assumed for miss-traffic accounting (both modeled
+/// machines use 64-byte lines).
+inline constexpr double kLineBytes = 64.0;
+
+/// The model's sustained memory bandwidth in GB/s: `mlp` line-sized misses
+/// in flight per core, each resolved in `l2_miss_latency_cycles`.
+[[nodiscard]] double modeled_mem_bw_gbs(const ArchModel& model);
+
+/// Places `events` on `model`'s roofline: modeled time, achieved GFLOPS,
+/// arithmetic intensity (FLOPs per L2-miss byte), percent of the roof at
+/// that intensity, and which roof binds.  `threads_used` spreads the events
+/// over fewer hardware threads than the machine offers (0 = full machine).
+[[nodiscard]] trace::RooflineStats roofline_point(
+    const ArchModel& model, const memsim::KernelEvents& events,
+    int threads_used = 0);
+
+}  // namespace fcma::archsim

@@ -1,6 +1,7 @@
 #include "cluster/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <string>
 #include <thread>
@@ -21,11 +22,12 @@ namespace {
 /// the broadcast dataset.
 void worker_main(Comm& comm, std::size_t rank,
                  const fmri::NormalizedEpochs& epochs,
-                 const DriverOptions& options) {
+                 const DriverOptions& options, double& busy_s) {
   // Per-worker span family: count/total/min/max of this rank's task
   // latencies, the cluster-level analogue of Table 3's load-balance data.
   const std::string task_label =
       "cluster/worker" + std::to_string(rank) + "/task";
+  trace::set_thread_name("cluster/worker" + std::to_string(rank));
   std::deque<core::VoxelTask> local;
   bool requested = false;
   for (;;) {
@@ -44,9 +46,13 @@ void worker_main(Comm& comm, std::size_t rank,
     }
     const core::VoxelTask task = local.front();
     local.pop_front();
+    const auto task_begin = std::chrono::steady_clock::now();
     const trace::Span task_span(task_label);
     const core::TaskResult result =
         core::run_task(epochs, task, options.pipeline);
+    busy_s += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            task_begin)
+                  .count();
     // Result message: the task descriptor followed by the accuracies.
     std::vector<double> packed;
     packed.reserve(2 + result.accuracy.size());
@@ -78,15 +84,19 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
                 1, tasks.size() / (options.workers * 4));
 
   Comm comm(options.workers + 1);  // rank 0 = master
+  core::Scoreboard board(total_voxels);
+  DriverStats local_stats;
+  // One busy-seconds slot per rank, written only by that rank's thread
+  // until the join below publishes them to the master.
+  local_stats.worker_busy_s.assign(options.workers, 0.0);
   std::vector<std::thread> workers;
   workers.reserve(options.workers);
   for (std::size_t w = 1; w <= options.workers; ++w) {
     workers.emplace_back(worker_main, std::ref(comm), w, std::cref(epochs),
-                         std::cref(options));
+                         std::cref(options),
+                         std::ref(local_stats.worker_busy_s[w - 1]));
   }
 
-  core::Scoreboard board(total_voxels);
-  DriverStats local_stats;
   std::size_t next_task = 0;
   std::size_t shutdowns = 0;
 
@@ -108,6 +118,12 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
     local_stats.tasks_dispatched += count;
     ++local_stats.batches;
     ++local_stats.messages;
+    // Per-batch master queue depth: how many tasks are still undispatched
+    // after this assignment (the drain curve of the farm).
+    trace::gauge_set("cluster/master/tasks_remaining",
+                     static_cast<double>(tasks.size() - next_task));
+    trace::gauge_max("cluster/master/max_batch_tasks",
+                     static_cast<double>(count));
   };
 
   // Prime every worker with one batch (or shut it down if none remain).
@@ -144,6 +160,13 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
                static_cast<std::int64_t>(local_stats.tasks_dispatched));
   trace::count("cluster/work_requests",
                static_cast<std::int64_t>(local_stats.work_requests));
+  // Straggler / load-imbalance summary (joined above, so the per-rank busy
+  // slots are final).
+  trace::gauge_set("cluster/max_worker_busy_s",
+                   local_stats.max_worker_busy_s());
+  trace::gauge_set("cluster/mean_worker_busy_s",
+                   local_stats.mean_worker_busy_s());
+  trace::gauge_set("cluster/imbalance_ratio", local_stats.imbalance_ratio());
   if (stats != nullptr) *stats = local_stats;
   return board;
 }

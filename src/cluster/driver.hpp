@@ -12,6 +12,9 @@
 // (sim.hpp) answers the timing questions at 96-node scale.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "cluster/comm.hpp"
 #include "fcma/pipeline.hpp"
 #include "fcma/scoreboard.hpp"
@@ -38,6 +41,28 @@ struct DriverStats {
   std::size_t batches = 0;        ///< kTaskAssign messages sent
   std::size_t work_requests = 0;  ///< kWorkRequest messages received
   std::size_t messages = 0;       ///< every protocol message, both ways
+  /// Wall-clock seconds each worker rank spent inside the pipeline (index
+  /// 0 = rank 1).  The straggler report: a healthy dynamic farm keeps
+  /// max/mean near 1, a stuck rank shows up as a long bar.
+  std::vector<double> worker_busy_s;
+
+  [[nodiscard]] double max_worker_busy_s() const {
+    double m = 0.0;
+    for (const double b : worker_busy_s) m = b > m ? b : m;
+    return m;
+  }
+  [[nodiscard]] double mean_worker_busy_s() const {
+    if (worker_busy_s.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double b : worker_busy_s) sum += b;
+    return sum / static_cast<double>(worker_busy_s.size());
+  }
+  /// Load imbalance as max/mean busy time (1 = perfectly balanced; 0 when
+  /// nothing ran).
+  [[nodiscard]] double imbalance_ratio() const {
+    const double mean = mean_worker_busy_s();
+    return mean > 0.0 ? max_worker_busy_s() / mean : 0.0;
+  }
 };
 
 /// Runs the task farm over `epochs` (already normalized), scoring every

@@ -30,6 +30,7 @@ FarmOutcome simulate_task_farm(const FarmConfig& config,
              "tasks_per_request must be at least 1");
 
   FarmOutcome outcome;
+  outcome.worker_busy_s.assign(config.workers, 0.0);
   double clock = broadcast_s(config.net, config.broadcast_bytes,
                              config.workers);
 
@@ -39,10 +40,12 @@ FarmOutcome simulate_task_farm(const FarmConfig& config,
   const std::size_t batch = config.tasks_per_request;
 
   for (std::size_t fold = 0; fold < folds; ++fold) {
-    // Worker availability: min-heap of times each worker can accept a new
-    // batch (it has returned its previous batch's last result by then).
-    std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
-    for (std::size_t w = 0; w < config.workers; ++w) free_at.push(clock);
+    // Worker availability: min-heap of (time the worker can accept a new
+    // batch, worker id) — it has returned its previous batch's last result
+    // by then.  The id attributes busy time for the imbalance report.
+    using Slot = std::pair<double, std::size_t>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+    for (std::size_t w = 0; w < config.workers; ++w) free_at.push({clock, w});
     // The master's NIC/control loop is a serial resource.  Sends serialize
     // against each other; result receptions interleave with them, which we
     // account as an aggregate throughput floor below.
@@ -59,7 +62,7 @@ FarmOutcome simulate_task_farm(const FarmConfig& config,
         batch_s += fold_task_seconds[i];
       }
       ++batches;
-      const double worker_free = free_at.top();
+      const auto [worker_free, w] = free_at.top();
       free_at.pop();
       const double send_begin = std::max(master_send_free, worker_free);
       master_send_free = send_begin + assign_s;
@@ -69,9 +72,10 @@ FarmOutcome simulate_task_farm(const FarmConfig& config,
       // Results before the batch's last overlap the remaining compute; the
       // worker is free again once its final result is on the wire.
       const double result_arrives = compute_done + result_s;
-      free_at.push(result_arrives);
+      free_at.push({result_arrives, w});
       fold_end = std::max(fold_end, result_arrives);
       outcome.compute_s += batch_s;
+      outcome.worker_busy_s[w] += batch_s;
     }
     // Master message-throughput floor: one assignment per batch plus one
     // result per task passes through the master's single link — batching
@@ -96,6 +100,7 @@ FarmOutcomeEx simulate_task_farm(const FarmConfig& config,
   }
 
   FarmOutcomeEx outcome;
+  outcome.base.worker_busy_s.assign(workers.size(), 0.0);
   double clock = broadcast_s(config.net, config.broadcast_bytes,
                              workers.size());
   const double assign_s = config.net.transfer_s(config.assign_bytes);
@@ -155,6 +160,7 @@ FarmOutcomeEx simulate_task_farm(const FarmConfig& config,
       free_at.push({result_arrives, w});
       fold_end = std::max(fold_end, result_arrives);
       outcome.base.compute_s += task.task_s / workers[w].speed;
+      outcome.base.worker_busy_s[w] += task.task_s / workers[w].speed;
     }
     const double master_floor =
         clock + static_cast<double>(fold_task_seconds.size()) *

@@ -64,11 +64,30 @@ struct FarmConfig {
 struct FarmOutcome {
   double makespan_s = 0.0;       ///< broadcast + all folds
   double compute_s = 0.0;        ///< total node-seconds of useful compute
+  /// Node-seconds of useful compute per worker, across every fold — the
+  /// simulated counterpart of DriverStats::worker_busy_s (straggler /
+  /// load-imbalance attribution at 96-node scale).
+  std::vector<double> worker_busy_s;
+
   /// Mean fraction of the makespan each worker spent computing.
   [[nodiscard]] double efficiency(std::size_t workers) const {
     return makespan_s <= 0.0
                ? 0.0
                : compute_s / (makespan_s * static_cast<double>(workers));
+  }
+  [[nodiscard]] double max_worker_busy_s() const {
+    double m = 0.0;
+    for (const double b : worker_busy_s) m = b > m ? b : m;
+    return m;
+  }
+  [[nodiscard]] double mean_worker_busy_s() const {
+    if (worker_busy_s.empty()) return 0.0;
+    return compute_s / static_cast<double>(worker_busy_s.size());
+  }
+  /// Load imbalance as max/mean busy time (1 = perfectly balanced).
+  [[nodiscard]] double imbalance_ratio() const {
+    const double mean = mean_worker_busy_s();
+    return mean > 0.0 ? max_worker_busy_s() / mean : 0.0;
   }
 };
 

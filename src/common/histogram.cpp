@@ -1,0 +1,31 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+
+namespace fcma::trace {
+
+double LatencyHistogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested sample, 1-based: p = 0 -> first, p = 1 -> last.
+  const double rank = p * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b == 0) return 0.0;
+    // Interpolate across the bucket's nanosecond range by the fraction of
+    // the bucket's samples below the requested rank.
+    const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+    const double hi = b >= 64 ? lo * 2.0
+                              : static_cast<double>(std::uint64_t{1} << b);
+    const double frac =
+        (rank - before) / static_cast<double>(buckets_[b]);
+    return (lo + (hi - lo) * std::clamp(frac, 0.0, 1.0)) * 1e-9;
+  }
+  return 0.0;  // unreachable when count_ > 0
+}
+
+}  // namespace fcma::trace

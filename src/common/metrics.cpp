@@ -1,5 +1,6 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/error.hpp"
@@ -43,7 +44,18 @@ std::string json_double(double v) {
 
 void Registry::record_span(const std::string& label, double seconds) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  spans_[label].record(seconds);
+  SpanEntry& entry = spans_[label];
+  entry.stats.record(seconds);
+  entry.hist.record_seconds(seconds);
+}
+
+void Registry::merge_span(const std::string& label, const SpanStats& stats,
+                          const LatencyHistogram& hist) {
+  if (stats.count == 0 && hist.count() == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SpanEntry& entry = spans_[label];
+  entry.stats.merge(stats);
+  entry.hist.merge(hist);
 }
 
 void Registry::count(const std::string& name, std::int64_t delta) {
@@ -67,10 +79,28 @@ void Registry::meta_set(const std::string& name, const std::string& value) {
   meta_[name] = value;
 }
 
+void Registry::roofline_set(const std::string& label,
+                            const RooflineStats& stats) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  roofline_[label] = stats;
+}
+
 SpanStats Registry::span(const std::string& label) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = spans_.find(label);
-  return it == spans_.end() ? SpanStats{} : it->second;
+  return it == spans_.end() ? SpanStats{} : it->second.stats;
+}
+
+double Registry::clamped_quantile(const SpanEntry& entry, double p) {
+  if (entry.hist.count() == 0) return 0.0;
+  return std::clamp(entry.hist.quantile(p), entry.stats.min_s,
+                    entry.stats.max_s);
+}
+
+double Registry::span_quantile(const std::string& label, double p) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = spans_.find(label);
+  return it == spans_.end() ? 0.0 : clamped_quantile(it->second, p);
 }
 
 std::int64_t Registry::counter(const std::string& name) const {
@@ -91,17 +121,23 @@ std::string Registry::meta(const std::string& name) const {
   return it == meta_.end() ? std::string() : it->second;
 }
 
+RooflineStats Registry::roofline(const std::string& label) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = roofline_.find(label);
+  return it == roofline_.end() ? RooflineStats{} : it->second;
+}
+
 std::vector<std::string> Registry::span_labels() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(spans_.size());
-  for (const auto& [label, stats] : spans_) out.push_back(label);
+  for (const auto& [label, entry] : spans_) out.push_back(label);
   return out;
 }
 
 std::string Registry::to_json() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\n  \"schema\": \"fcma.trace.v1\",\n  \"meta\": {";
+  std::string out = "{\n  \"schema\": \"fcma.trace.v2\",\n  \"meta\": {";
   bool first = true;
   for (const auto& [name, v] : meta_) {
     out += first ? "\n" : ",\n";
@@ -111,13 +147,17 @@ std::string Registry::to_json() const {
   out += first ? "},\n" : "\n  },\n";
   out += "  \"spans\": {";
   first = true;
-  for (const auto& [label, s] : spans_) {
+  for (const auto& [label, e] : spans_) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + json_escape(label) + "\": {\"count\": " +
-           std::to_string(s.count) + ", \"total_s\": " +
-           json_double(s.total_s) + ", \"min_s\": " + json_double(s.min_s) +
-           ", \"max_s\": " + json_double(s.max_s) + "}";
+           std::to_string(e.stats.count) + ", \"total_s\": " +
+           json_double(e.stats.total_s) + ", \"min_s\": " +
+           json_double(e.stats.min_s) + ", \"max_s\": " +
+           json_double(e.stats.max_s) + ", \"p50_s\": " +
+           json_double(clamped_quantile(e, 0.50)) + ", \"p95_s\": " +
+           json_double(clamped_quantile(e, 0.95)) + ", \"p99_s\": " +
+           json_double(clamped_quantile(e, 0.99)) + "}";
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"counters\": {";
@@ -134,6 +174,19 @@ std::string Registry::to_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + json_escape(name) + "\": " + json_double(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"roofline\": {";
+  first = true;
+  for (const auto& [label, r] : roofline_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(label) + "\": {\"modeled_s\": " +
+           json_double(r.modeled_s) + ", \"gflops\": " +
+           json_double(r.gflops) + ", \"ai_flops_per_byte\": " +
+           json_double(r.ai_flops_per_byte) + ", \"pct_roofline\": " +
+           json_double(r.pct_roofline) + ", \"bound\": \"" +
+           json_escape(r.bound) + "\"}";
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
@@ -155,6 +208,7 @@ void Registry::reset() {
   counters_.clear();
   gauges_.clear();
   meta_.clear();
+  roofline_.clear();
 }
 
 Registry& global() {

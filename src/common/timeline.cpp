@@ -1,0 +1,262 @@
+#include "common/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace fcma::trace {
+
+namespace {
+
+/// The calling thread's sink plus the generation it was registered under
+/// (reset() bumps the generation; stale threads re-register lazily).
+struct LocalSink {
+  std::shared_ptr<ThreadSink> sink;
+  std::uint64_t generation = ~std::uint64_t{0};
+};
+thread_local LocalSink t_local;
+
+/// Per-thread label-intern cache; cleared on generation change so ids from
+/// before a reset() never leak into the new intern table.
+struct LocalInterns {
+  std::unordered_map<std::string, std::uint32_t> ids;
+  std::uint64_t generation = ~std::uint64_t{0};
+};
+thread_local LocalInterns t_interns;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with sub-ns-safe precision for Chrome's "ts"/"dur" fields.
+std::string json_us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void ThreadSink::record(std::uint32_t label, std::uint64_t start_ns,
+                        std::uint64_t end_ns, bool event) {
+  {
+    const std::lock_guard<std::mutex> lock(agg_mutex_);
+    LabelAggregate& agg = aggs_[label];
+    const std::uint64_t dur_ns = end_ns - start_ns;
+    agg.stats.record(static_cast<double>(dur_ns) * 1e-9);
+    agg.hist.record_ns(dur_ns);
+  }
+  if (!event) return;
+  // Single-writer publish: slot n is written before the release store of
+  // n+1, so any reader that acquires published_ >= n+1 sees a complete
+  // event.  Published entries are never rewritten (a full ring drops the
+  // newest events and counts them instead).
+  const std::uint64_t n = published_.load(std::memory_order_relaxed);
+  if (n >= ring_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring_[n] = TimelineEvent{start_ns, end_ns, label};
+  published_.store(n + 1, std::memory_order_release);
+}
+
+Timeline& Timeline::global() {
+  // Deliberately leaked: detached/late threads may record during static
+  // destruction, and an immortal collector makes that safe.
+  static Timeline* instance = new Timeline();
+  return *instance;
+}
+
+void Timeline::set_ring_capacity(std::size_t events) {
+  const std::lock_guard<std::mutex> lock(sinks_mutex_);
+  ring_capacity_ = std::max<std::size_t>(events, 16);
+}
+
+ThreadSink& Timeline::local() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_local.sink == nullptr || t_local.generation != gen) {
+    const std::lock_guard<std::mutex> lock(sinks_mutex_);
+    const bool collect = collect_.load(std::memory_order_relaxed);
+    t_local.sink = std::make_shared<ThreadSink>(collect ? ring_capacity_ : 0);
+    t_local.generation = gen;
+    sinks_.push_back(t_local.sink);
+  }
+  return *t_local.sink;
+}
+
+std::uint32_t Timeline::intern(std::string_view label) {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_interns.generation != gen) {
+    t_interns.ids.clear();
+    t_interns.generation = gen;
+  }
+  const auto cached = t_interns.ids.find(std::string(label));
+  if (cached != t_interns.ids.end()) return cached->second;
+  std::uint32_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(intern_mutex_);
+    const auto [it, inserted] =
+        ids_.emplace(std::string(label),
+                     static_cast<std::uint32_t>(names_.size()));
+    if (inserted) names_.emplace_back(label);
+    id = it->second;
+  }
+  t_interns.ids.emplace(std::string(label), id);
+  return id;
+}
+
+void Timeline::name_thread(std::string_view name, int worker) {
+  ThreadSink& sink = local();
+  const std::lock_guard<std::mutex> lock(sink.agg_mutex_);
+  sink.name_ = std::string(name);
+  sink.worker_.store(worker, std::memory_order_relaxed);
+}
+
+void Timeline::flush_into(Registry& registry) {
+  std::vector<std::shared_ptr<ThreadSink>> sinks;
+  {
+    const std::lock_guard<std::mutex> lock(sinks_mutex_);
+    sinks = sinks_;
+  }
+  for (const auto& sink : sinks) {
+    std::unordered_map<std::uint32_t, LabelAggregate> drained;
+    {
+      const std::lock_guard<std::mutex> lock(sink->agg_mutex_);
+      drained.swap(sink->aggs_);
+    }
+    for (const auto& [id, agg] : drained) {
+      std::string label;
+      {
+        const std::lock_guard<std::mutex> lock(intern_mutex_);
+        label = id < names_.size() ? names_[id] : "<unknown>";
+      }
+      registry.merge_span(label, agg.stats, agg.hist);
+    }
+  }
+}
+
+std::string Timeline::chrome_json() const {
+  std::vector<std::shared_ptr<ThreadSink>> sinks;
+  {
+    const std::lock_guard<std::mutex> lock(sinks_mutex_);
+    sinks = sinks_;
+  }
+  struct Row {
+    TimelineEvent ev;
+    std::size_t tid;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> lane_names(sinks.size());
+  std::uint64_t dropped = 0;
+  for (std::size_t t = 0; t < sinks.size(); ++t) {
+    ThreadSink& sink = *sinks[t];
+    {
+      const std::lock_guard<std::mutex> lock(sink.agg_mutex_);
+      lane_names[t] = sink.name_.empty()
+                          ? "thread" + std::to_string(t)
+                          : sink.name_;
+    }
+    const std::uint64_t n = sink.published_.load(std::memory_order_acquire);
+    dropped += sink.dropped();
+    for (std::uint64_t i = 0; i < n && i < sink.ring_.size(); ++i) {
+      rows.push_back(Row{sink.ring_[i], t});
+    }
+  }
+  // Chrome/Perfetto tolerate any order, but a time-sorted stream is what
+  // tools/trace_check.py asserts (monotonic timestamps) and what makes the
+  // file diffable.
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.ev.start_ns < b.ev.start_ns;
+  });
+
+  std::vector<std::string> labels;
+  {
+    const std::lock_guard<std::mutex> lock(intern_mutex_);
+    labels = names_;
+  }
+  auto label_of = [&labels](std::uint32_t id) -> std::string {
+    return id < labels.size() ? labels[id] : "<unknown>";
+  };
+
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": "
+                    "{\"schema\": \"fcma.timeline.v1\", \"dropped_events\": " +
+                    std::to_string(dropped) + "},\n\"traceEvents\": [\n";
+  out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": {\"name\": \"fcma\"}}";
+  for (std::size_t t = 0; t < sinks.size(); ++t) {
+    out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(t) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+           json_escape(lane_names[t]) + "\"}}";
+  }
+  for (const Row& row : rows) {
+    out += ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(row.tid) + ", \"name\": \"" +
+           json_escape(label_of(row.ev.label)) + "\", \"ts\": " +
+           json_us(row.ev.start_ns) + ", \"dur\": " +
+           json_us(row.ev.end_ns - row.ev.start_ns) + "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void Timeline::write_chrome_json(const std::string& path) const {
+  const std::string json = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FCMA_CHECK(f != nullptr, "cannot open timeline output file " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  FCMA_CHECK(written == json.size(), "short write to timeline file " + path);
+}
+
+std::uint64_t Timeline::events_published() const {
+  const std::lock_guard<std::mutex> lock(sinks_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& sink : sinks_) {
+    total += sink->published_.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t Timeline::events_dropped() const {
+  const std::lock_guard<std::mutex> lock(sinks_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& sink : sinks_) total += sink->dropped();
+  return total;
+}
+
+void Timeline::reset() {
+  {
+    const std::lock_guard<std::mutex> lock(sinks_mutex_);
+    sinks_.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(intern_mutex_);
+    ids_.clear();
+    names_.clear();
+  }
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace fcma::trace

@@ -1,0 +1,171 @@
+// Timeline collector: sharded per-thread span sinks + lock-free event rings.
+//
+// PR 1's trace layer funnels every span through one registry mutex — fine at
+// stage granularity, hostile once the work-stealing scheduler (PR 3) records
+// a busy span per task across every worker.  This layer removes the global
+// mutex from the span hot path and adds the two things an aggregate registry
+// cannot answer: *when* did each span run (a timeline), and *how are span
+// latencies distributed* (percentiles).
+//
+// Sharding.  Each recording thread owns one ThreadSink, registered with the
+// process-wide Timeline on first use and kept alive past thread exit (a
+// cluster worker's spans survive the worker).  A sink holds
+//
+//   * a label-keyed aggregate map (SpanStats + LatencyHistogram) guarded by
+//     the sink's own mutex — only the owner writes, so the lock is
+//     uncontended until trace::flush() drains every shard into the global
+//     Registry at export;
+//   * a lock-free single-writer event ring: the owner publishes
+//     TimelineEvents with a release store of the publish counter, readers
+//     snapshot with an acquire load.  Filled rings drop the *newest* events
+//     (counted), keeping published entries immutable forever.
+//
+// Span labels are interned to 32-bit ids through a per-thread cache, so the
+// steady-state record path touches no process-wide lock at all.
+//
+// Event collection (the ring half) is off unless set_collect_events(true) —
+// `fcma analyze --trace-timeline` — because rings cost memory per thread;
+// aggregate collection runs whenever tracing is enabled.  Rings are sized
+// at sink creation, so enable event capture *before* the recording threads
+// first record (a thread whose sink predates the switch drops its events,
+// visibly, into the dropped counter).  chrome_json() exports the merged,
+// time-sorted timeline in Chrome-trace / Perfetto JSON ("chrome://tracing",
+// https://ui.perfetto.dev), one lane per recording thread, named via
+// set_thread_name() (scheduler workers, cluster ranks).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/metrics.hpp"
+
+namespace fcma::trace {
+
+/// One completed span occurrence: [start_ns, end_ns) since the collector's
+/// process epoch, with its interned label.
+struct TimelineEvent {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t label = 0;
+};
+
+/// Per-label aggregate carried by each sink shard.
+struct LabelAggregate {
+  SpanStats stats;
+  LatencyHistogram hist;
+};
+
+/// One thread's shard: written only by the owning thread.
+class ThreadSink {
+ public:
+  /// `ring_capacity` of 0 disables event storage for this sink (aggregates
+  /// still collect; attempted events count as dropped).
+  explicit ThreadSink(std::size_t ring_capacity) { ring_.resize(ring_capacity); }
+
+  /// Records one span occurrence: always folds the duration into the
+  /// aggregate shard; appends a timeline event only when `event` is set.
+  void record(std::uint32_t label, std::uint64_t start_ns,
+              std::uint64_t end_ns, bool event);
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Timeline;
+
+  std::vector<TimelineEvent> ring_;
+  std::atomic<std::uint64_t> published_{0};  // events visible to readers
+  std::atomic<std::uint64_t> dropped_{0};    // events lost to a full ring
+  std::atomic<std::int32_t> worker_{-1};     // scheduler worker id, if any
+
+  std::mutex agg_mutex_;  // guards aggs_ and name_
+  std::unordered_map<std::uint32_t, LabelAggregate> aggs_;
+  std::string name_;
+};
+
+/// Process-wide sink registry, label interner, and timeline exporter.
+class Timeline {
+ public:
+  /// The process-wide instance (immortal: never destroyed, so worker
+  /// threads outliving main() can still record safely).
+  [[nodiscard]] static Timeline& global();
+
+  /// Turns event-ring collection on/off (aggregates are always collected).
+  void set_collect_events(bool on) {
+    collect_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool collect_events() const {
+    return collect_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity (events per thread) for sinks created afterwards.
+  void set_ring_capacity(std::size_t events);
+
+  /// The calling thread's sink (registered on first use, re-registered
+  /// after reset()).
+  [[nodiscard]] ThreadSink& local();
+
+  /// Interns `label`, returning its stable 32-bit id.  Per-thread cache:
+  /// the global intern table is touched once per (thread, label).
+  [[nodiscard]] std::uint32_t intern(std::string_view label);
+
+  /// Names the calling thread's timeline lane (e.g. "sched/worker3") and
+  /// optionally tags its scheduler-worker id.
+  void name_thread(std::string_view name, int worker = -1);
+
+  /// Nanoseconds since the collector's epoch for a steady_clock instant.
+  [[nodiscard]] std::uint64_t since_epoch_ns(
+      std::chrono::steady_clock::time_point tp) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+            .count());
+  }
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return since_epoch_ns(std::chrono::steady_clock::now());
+  }
+
+  /// Drains every sink's aggregate shard into `registry` (the shards are
+  /// emptied; re-flushing adds nothing).  Events stay in their rings.
+  void flush_into(Registry& registry);
+
+  /// Chrome-trace JSON of every published event, sorted by start time, one
+  /// pid=1 lane per recording thread plus thread_name metadata.
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Writes chrome_json() to `path` (throws fcma::Error on I/O failure).
+  void write_chrome_json(const std::string& path) const;
+
+  /// Total events published / dropped across every sink.
+  [[nodiscard]] std::uint64_t events_published() const;
+  [[nodiscard]] std::uint64_t events_dropped() const;
+
+  /// Detaches every sink and starts a new generation: live threads get a
+  /// fresh sink on their next record.  Test isolation only.
+  void reset();
+
+ private:
+  Timeline() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> collect_{false};
+  std::atomic<std::uint64_t> generation_{0};
+
+  mutable std::mutex sinks_mutex_;  // guards sinks_ and ring_capacity_
+  std::vector<std::shared_ptr<ThreadSink>> sinks_;
+  std::size_t ring_capacity_ = 1u << 16;
+
+  mutable std::mutex intern_mutex_;  // guards ids_ and names_
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace fcma::trace

@@ -2,6 +2,15 @@
 
 #ifndef FCMA_TRACE_DISABLED
 
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timeline.hpp"
+
 namespace fcma::trace {
 
 namespace detail {
@@ -24,11 +33,36 @@ std::string qualified(std::string_view label) {
   return full;
 }
 
+namespace {
+
+// Exit-dump state: armed by set_exit_dump(), fired at most once.
+std::mutex g_dump_mutex;
+std::string g_dump_trace_path;
+std::string g_dump_timeline_path;
+bool g_dump_done = false;
+bool g_atexit_registered = false;
+
+void record_to_sink(const std::string& label, std::uint64_t start_ns,
+                    std::uint64_t end_ns, bool want_event) {
+  Timeline& tl = Timeline::global();
+  const std::uint32_t id = tl.intern(label);
+  tl.local().record(id, start_ns, end_ns, want_event && tl.collect_events());
+}
+
+}  // namespace
+
 }  // namespace detail
+
+void set_timeline_enabled(bool on) {
+  Timeline::global().set_collect_events(on);
+}
+
+bool timeline_enabled() { return Timeline::global().collect_events(); }
 
 Span::Span(std::string_view label, Registry* registry) {
   if (!enabled()) return;
-  registry_ = registry != nullptr ? registry : &global();
+  active_ = true;
+  registry_ = registry;
   std::string& path = detail::t_path;
   parent_len_ = path.size();
   if (!path.empty()) path += '/';
@@ -38,17 +72,84 @@ Span::Span(std::string_view label, Registry* registry) {
 }
 
 Span::~Span() {
-  if (registry_ == nullptr) return;
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
   detail::t_path.resize(parent_len_);
-  registry_->record_span(label_, seconds);
+  if (registry_ != nullptr) {
+    registry_->record_span(label_,
+                           std::chrono::duration<double>(end - start_).count());
+    return;
+  }
+  Timeline& tl = Timeline::global();
+  detail::record_to_sink(label_, tl.since_epoch_ns(start_),
+                         tl.since_epoch_ns(end), /*want_event=*/true);
 }
 
 void record_span(std::string_view label, double seconds) {
   if (!enabled()) return;
-  global().record_span(detail::qualified(label), seconds);
+  // No true start time: aggregate only, anchored at "now - duration" so the
+  // sink sees a consistent [start, end) pair.
+  Timeline& tl = Timeline::global();
+  const std::uint64_t end_ns = tl.now_ns();
+  const auto dur_ns =
+      static_cast<std::uint64_t>(seconds > 0.0 ? seconds * 1e9 : 0.0);
+  detail::record_to_sink(detail::qualified(label),
+                         end_ns > dur_ns ? end_ns - dur_ns : 0, end_ns,
+                         /*want_event=*/false);
+}
+
+void record_interval(std::string_view label,
+                     std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end) {
+  if (!enabled()) return;
+  if (end < start) end = start;
+  Timeline& tl = Timeline::global();
+  detail::record_to_sink(detail::qualified(label), tl.since_epoch_ns(start),
+                         tl.since_epoch_ns(end), /*want_event=*/true);
+}
+
+void set_thread_name(std::string_view name, int worker) {
+  if (!enabled()) return;
+  Timeline::global().name_thread(name, worker);
+}
+
+void flush() { Timeline::global().flush_into(global()); }
+
+void write_timeline_json(const std::string& path) {
+  Timeline::global().write_chrome_json(path);
+}
+
+void set_exit_dump(std::string trace_path, std::string timeline_path) {
+  const std::lock_guard<std::mutex> lock(detail::g_dump_mutex);
+  detail::g_dump_trace_path = std::move(trace_path);
+  detail::g_dump_timeline_path = std::move(timeline_path);
+  detail::g_dump_done = false;
+  if (!detail::g_atexit_registered) {
+    detail::g_atexit_registered = true;
+    std::atexit([] { dump_now(); });
+  }
+}
+
+void dump_now() {
+  std::string trace_path;
+  std::string timeline_path;
+  {
+    const std::lock_guard<std::mutex> lock(detail::g_dump_mutex);
+    if (detail::g_dump_done) return;
+    detail::g_dump_done = true;
+    trace_path = detail::g_dump_trace_path;
+    timeline_path = detail::g_dump_timeline_path;
+  }
+  if (trace_path.empty() && timeline_path.empty()) return;
+  // May run from atexit, where an escaping exception aborts the process:
+  // report write failures instead of throwing.
+  try {
+    flush();
+    if (!trace_path.empty()) global().write_json(trace_path);
+    if (!timeline_path.empty()) write_timeline_json(timeline_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fcma: trace exit dump failed: %s\n", e.what());
+  }
 }
 
 void count(std::string_view name, std::int64_t delta) {

@@ -12,6 +12,24 @@
 // "task/svm", ... — a static call-tree profile.  Threads root their own
 // hierarchy (a pool worker's spans are not children of the submitter's).
 //
+// Recording path.  Spans bound to the global registry do NOT take the
+// registry mutex: they record into the calling thread's timeline shard
+// (common/timeline.hpp) and the shards merge into the registry at flush()
+// — which every exporter (CLI --trace dump, bench MetricsSidecar) calls
+// before serializing.  Readers of trace::global() mid-run must flush()
+// first or they will not see span aggregates recorded since the last
+// flush.  Spans given an explicit Registry record into it directly.
+//
+// Timelines.  set_timeline_enabled(true) additionally captures each span
+// occurrence as a timestamped event in the shard's lock-free ring;
+// write_timeline_json() exports the merged Chrome-trace timeline
+// (`fcma analyze --trace-timeline out.json`).
+//
+// Crash safety.  set_exit_dump() arms an idempotent dump (flush + write of
+// the configured --trace/--trace-timeline outputs) that the CLI fires from
+// its fcma::Error handler and an atexit backstop, so a run that dies
+// mid-pipeline still leaves its trace on disk.
+//
 // Kill switches.  Runtime: tracing is *off* by default; when off, every
 // helper is one relaxed atomic load + branch, so instrumented hot paths
 // (the blocked kernels run millions of times in benches) pay nothing
@@ -49,11 +67,18 @@ inline void set_enabled(bool on) {
   return detail::g_enabled.load(std::memory_order_relaxed);
 }
 
+/// Turns per-event timeline capture on/off (implies nothing about the main
+/// switch: aggregates need enabled(), events need both).
+void set_timeline_enabled(bool on);
+[[nodiscard]] bool timeline_enabled();
+
 /// RAII span: times its scope and folds the duration into the registry
 /// under the nesting-qualified label.  No-op while tracing is disabled.
 class Span {
  public:
-  /// Opens a span against `registry` (default: the global registry).
+  /// Opens a span against `registry`; by default the span records into the
+  /// calling thread's timeline shard, which merges into the global
+  /// registry at flush().
   explicit Span(std::string_view label, Registry* registry = nullptr);
   ~Span();
 
@@ -61,7 +86,8 @@ class Span {
   Span& operator=(const Span&) = delete;
 
  private:
-  Registry* registry_ = nullptr;  // null = disabled at construction
+  Registry* registry_ = nullptr;  // non-null = explicit-registry direct path
+  bool active_ = false;           // false = disabled at construction
   std::size_t parent_len_ = 0;
   std::string label_;  // full nesting-qualified label
   std::chrono::steady_clock::time_point start_;
@@ -69,8 +95,39 @@ class Span {
 
 /// Records one duration under the nesting-qualified `label` without the
 /// RAII scope — for callers that time disjoint pieces themselves (e.g. the
-/// fused correlate+normalize stage separating its two halves).
+/// fused correlate+normalize stage separating its two halves).  Aggregates
+/// only: with no true start time there is no timeline event.
 void record_span(std::string_view label, double seconds);
+
+/// Records one span occurrence with its true wall-clock interval — the
+/// timestamped cousin of record_span() for callers that already hold both
+/// endpoints (scheduler worker busy periods).  Emits a timeline event when
+/// timeline capture is on.
+void record_interval(std::string_view label,
+                     std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end);
+
+/// Names the calling thread's timeline lane (e.g. "sched/worker3") and
+/// optionally tags its scheduler-worker id.  No-op while tracing is
+/// disabled.
+void set_thread_name(std::string_view name, int worker = -1);
+
+/// Drains every per-thread shard into the global registry.  Call before
+/// reading span aggregates from trace::global() or exporting its JSON.
+void flush();
+
+/// Writes the Chrome-trace timeline JSON to `path` (throws fcma::Error on
+/// I/O failure).
+void write_timeline_json(const std::string& path);
+
+/// Arms the idempotent exit dump: dump_now() — and an atexit backstop —
+/// will flush() and write the global registry JSON to `trace_path` and/or
+/// the timeline JSON to `timeline_path` (empty = skip that output).
+void set_exit_dump(std::string trace_path, std::string timeline_path);
+
+/// Fires the armed exit dump once; later calls (and the atexit backstop)
+/// are no-ops.  Safe to call with nothing armed.
+void dump_now();
 
 /// Counter/gauge helpers against the global registry; no-ops when disabled.
 /// Names are used verbatim (no nesting prefix): counters are process-wide
@@ -87,6 +144,8 @@ void meta_set(std::string_view name, std::string_view value);
 
 inline void set_enabled(bool) {}
 [[nodiscard]] constexpr bool enabled() { return false; }
+inline void set_timeline_enabled(bool) {}
+[[nodiscard]] constexpr bool timeline_enabled() { return false; }
 
 class Span {
  public:
@@ -96,6 +155,14 @@ class Span {
 };
 
 inline void record_span(std::string_view, double) {}
+inline void record_interval(std::string_view,
+                            std::chrono::steady_clock::time_point,
+                            std::chrono::steady_clock::time_point) {}
+inline void set_thread_name(std::string_view, int = -1) {}
+inline void flush() {}
+inline void write_timeline_json(const std::string&) {}
+inline void set_exit_dump(std::string, std::string) {}
+inline void dump_now() {}
 inline void count(std::string_view, std::int64_t = 1) {}
 inline void gauge_set(std::string_view, double) {}
 inline void gauge_max(std::string_view, double) {}

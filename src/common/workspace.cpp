@@ -22,6 +22,13 @@ std::size_t Workspace::bucket_of(std::size_t floats) noexcept {
 
 Workspace::Lease Workspace::acquire(std::size_t floats) {
   if (floats == 0) return {};
+  if (acquires_ == 0 && trace::enabled()) {
+    // Workspaces are thread-local, so every pool hit is NUMA-node-local by
+    // construction.  Seed the remote-hit counter at 0 so traces state that
+    // explicitly (and so a future cross-thread handoff path has a counter
+    // to increment rather than a silently absent key).
+    trace::count("numa/remote_hits", 0);
+  }
   ++acquires_;
   const std::size_t b = bucket_of(floats);
   FCMA_ASSERT(b < kBucketCount);

@@ -2,10 +2,35 @@
 
 #include <atomic>
 
+#include "archsim/roofline.hpp"
 #include "common/trace.hpp"
 #include "common/workspace.hpp"
 
 namespace fcma::core {
+
+namespace {
+
+// Places each instrumented stage on the modeled machine's roofline and
+// attaches the result to the span labels the stage records under.  Last
+// writer wins per label, which matches the one-calibration-run-per-export
+// usage of `fcma analyze --trace`.
+void attach_roofline(const memsim::Instrument& ins,
+                     const InstrumentedTaskResult& out) {
+  if (!trace::enabled()) return;
+  const archsim::ArchModel model = ins.machine() == memsim::Machine::kPhi5110P
+                                       ? archsim::Phi5110P()
+                                       : archsim::XeonE5_2670();
+  trace::Registry& reg = trace::global();
+  reg.roofline_set("task/correlation/gemm_nt",
+                   archsim::roofline_point(model, out.corr_norm));
+  reg.roofline_set("task/svm/syrk",
+                   archsim::roofline_point(model, out.kernel));
+  reg.roofline_set("task/svm", archsim::roofline_point(model, out.svm));
+  reg.roofline_set("task", archsim::roofline_point(model, out.total()));
+  reg.meta_set("roofline/machine", model.name);
+}
+
+}  // namespace
 
 TaskResult run_task(const fmri::NormalizedEpochs& epochs,
                     const VoxelTask& task, const PipelineConfig& config) {
@@ -163,6 +188,7 @@ InstrumentedTaskResult run_task_instrumented(
   out.result.task = task;
   out.result.accuracy = stage3.accuracy;
   out.result.svm_iterations = stage3.svm_iterations;
+  attach_roofline(ins, out);
   return out;
 }
 

@@ -214,13 +214,12 @@ void Scheduler::execute(Task task, std::size_t worker) {
     // push "sched/worker<i>/busy" onto the thread's nesting path and every
     // span the task itself records would land under it instead of rooting
     // its own hierarchy (the documented per-thread contract in trace.hpp).
+    // record_interval keeps the true endpoints, so each busy period also
+    // lands on the worker's timeline lane when event capture is on.
     const auto start = std::chrono::steady_clock::now();
     task();
-    trace::record_span(
-        busy_labels_[worker],
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count());
+    trace::record_interval(busy_labels_[worker], start,
+                           std::chrono::steady_clock::now());
   } else {
     task();
   }
@@ -229,6 +228,10 @@ void Scheduler::execute(Task task, std::size_t worker) {
 void Scheduler::worker_loop(std::size_t index) {
   t_worker.sched = this;
   t_worker.index = index;
+  // Claims this thread's timeline lane (no-op unless tracing was enabled
+  // before the scheduler was built — the CLI/bench order).
+  trace::set_thread_name("sched/worker" + std::to_string(index),
+                         static_cast<int>(index));
   for (;;) {
     if (run_one(index)) continue;
     std::unique_lock<std::mutex> lock(idle_mutex_);

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/timeline.hpp"
 #include "common/trace.hpp"
 #include "threading/thread_pool.hpp"
 
@@ -18,16 +19,19 @@ namespace {
 #ifndef FCMA_TRACE_DISABLED
 
 /// Enables tracing for one test and restores the default (off) after, with
-/// a clean global registry on both sides.
+/// a clean global registry and timeline on both sides (global-bound spans
+/// land in per-thread timeline shards until flush()).
 class TraceTest : public ::testing::Test {
  protected:
   void SetUp() override {
     global().reset();
+    Timeline::global().reset();
     set_enabled(true);
   }
   void TearDown() override {
     set_enabled(false);
     global().reset();
+    Timeline::global().reset();
   }
 };
 
@@ -48,6 +52,20 @@ TEST_F(TraceTest, UnknownLabelsReadAsZero) {
   EXPECT_EQ(reg.span("nope").count, 0u);
   EXPECT_EQ(reg.counter("nope"), 0);
   EXPECT_DOUBLE_EQ(reg.gauge("nope"), 0.0);
+}
+
+TEST_F(TraceTest, ReadsOfUnknownNamesDoNotInsertThem) {
+  // Documented contract: lookups never grow the registry or change its
+  // exported JSON (a sidecar probing an optional key must not create it).
+  Registry reg;
+  (void)reg.counter("ghost/counter");
+  (void)reg.gauge("ghost/gauge");
+  (void)reg.span("ghost/span");
+  (void)reg.span_quantile("ghost/span", 0.5);
+  (void)reg.meta("ghost/meta");
+  (void)reg.roofline("ghost/roofline");
+  EXPECT_TRUE(reg.span_labels().empty());
+  EXPECT_EQ(reg.to_json().find("ghost"), std::string::npos);
 }
 
 TEST_F(TraceTest, ScopedSpanRecordsIntoRegistry) {
@@ -109,6 +127,7 @@ TEST_F(TraceTest, DisabledSpansRecordNothing) {
   record_span("manual", 1.0);
   count("ticks");
   gauge_set("depth", 3.0);
+  flush();
   EXPECT_EQ(reg.span("work").count, 0u);
   EXPECT_EQ(global().span("manual").count, 0u);
   EXPECT_EQ(global().counter("ticks"), 0);
@@ -130,6 +149,7 @@ TEST_F(TraceTest, ConcurrentSpansOnOneLabelAggregateAllRecords) {
   threading::parallel_for_each(pool, 0, 200, [](std::size_t) {
     const Span span("test/span");
   });
+  flush();  // global-bound spans live in per-thread shards until flushed
   EXPECT_EQ(global().span("test/span").count, 200u);
 }
 
@@ -152,6 +172,7 @@ TEST_F(TraceTest, SchedulerActivityIsTraced) {
     }
     for (auto& f : futures) f.get();
   }
+  flush();
   EXPECT_EQ(global().counter("sched/tasks_submitted"), 50);
   EXPECT_EQ(global().counter("sched/tasks_executed"), 50);
   // External submits land on the shared inbox; workers take all of them
@@ -215,10 +236,11 @@ TEST_F(TraceTest, JsonCarriesSchemaAndAllThreeFamilies) {
   reg.count("comm/messages", 7);
   reg.gauge_set("queue_depth", 4.0);
   const std::string json = reg.to_json();
-  EXPECT_NE(json.find("\"schema\": \"fcma.trace.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"fcma.trace.v2\""), std::string::npos);
   EXPECT_NE(json.find("\"spans\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"roofline\""), std::string::npos);
   EXPECT_NE(json.find("\"pipeline/svm\": {\"count\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"comm/messages\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"queue_depth\": 4"), std::string::npos);
@@ -228,7 +250,7 @@ TEST_F(TraceTest, JsonCarriesSchemaAndAllThreeFamilies) {
 TEST_F(TraceTest, EmptyRegistryStillExportsValidSchema) {
   const Registry reg;
   const std::string json = reg.to_json();
-  EXPECT_NE(json.find("\"schema\": \"fcma.trace.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"fcma.trace.v2\""), std::string::npos);
   EXPECT_TRUE(braces_balanced(json));
 }
 
@@ -251,6 +273,14 @@ TEST_F(TraceTest, SpanStatsRoundTripThroughJsonFields) {
   EXPECT_NE(json.find("\"total_s\": 0.5"), std::string::npos);
   EXPECT_NE(json.find("\"min_s\": 0.125"), std::string::npos);
   EXPECT_NE(json.find("\"max_s\": 0.375"), std::string::npos);
+  // v2 additions: every span carries its percentile estimates, clamped to
+  // the recorded range.
+  EXPECT_NE(json.find("\"p50_s\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p95_s\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99_s\": "), std::string::npos);
+  const double p50 = reg.span_quantile("s", 0.5);
+  EXPECT_GE(p50, 0.125);
+  EXPECT_LE(p50, 0.375);
 }
 
 TEST_F(TraceTest, WriteJsonCreatesTheFile) {
@@ -265,7 +295,7 @@ TEST_F(TraceTest, WriteJsonCreatesTheFile) {
   std::fclose(f);
   std::remove(path.c_str());
   EXPECT_GT(n, 0u);
-  EXPECT_NE(std::string(buf).find("fcma.trace.v1"), std::string::npos);
+  EXPECT_NE(std::string(buf).find("fcma.trace.v2"), std::string::npos);
 }
 
 #endif  // FCMA_TRACE_DISABLED

@@ -1,15 +1,18 @@
 #!/bin/sh
 # Scaled-down smoke run of the paper benches: Table 5 (matmul GFLOPS),
-# Table 7 (stage merging), Table 8 (SVM solvers), and Fig 9 (single-node
-# speedup).  Each bench runs at a fraction of its default problem size so
-# the whole sweep finishes in seconds, and the results land in one JSON
-# file: per-bench wall-clock plus the Table 5 per-kernel GFLOPS.
+# Table 7 (stage merging), Table 8 (SVM solvers), Fig 9 (single-node
+# speedup), and the cluster task-farm smoke.  Each bench runs at a fraction
+# of its default problem size so the whole sweep finishes in seconds, and
+# the results land in one JSON file: per-bench wall-clock, the Table 5
+# per-kernel GFLOPS, p95 span latencies of the pipeline stages, and the
+# cluster load-imbalance ratio.
 #
 # Usage: bench_smoke.sh <bench-dir> [output.json]
 set -eu
 
 BENCH_DIR="$1"
-OUT="${2:-BENCH_pr3.json}"
+OUT="${2:-BENCH_pr4.json}"
+TOOLS_DIR=$(dirname "$0")
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -44,6 +47,8 @@ run_bench table8_svm "$BENCH_DIR/bench_table8_svm" \
 run_bench fig9_single_node_speedup \
   "$BENCH_DIR/bench_fig9_single_node_speedup" \
   --voxels 1024 --subjects 4 --calib-task 6
+run_bench cluster_smoke "$BENCH_DIR/bench_cluster_smoke" \
+  --voxels 256 --subjects 4 --workers 3 --task 16
 
 # Every table must have produced its metrics sidecar with the dispatched
 # ISA recorded.
@@ -82,9 +87,38 @@ SCHED_STEALS=$(sidecar_num "sched\\/steals")
 SCHED_LOCAL=$(sidecar_num "sched\\/local_hits")
 SMALL_GRAIN_S=$(sidecar_num "bench\\/fig9\\/small_grain_wall_s")
 
+# p95 span latencies of the pipeline stages, from the Fig 9 sidecar.  Each
+# span serializes on one line, so select the label's line and pull p95_s.
+span_p95() {
+  v=$(grep -F "\"$1\": {" "$FIG9_METRICS" \
+    | sed -n 's/.*"p95_s": \([0-9.eE+-]*\).*/\1/p' | head -n 1)
+  echo "${v:-0}"
+}
+P95_CORR=$(span_p95 "task/correlation")
+P95_SVM=$(span_p95 "task/svm")
+
+# Cluster load-balance gauges from the task-farm smoke sidecar.
+CLUSTER_METRICS="$BENCH_DIR/bench_cluster_smoke.metrics.json"
+cluster_num() {
+  v=$(sed -n "s/.*\"$1\": \([0-9.eE+-]*\).*/\1/p" "$CLUSTER_METRICS" \
+    | head -n 1)
+  echo "${v:-0}"
+}
+IMBALANCE=$(cluster_num "cluster\\/imbalance_ratio")
+MAX_BUSY=$(cluster_num "cluster\\/max_worker_busy_s")
+MEAN_BUSY=$(cluster_num "cluster\\/mean_worker_busy_s")
+
+# Every sidecar this sweep consumed must pass the schema check (skipped
+# where python3 is unavailable).
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$TOOLS_DIR/trace_check.py" "$FIG9_METRICS" "$CLUSTER_METRICS"
+else
+  echo "bench smoke: python3 not found, skipping trace_check.py" >&2
+fi
+
 cat > "$OUT" <<EOF
 {
-  "schema": "fcma.bench_smoke.v1",
+  "schema": "fcma.bench_smoke.v2",
   "simd_isa": "$ISA",
   "benches": {
     "table5_matmul_gflops": {
@@ -102,7 +136,15 @@ cat > "$OUT" <<EOF
       "wall_s": $(wall_s fig9_single_node_speedup),
       "small_grain_wall_s": $SMALL_GRAIN_S,
       "sched_steals": $SCHED_STEALS,
-      "sched_local_hits": $SCHED_LOCAL
+      "sched_local_hits": $SCHED_LOCAL,
+      "p95_task_correlation_s": $P95_CORR,
+      "p95_task_svm_s": $P95_SVM
+    },
+    "cluster_smoke": {
+      "wall_s": $(wall_s cluster_smoke),
+      "imbalance_ratio": $IMBALANCE,
+      "max_worker_busy_s": $MAX_BUSY,
+      "mean_worker_busy_s": $MEAN_BUSY
     }
   }
 }

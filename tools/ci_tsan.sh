@@ -47,6 +47,7 @@ cmake -S "$SRC" -B "$BUILD" \
 JOBS=$(nproc 2>/dev/null || echo 4)
 cmake --build "$BUILD" \
   --target test_sched test_sched_stress test_threading test_trace \
+          test_timeline \
   -j "$JOBS" > /dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -58,4 +59,6 @@ echo "ci_tsan: running test_threading under TSan"
 "$BUILD/tests/test_threading"
 echo "ci_tsan: running test_trace under TSan"
 "$BUILD/tests/test_trace"
+echo "ci_tsan: running test_timeline under TSan"
+"$BUILD/tests/test_timeline"
 echo "ci_tsan: clean"

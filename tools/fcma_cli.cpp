@@ -12,14 +12,17 @@
 // Datasets live in the FCMB/epoch-file pair written by fmri::save_dataset;
 // `generate --grid X,Y,Z` additionally writes an FCMM brain mask and the
 // analysis report then includes ROI clusters.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "memsim/instrument.hpp"
 #include "fcma/offline.hpp"
 #include "fcma/pipeline.hpp"
 #include "fcma/report.hpp"
@@ -47,6 +50,8 @@ void usage() {
       "exists)\n"
       "  analyze     run the FCMA pipeline and write a report\n"
       "  offline     run the nested leave-one-subject-out study\n"
+      "  report      summarize a --trace JSON file (spans, percentiles,\n"
+      "              roofline, cluster balance)\n"
       "\n"
       "run `fcma <command> --help` for that command's flags.");
 }
@@ -187,14 +192,24 @@ int cmd_analyze(int argc, const char* const* argv) {
                "task scheduler: steal (work-stealing pool) or serial");
   cli.add_flag("trace", "",
                "write a JSON span/counter trace of the run to this path");
+  cli.add_flag("trace-timeline", "",
+               "write a Chrome-trace timeline of the run to this path "
+               "(open in chrome://tracing or ui.perfetto.dev)");
   if (!cli.parse(argc, argv)) return 0;
   const std::string sched = cli.get("sched");
   FCMA_CHECK(sched == "steal" || sched == "serial",
              "--sched expects 'steal' or 'serial'");
 
   const std::string trace_path = cli.get("trace");
-  if (!trace_path.empty()) {
+  const std::string timeline_path = cli.get("trace-timeline");
+  const bool tracing = !trace_path.empty() || !timeline_path.empty();
+  if (tracing) {
     trace::set_enabled(true);
+    // Event capture must be live before the pool's workers register their
+    // sinks (rings are sized at sink creation).
+    if (!timeline_path.empty()) trace::set_timeline_enabled(true);
+    trace::set_thread_name("main");
+    trace::set_exit_dump(trace_path, timeline_path);
     trace::meta_set("simd/isa",
                     linalg::simd::isa_name(linalg::simd::active_isa()));
   }
@@ -216,6 +231,19 @@ int cmd_analyze(int argc, const char* const* argv) {
       config, static_cast<std::size_t>(cli.get_int("grouped"))));
   std::printf("scored %zu voxels in %.1f s\n", d.voxels(), timer.seconds());
 
+  if (tracing) {
+    // Roofline calibration: a small serial instrumented run whose memsim
+    // event counts attach modeled-time / arithmetic-intensity / %-roofline
+    // attribution to the gemm/syrk/svm span labels in the exported trace.
+    memsim::Instrument ins(memsim::Machine::kPhi5110P);
+    core::PipelineConfig calib = config;
+    calib.pool = nullptr;
+    const auto calib_voxels = static_cast<std::uint32_t>(
+        std::min<std::size_t>(8, d.voxels()));
+    (void)core::run_task_instrumented(
+        epochs, core::VoxelTask{0, calib_voxels}, calib, ins);
+  }
+
   const auto selected = core::significant_voxels(
       board, epochs.meta.size(), cli.get_double("fdr"),
       core::Correction::kFdr);
@@ -235,9 +263,14 @@ int cmd_analyze(int argc, const char* const* argv) {
   }
   core::write_report(cli.get("report"), report);
   std::printf("report written to %s\n", cli.get("report").c_str());
-  if (!trace_path.empty()) {
-    trace::global().write_json(trace_path);
-    std::printf("trace written to %s\n", trace_path.c_str());
+  if (tracing) {
+    trace::dump_now();
+    if (!trace_path.empty()) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+      std::printf("timeline written to %s\n", timeline_path.c_str());
+    }
   }
   return 0;
 }
@@ -256,14 +289,21 @@ int cmd_offline(int argc, const char* const* argv) {
                "task scheduler: steal (work-stealing pool) or serial");
   cli.add_flag("trace", "",
                "write a JSON span/counter trace of the run to this path");
+  cli.add_flag("trace-timeline", "",
+               "write a Chrome-trace timeline of the run to this path");
   if (!cli.parse(argc, argv)) return 0;
   const std::string sched = cli.get("sched");
   FCMA_CHECK(sched == "steal" || sched == "serial",
              "--sched expects 'steal' or 'serial'");
 
   const std::string trace_path = cli.get("trace");
-  if (!trace_path.empty()) {
+  const std::string timeline_path = cli.get("trace-timeline");
+  const bool tracing = !trace_path.empty() || !timeline_path.empty();
+  if (tracing) {
     trace::set_enabled(true);
+    if (!timeline_path.empty()) trace::set_timeline_enabled(true);
+    trace::set_thread_name("main");
+    trace::set_exit_dump(trace_path, timeline_path);
     trace::meta_set("simd/isa",
                     linalg::simd::isa_name(linalg::simd::active_isa()));
   }
@@ -294,10 +334,82 @@ int cmd_offline(int argc, const char* const* argv) {
   }
   core::write_report(cli.get("report"), report);
   std::printf("report written to %s\n", cli.get("report").c_str());
-  if (!trace_path.empty()) {
-    trace::global().write_json(trace_path);
-    std::printf("trace written to %s\n", trace_path.c_str());
+  if (tracing) {
+    trace::dump_now();
+    if (!trace_path.empty()) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+      std::printf("timeline written to %s\n", timeline_path.c_str());
+    }
   }
+  return 0;
+}
+
+int cmd_report(int argc, const char* const* argv) {
+  Cli cli("fcma report", "summarize a --trace JSON file");
+  cli.add_flag("trace-in", "", "fcma.trace.v1/v2 JSON file to summarize");
+  cli.add_flag("top", "12", "span rows shown (by total time)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string path = cli.get("trace-in");
+  FCMA_CHECK(!path.empty(), "report requires --trace-in <trace.json>");
+  const json::Value doc = json::parse_file(path);
+  FCMA_CHECK(doc.is_object(), "trace file is not a JSON object");
+  std::printf("trace %s (%s)\n", path.c_str(),
+              doc.at("schema").as_string().empty()
+                  ? "unversioned"
+                  : doc.at("schema").as_string().c_str());
+  for (const auto& [name, v] : doc.at("meta").members()) {
+    std::printf("  meta %-24s %s\n", name.c_str(), v.as_string().c_str());
+  }
+
+  // Spans, widest first.  v1 files have no percentile fields; at() then
+  // yields 0 and the columns print as zeros rather than failing.
+  std::vector<std::pair<std::string, const json::Value*>> spans;
+  for (const auto& [label, v] : doc.at("spans").members()) {
+    spans.emplace_back(label, &v);
+  }
+  std::sort(spans.begin(), spans.end(), [](const auto& a, const auto& b) {
+    return a.second->at("total_s").as_number() >
+           b.second->at("total_s").as_number();
+  });
+  const auto top = static_cast<std::size_t>(cli.get_int("top"));
+  std::printf("\n%-36s %10s %12s %12s %12s %12s\n", "span", "count",
+              "total_s", "p50_s", "p95_s", "p99_s");
+  for (std::size_t i = 0; i < spans.size() && i < top; ++i) {
+    const json::Value& s = *spans[i].second;
+    std::printf("%-36s %10.0f %12.4g %12.4g %12.4g %12.4g\n",
+                spans[i].first.c_str(), s.at("count").as_number(),
+                s.at("total_s").as_number(), s.at("p50_s").as_number(),
+                s.at("p95_s").as_number(), s.at("p99_s").as_number());
+  }
+  if (spans.size() > top) {
+    std::printf("  ... %zu more span label(s)\n", spans.size() - top);
+  }
+
+  if (doc.at("roofline").size() > 0) {
+    std::printf("\n%-36s %12s %10s %10s %8s  %s\n", "roofline", "modeled_s",
+                "gflops", "ai_f/B", "%roof", "bound");
+    for (const auto& [label, r] : doc.at("roofline").members()) {
+      std::printf("%-36s %12.4g %10.3g %10.3g %8.1f  %s\n", label.c_str(),
+                  r.at("modeled_s").as_number(), r.at("gflops").as_number(),
+                  r.at("ai_flops_per_byte").as_number(),
+                  r.at("pct_roofline").as_number(),
+                  r.at("bound").as_string().c_str());
+    }
+  }
+
+  // Cluster balance, when the trace came from a driver/sim run.
+  const json::Value& gauges = doc.at("gauges");
+  if (gauges.has("cluster/imbalance_ratio")) {
+    std::printf("\ncluster balance: max %.4g s / mean %.4g s busy "
+                "(imbalance %.3f)\n",
+                gauges.at("cluster/max_worker_busy_s").as_number(),
+                gauges.at("cluster/mean_worker_busy_s").as_number(),
+                gauges.at("cluster/imbalance_ratio").as_number());
+  }
+  std::printf("\n%zu counter(s), %zu gauge(s)\n", doc.at("counters").size(),
+              gauges.size());
   return 0;
 }
 
@@ -319,11 +431,15 @@ int main(int argc, char** argv) {
     if (command == "preprocess") return cmd_preprocess(sub_argc, sub_argv);
     if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
     if (command == "offline") return cmd_offline(sub_argc, sub_argv);
+    if (command == "report") return cmd_report(sub_argc, sub_argv);
     std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
     usage();
     return 1;
   } catch (const fcma::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // A failed run still leaves its --trace/--trace-timeline files behind
+    // (no-op unless a command armed the dump).
+    fcma::trace::dump_now();
     return 1;
   }
 }

@@ -1,12 +1,26 @@
 #!/bin/sh
 # End-to-end smoke test of the fcma CLI: generate -> info -> preprocess ->
-# analyze -> offline, asserting each artifact exists and the reports carry
-# the expected sections.
+# analyze -> offline -> report, asserting each artifact exists and the
+# reports carry the expected sections.  When python3 is available, the
+# trace/timeline artifacts are additionally schema-checked by
+# tools/trace_check.py.
+#
+# Usage: smoke_test.sh <fcma-binary> [tools-dir]
 set -eu
 FCMA="$1"
+TOOLS_DIR="${2:-$(dirname "$0")}"
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
+
+# Schema validation needs a python3; degrade to a warning where the
+# interpreter is absent so the CLI checks still run.
+if command -v python3 >/dev/null 2>&1; then
+  trace_check() { python3 "$TOOLS_DIR/trace_check.py" "$@"; }
+else
+  echo "smoke: python3 not found, skipping trace_check.py validation" >&2
+  trace_check() { :; }
+fi
 
 "$FCMA" generate --out study --grid 10,10,8 --subjects 4 \
     --epochs-per-subject 12 --informative 16 --blobs 2
@@ -22,16 +36,43 @@ grep -q "top voxels" analysis.txt
 grep -q "ROI clusters" analysis.txt
 
 # Tracing: the run's span/counter breakdown lands in a JSON file with all
-# three pipeline stages and the work-stealing scheduler's activity.
-"$FCMA" analyze --in clean --report traced.txt --top-k 6 --trace trace.json
-test -f trace.json
-grep -q '"fcma.trace.v1"' trace.json
+# three pipeline stages, latency percentiles, roofline attribution, and the
+# work-stealing scheduler's activity; --trace-timeline adds a Chrome-trace
+# event dump with one named lane per scheduler worker.
+"$FCMA" analyze --in clean --report traced.txt --top-k 6 --trace trace.json \
+    --trace-timeline timeline.json
+test -f trace.json && test -f timeline.json
+grep -q '"fcma.trace.v2"' trace.json
 grep -q 'correlation' trace.json
 grep -q 'normalization' trace.json
 grep -q 'svm' trace.json
 grep -q 'sched/' trace.json
 grep -q 'sched/steals' trace.json
 grep -q 'sched/local_hits' trace.json
+grep -q '"p95_s"' trace.json
+grep -q '"roofline"' trace.json
+grep -q 'task/correlation/gemm_nt' trace.json
+grep -q '"fcma.timeline.v1"' timeline.json
+grep -q 'sched/worker0' timeline.json
+trace_check trace.json timeline.json
+
+# The report subcommand renders the JSON back into tables.
+"$FCMA" report --trace-in trace.json > report.txt
+grep -q 'fcma.trace.v2' report.txt
+grep -q 'task/correlation' report.txt
+grep -q 'p95' report.txt
+grep -q 'roofline' report.txt
+
+# Abnormal exit still flushes the trace: a failing run must exit non-zero
+# yet leave valid (if sparse) trace artifacts behind.
+if "$FCMA" analyze --in /nonexistent --trace err.json \
+    --trace-timeline err_tl.json 2>/dev/null; then
+  echo "expected failure for a missing analyze input" >&2
+  exit 1
+fi
+test -f err.json && test -f err_tl.json
+grep -q '"fcma.trace.v2"' err.json
+trace_check err.json err_tl.json
 
 # --sched serial runs the same analysis without a pool and must produce an
 # identical report (the scheduler only moves tasks between threads).

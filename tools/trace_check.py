@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validator for fcma trace artifacts.
+
+Accepts either artifact the CLI / benches emit and sniffs which one it got:
+
+* a metrics dump (``fcma.trace.v2``): the aggregate span/counter/gauge
+  registry written by ``--trace`` and the bench sidecars.  Checks the schema
+  string, that every span's quantiles are ordered (p50 <= p95 <= p99) and
+  clamped inside the exact [min_s, max_s] range, that counters/gauges are
+  numeric, and that any roofline attribution carries the full field set
+  with sane values.
+* a Chrome-trace timeline (``fcma.timeline.v1``): the per-thread event
+  dump written by ``--trace-timeline``.  Checks that complete events are
+  globally time-sorted with non-negative durations, that every event's
+  lane (tid) has exactly one thread_name metadata record, and that named
+  scheduler-worker lanes are distinct (one lane per worker).
+
+Exit status 0 means the file validated; 1 means a check failed (each
+failure is printed); 2 means the file could not be read or parsed.
+
+Usage: trace_check.py <trace.json> [more.json ...]
+"""
+
+import json
+import sys
+
+REQUIRED_SPAN_FIELDS = (
+    "count", "total_s", "min_s", "max_s", "p50_s", "p95_s", "p99_s")
+REQUIRED_ROOFLINE_FIELDS = (
+    "modeled_s", "gflops", "ai_flops_per_byte", "pct_roofline", "bound")
+# Quantiles interpolate inside power-of-two buckets, so allow a hair of
+# floating-point slack around the exact recorded range.
+EPS = 1e-9
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.failures = []
+
+    def check(self, ok, message):
+        if not ok:
+            self.failures.append(message)
+        return ok
+
+    def is_number(self, value):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_metrics(c, doc):
+    c.check(doc.get("schema") == "fcma.trace.v2",
+            "schema is %r, expected 'fcma.trace.v2'" % doc.get("schema"))
+    spans = doc.get("spans", {})
+    c.check(isinstance(spans, dict), "'spans' is not an object")
+    for label, span in sorted(spans.items() if isinstance(spans, dict) else []):
+        for field in REQUIRED_SPAN_FIELDS:
+            if not c.check(c.is_number(span.get(field)),
+                           "span %r: missing numeric %r" % (label, field)):
+                break
+        else:
+            lo, hi = span["min_s"], span["max_s"]
+            p50, p95, p99 = span["p50_s"], span["p95_s"], span["p99_s"]
+            c.check(span["count"] >= 1, "span %r: count < 1" % label)
+            c.check(lo <= hi + EPS, "span %r: min_s > max_s" % label)
+            c.check(p50 <= p95 + EPS and p95 <= p99 + EPS,
+                    "span %r: quantiles not ordered "
+                    "(p50=%g p95=%g p99=%g)" % (label, p50, p95, p99))
+            c.check(lo - EPS <= p50 and p99 <= hi + EPS,
+                    "span %r: quantiles escape [min_s, max_s] "
+                    "([%g, %g] vs p50=%g p99=%g)" % (label, lo, hi, p50, p99))
+    for section in ("counters", "gauges"):
+        values = doc.get(section, {})
+        c.check(isinstance(values, dict), "%r is not an object" % section)
+        for name, value in (values.items() if isinstance(values, dict) else []):
+            c.check(c.is_number(value),
+                    "%s %r: value is not numeric" % (section, name))
+    for label, roof in sorted(doc.get("roofline", {}).items()):
+        for field in REQUIRED_ROOFLINE_FIELDS:
+            c.check(field in roof,
+                    "roofline %r: missing field %r" % (label, field))
+        if all(f in roof for f in REQUIRED_ROOFLINE_FIELDS):
+            c.check(roof["bound"] in ("memory", "compute"),
+                    "roofline %r: bound is %r" % (label, roof["bound"]))
+            c.check(c.is_number(roof["pct_roofline"])
+                    and roof["pct_roofline"] >= 0.0,
+                    "roofline %r: pct_roofline negative" % label)
+            c.check(c.is_number(roof["ai_flops_per_byte"])
+                    and roof["ai_flops_per_byte"] >= 0.0,
+                    "roofline %r: arithmetic intensity negative" % label)
+    return "fcma.trace.v2 metrics: %d spans, %d roofline points" % (
+        len(spans), len(doc.get("roofline", {})))
+
+
+def check_timeline(c, doc):
+    other = doc.get("otherData", {})
+    c.check(other.get("schema") == "fcma.timeline.v1",
+            "otherData.schema is %r, expected 'fcma.timeline.v1'"
+            % other.get("schema"))
+    c.check(c.is_number(other.get("dropped_events")),
+            "otherData.dropped_events missing or non-numeric")
+    events = doc.get("traceEvents", [])
+    if not c.check(isinstance(events, list), "'traceEvents' is not a list"):
+        return "invalid"
+    lane_names = {}  # tid -> list of thread_name records
+    complete = []
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            lane_names.setdefault(ev.get("tid"), []).append(
+                ev.get("args", {}).get("name"))
+        elif ph == "X":
+            for field in ("ts", "dur"):
+                c.check(c.is_number(ev.get(field)),
+                        "event %d: missing numeric %r" % (i, field))
+            complete.append(ev)
+    prev_ts = None
+    for ev in complete:
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not (c.is_number(ts) and c.is_number(dur)):
+            continue
+        c.check(dur >= 0.0, "event %r: negative duration" % ev.get("name"))
+        if prev_ts is not None and not c.check(
+                ts >= prev_ts, "timestamps not monotonic at %r (ts=%g after "
+                "%g)" % (ev.get("name"), ts, prev_ts)):
+            break
+        prev_ts = ts
+        c.check(ev.get("tid") in lane_names,
+                "event %r: lane tid=%r has no thread_name metadata"
+                % (ev.get("name"), ev.get("tid")))
+    # One lane per thread: no tid renamed twice, no worker name reused.
+    workers = {}
+    for tid, names in sorted(lane_names.items(), key=lambda kv: str(kv[0])):
+        c.check(len(names) == 1,
+                "lane tid=%r has %d thread_name records" % (tid, len(names)))
+        for name in names:
+            if isinstance(name, str) and name.startswith("sched/worker"):
+                c.check(name not in workers,
+                        "worker lane %r claimed by tid %r and %r"
+                        % (name, workers.get(name), tid))
+                workers[name] = tid
+    return "fcma.timeline.v1: %d events across %d lanes (%d worker lanes)" % (
+        len(complete), len(lane_names), len(workers))
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print("%s: cannot parse: %s" % (path, err), file=sys.stderr)
+        return 2
+    c = Checker(path)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        summary = check_timeline(c, doc)
+    elif isinstance(doc, dict) and "spans" in doc:
+        summary = check_metrics(c, doc)
+    else:
+        print("%s: neither a metrics dump nor a Chrome trace" % path,
+              file=sys.stderr)
+        return 2
+    if c.failures:
+        for failure in c.failures:
+            print("%s: FAIL: %s" % (path, failure), file=sys.stderr)
+        return 1
+    print("%s: OK (%s)" % (path, summary))
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        status = max(status, check_file(path))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
