@@ -17,6 +17,11 @@ int main(int argc, char** argv) {
   cli.add_flag("subjects", "4", "scaled subject count");
   cli.add_flag("workers", "3", "worker ranks");
   cli.add_flag("task", "32", "voxels per task");
+  cli.add_flag("lease-timeout", "10.0", "seconds before a silent lease expires");
+  cli.add_flag("fault-seed", "0", "fault-injection decision seed");
+  cli.add_flag("fault-drop", "0", "P(drop) per message");
+  cli.add_flag("fault-kill-rank", "0", "worker rank to crash (0 = none)");
+  cli.add_flag("fault-kill-after", "0", "tasks the victim completes first");
   if (!cli.parse(argc, argv)) return 0;
 
   bench::print_preamble(
@@ -28,6 +33,13 @@ int main(int argc, char** argv) {
   cluster::DriverOptions options;
   options.workers = static_cast<std::size_t>(cli.get_int("workers"));
   options.voxels_per_task = static_cast<std::size_t>(cli.get_int("task"));
+  options.lease_timeout_s = cli.get_double("lease-timeout");
+  options.faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+  options.faults.drop = cli.get_double("fault-drop");
+  options.faults.kill_rank =
+      static_cast<std::size_t>(cli.get_int("fault-kill-rank"));
+  options.faults.kill_after_tasks =
+      static_cast<std::size_t>(cli.get_int("fault-kill-after"));
   cluster::DriverStats stats;
   const core::Scoreboard board = run_cluster_analysis(
       w.epochs, w.dataset.voxels(), options, &stats);
@@ -52,6 +64,24 @@ int main(int argc, char** argv) {
   s.row({"mean busy (s)", Table::num(stats.mean_worker_busy_s(), 3)});
   s.row({"imbalance (max/mean)", Table::num(stats.imbalance_ratio(), 3)});
   s.print();
+
+  // Recovery view: all zeros on a clean run, the cost of the fault-injected
+  // variant otherwise.  The same numbers land in the metrics sidecar as the
+  // cluster/* counters plus the gauges below.
+  Table r("fault recovery");
+  r.header({"metric", "value"});
+  r.row({"workers died",
+         Table::count(static_cast<long long>(stats.workers_died))});
+  r.row({"tasks requeued",
+         Table::count(static_cast<long long>(stats.tasks_requeued))});
+  r.row({"retries", Table::count(static_cast<long long>(stats.retries))});
+  r.row({"heartbeat misses",
+         Table::count(static_cast<long long>(stats.heartbeat_misses))});
+  r.row({"recovery wall (s)", Table::num(stats.recovery_wall_s, 3)});
+  r.print();
+  trace::gauge_set("cluster/workers_died",
+                   static_cast<double>(stats.workers_died));
+  trace::gauge_set("cluster/recovery_wall_s", stats.recovery_wall_s);
 
   std::printf("scored %zu voxels across %zu ranks\n", board.scored(),
               options.workers);

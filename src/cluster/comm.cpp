@@ -1,11 +1,28 @@
 #include "cluster/comm.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 
 #include "common/trace.hpp"
 
 namespace fcma::cluster {
+
+std::uint64_t Comm::payload_checksum(
+    const std::vector<std::uint8_t>& payload) {
+  // FNV-1a 64: tiny, dependency-free, and plenty to catch injected bit
+  // flips (this is an integrity check against faults, not an adversary).
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+bool Message::checksum_ok() const {
+  return checksum == Comm::payload_checksum(payload);
+}
 
 Comm::Comm(std::size_t ranks) {
   FCMA_CHECK(ranks >= 1, "communicator needs at least one rank");
@@ -15,9 +32,10 @@ Comm::Comm(std::size_t ranks) {
   }
 }
 
-void Comm::send(std::size_t from, std::size_t to, Tag tag,
-                std::vector<std::uint8_t> payload) {
+void Comm::enqueue(std::size_t from, std::size_t to, Tag tag,
+                   std::vector<std::uint8_t> payload, std::uint64_t checksum) {
   FCMA_CHECK(from < size() && to < size(), "rank out of range");
+  if (closed()) return;  // poisoned: deliveries are dropped
   if (trace::enabled()) {
     trace::count("comm/messages");
     trace::count("comm/bytes", static_cast<std::int64_t>(payload.size()));
@@ -25,16 +43,23 @@ void Comm::send(std::size_t from, std::size_t to, Tag tag,
   Inbox& inbox = *inboxes_[to];
   {
     const std::lock_guard<std::mutex> lock(inbox.mutex);
-    inbox.queue.push_back(Message{from, tag, std::move(payload)});
+    inbox.queue.push_back(Message{from, tag, std::move(payload), checksum});
   }
   inbox.cv.notify_one();
+}
+
+void Comm::send(std::size_t from, std::size_t to, Tag tag,
+                std::vector<std::uint8_t> payload) {
+  const std::uint64_t checksum = payload_checksum(payload);
+  enqueue(from, to, tag, std::move(payload), checksum);
 }
 
 Message Comm::recv(std::size_t rank) {
   FCMA_CHECK(rank < size(), "rank out of range");
   Inbox& inbox = *inboxes_[rank];
   std::unique_lock<std::mutex> lock(inbox.mutex);
-  inbox.cv.wait(lock, [&inbox] { return !inbox.queue.empty(); });
+  inbox.cv.wait(lock, [&] { return !inbox.queue.empty() || closed(); });
+  if (inbox.queue.empty()) return closed_message(rank);
   Message m = std::move(inbox.queue.front());
   inbox.queue.pop_front();
   return m;
@@ -52,7 +77,63 @@ Message Comm::recv(std::size_t rank, Tag tag) {
         return m;
       }
     }
+    if (closed()) return closed_message(rank);
     inbox.cv.wait(lock);
+  }
+}
+
+std::optional<Message> Comm::recv_for(std::size_t rank, double timeout_s) {
+  FCMA_CHECK(rank < size(), "rank out of range");
+  FCMA_CHECK(timeout_s >= 0.0, "timeout must be non-negative");
+  Inbox& inbox = *inboxes_[rank];
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  std::unique_lock<std::mutex> lock(inbox.mutex);
+  if (!inbox.cv.wait_until(lock, deadline, [&] {
+        return !inbox.queue.empty() || closed();
+      })) {
+    return std::nullopt;
+  }
+  if (inbox.queue.empty()) return closed_message(rank);
+  Message m = std::move(inbox.queue.front());
+  inbox.queue.pop_front();
+  return m;
+}
+
+std::optional<Message> Comm::recv_for(std::size_t rank, Tag tag,
+                                      double timeout_s) {
+  FCMA_CHECK(rank < size(), "rank out of range");
+  FCMA_CHECK(timeout_s >= 0.0, "timeout must be non-negative");
+  Inbox& inbox = *inboxes_[rank];
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  std::unique_lock<std::mutex> lock(inbox.mutex);
+  for (;;) {
+    for (auto it = inbox.queue.begin(); it != inbox.queue.end(); ++it) {
+      if (it->tag == tag) {
+        Message m = std::move(*it);
+        inbox.queue.erase(it);
+        return m;
+      }
+    }
+    if (closed()) return closed_message(rank);
+    if (inbox.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last sweep under the lock: a message may have landed between
+      // the timeout and re-acquisition.
+      for (auto it = inbox.queue.begin(); it != inbox.queue.end(); ++it) {
+        if (it->tag == tag) {
+          Message m = std::move(*it);
+          inbox.queue.erase(it);
+          return m;
+        }
+      }
+      return closed() ? std::optional<Message>(closed_message(rank))
+                      : std::nullopt;
+    }
   }
 }
 
@@ -61,6 +142,16 @@ bool Comm::has_message(std::size_t rank) {
   Inbox& inbox = *inboxes_[rank];
   const std::lock_guard<std::mutex> lock(inbox.mutex);
   return !inbox.queue.empty();
+}
+
+void Comm::close() {
+  closed_.store(true, std::memory_order_release);
+  // Take each inbox mutex before notifying: a receiver between its
+  // predicate check and its wait must observe the wakeup.
+  for (auto& inbox : inboxes_) {
+    { const std::lock_guard<std::mutex> lock(inbox->mutex); }
+    inbox->cv.notify_all();
+  }
 }
 
 namespace collective {

@@ -2,16 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <deque>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
+#include "cluster/checkpoint.hpp"
 #include "common/trace.hpp"
 #include "fcma/task.hpp"
 
 namespace fcma::cluster {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// kWorkRequest flag byte: a plain low-water refill request, or an idle
+// retransmit (the worker has nothing to do and suspects a lost message —
+// the master must requeue that worker's outstanding leases).
+constexpr std::uint8_t kRequestRefill = 0;
+constexpr std::uint8_t kRequestIdleRetry = 1;
+
+std::vector<std::uint8_t> assign_payload(
+    std::uint64_t batch_id, const std::vector<core::VoxelTask>& batch) {
+  std::vector<std::uint8_t> payload = encode(batch_id);
+  const auto tasks = encode_vector(batch);
+  payload.insert(payload.end(), tasks.begin(), tasks.end());
+  return payload;
+}
 
 /// Worker loop: receive task batches, run the pipeline task by task, return
 /// one accuracies message per task, and request the next batch when the
@@ -20,48 +41,119 @@ namespace {
 /// master unless the master itself is the bottleneck.  Workers share the
 /// read-only normalized epoch data, exactly as the paper's workers share
 /// the broadcast dataset.
+///
+/// Hardening: receives are polled (recv_for), and an idle worker
+/// retransmits its work request with capped doubling backoff — a dropped
+/// assignment, result, or request therefore recovers in O(poll) instead of
+/// stalling the farm.  Each task start sends a heartbeat (renews the
+/// master-side lease), and an assignment that fails its checksum is nacked
+/// so the master can re-dispatch immediately.
 void worker_main(Comm& comm, std::size_t rank,
                  const fmri::NormalizedEpochs& epochs,
-                 const DriverOptions& options, double& busy_s) {
+                 const DriverOptions& options, std::size_t low_water,
+                 double& busy_s) {
   // Per-worker span family: count/total/min/max of this rank's task
   // latencies, the cluster-level analogue of Table 3's load-balance data.
   const std::string task_label =
       "cluster/worker" + std::to_string(rank) + "/task";
   trace::set_thread_name("cluster/worker" + std::to_string(rank));
-  std::deque<core::VoxelTask> local;
+  std::deque<std::pair<std::uint64_t, core::VoxelTask>> local;
   bool requested = false;
+  std::size_t completed = 0;
+  const double base_poll = options.worker_poll_s;
+  double poll = base_poll;
   for (;;) {
+    // Injected crash: the worker vanishes without a farewell message once
+    // it has completed its scheduled number of tasks.  The master only
+    // finds out through the missed heartbeats.
+    if (options.faults.kills(rank, completed)) return;
     if (local.empty()) {
-      const Message m = comm.recv(rank);
-      if (m.tag == Tag::kShutdown) return;
-      FCMA_CHECK(m.tag == Tag::kTaskAssign, "worker expected a task batch");
-      const auto batch = decode_vector<core::VoxelTask>(m.payload);
-      FCMA_CHECK(!batch.empty(), "empty task batch");
-      local.insert(local.end(), batch.begin(), batch.end());
-      requested = false;
+      const std::optional<Message> m = comm.recv_for(rank, poll);
+      if (!m) {
+        // Idle with nothing inbound: our request or its assignment may
+        // have been lost.  Retransmit with backoff; the idle-retry flag
+        // tells the master to requeue whatever it still thinks we hold.
+        comm.send(rank, 0, Tag::kWorkRequest, {kRequestIdleRetry});
+        requested = true;
+        poll = std::min(poll * 2.0, base_poll * 8.0);
+        continue;
+      }
+      if (m->tag == Tag::kShutdown) return;
+      if (m->tag == Tag::kTaskAssign) {
+        if (!m->checksum_ok()) {
+          // Corrupted in flight: unusable (even the batch id bytes are
+          // suspect).  Nack so the master requeues our leases promptly.
+          comm.send(rank, 0, Tag::kTaskNack, {});
+          continue;
+        }
+        FCMA_CHECK(m->payload.size() > sizeof(std::uint64_t),
+                   "empty task batch");
+        std::uint64_t batch_id = 0;
+        std::memcpy(&batch_id, m->payload.data(), sizeof(batch_id));
+        const std::vector<std::uint8_t> rest(
+            m->payload.begin() + sizeof(batch_id), m->payload.end());
+        for (const auto& task : decode_vector<core::VoxelTask>(rest)) {
+          local.emplace_back(batch_id, task);
+        }
+        requested = false;
+        poll = base_poll;
+      }
+      // Any other tag is stale traffic from a recovered fault; ignore it.
+      continue;
     }
-    if (!requested && local.size() <= options.low_water) {
-      comm.send(rank, 0, Tag::kWorkRequest, {});
+    if (!requested && local.size() <= low_water) {
+      comm.send(rank, 0, Tag::kWorkRequest, {kRequestRefill});
       requested = true;
     }
-    const core::VoxelTask task = local.front();
+    const auto [batch_id, task] = local.front();
     local.pop_front();
-    const auto task_begin = std::chrono::steady_clock::now();
-    const trace::Span task_span(task_label);
-    const core::TaskResult result =
-        core::run_task(epochs, task, options.pipeline);
-    busy_s += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            task_begin)
-                  .count();
-    // Result message: the task descriptor followed by the accuracies.
-    std::vector<double> packed;
-    packed.reserve(2 + result.accuracy.size());
-    packed.push_back(static_cast<double>(task.first));
-    packed.push_back(static_cast<double>(task.count));
-    packed.insert(packed.end(), result.accuracy.begin(),
-                  result.accuracy.end());
-    comm.send(rank, 0, Tag::kTaskResult, encode_vector(packed));
+    comm.send(rank, 0, Tag::kHeartbeat, {});  // renews our lease
+    const auto task_begin = Clock::now();
+    {
+      const trace::Span task_span(task_label);
+      const core::TaskResult result =
+          core::run_task(epochs, task, options.pipeline);
+      busy_s +=
+          std::chrono::duration<double>(Clock::now() - task_begin).count();
+      // Result message: batch id, the task descriptor, the accuracies.
+      std::vector<double> packed;
+      packed.reserve(3 + result.accuracy.size());
+      packed.push_back(static_cast<double>(batch_id));
+      packed.push_back(static_cast<double>(task.first));
+      packed.push_back(static_cast<double>(task.count));
+      packed.insert(packed.end(), result.accuracy.begin(),
+                    result.accuracy.end());
+      comm.send(rank, 0, Tag::kTaskResult, encode_vector(packed));
+    }
+    ++completed;
   }
+}
+
+/// Joins the farm on every exit path: poisons the communicator first so a
+/// worker blocked in recv unblocks (the shutdown-race fix), then joins.
+struct FarmGuard {
+  Comm& comm;
+  std::vector<std::thread>& threads;
+  ~FarmGuard() {
+    comm.close();
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+void emit_counters(const DriverStats& s, std::size_t reassigned) {
+  // Always emitted (0 included) so trace consumers can rely on presence.
+  trace::count("cluster/tasks_dispatched",
+               static_cast<std::int64_t>(s.tasks_dispatched));
+  trace::count("cluster/work_requests",
+               static_cast<std::int64_t>(s.work_requests));
+  trace::count("cluster/retries", static_cast<std::int64_t>(s.retries));
+  trace::count("cluster/reassignments", static_cast<std::int64_t>(reassigned));
+  trace::count("cluster/heartbeat_misses",
+               static_cast<std::int64_t>(s.heartbeat_misses));
+  trace::count("cluster/corrupt_payloads",
+               static_cast<std::int64_t>(s.corrupt_payloads));
 }
 
 }  // namespace
@@ -72,94 +164,288 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
                                       DriverStats* stats) {
   FCMA_CHECK(options.workers >= 1, "need at least one worker");
   FCMA_CHECK(options.low_water >= 1, "low_water must be at least 1");
+  FCMA_CHECK(total_voxels >= 1, "need at least one voxel");
+  FCMA_CHECK(options.lease_timeout_s > 0.0, "lease timeout must be positive");
+  FCMA_CHECK(options.worker_poll_s > 0.0, "worker poll must be positive");
+  FCMA_CHECK(options.max_task_retries >= 1, "retry limit must be at least 1");
+  options.faults.validate(options.workers + 1);
+
   const std::size_t per_task =
       options.voxels_per_task != 0
           ? options.voxels_per_task
           : (total_voxels + options.workers - 1) / options.workers;
-  auto tasks = core::partition_voxels(total_voxels, per_task);
-  const std::size_t batch_size =
+  const auto tasks = core::partition_voxels(total_voxels, per_task);
+  // Clamp the batch size to the task count (a larger request could never be
+  // filled) and the low-water mark to the batch size (a higher mark would
+  // only re-request immediately after every refill).
+  const std::size_t batch_size = std::min(
       options.batch != 0
           ? options.batch
-          : std::max<std::size_t>(
-                1, tasks.size() / (options.workers * 4));
+          : std::max<std::size_t>(1, tasks.size() / (options.workers * 4)),
+      tasks.size());
+  const std::size_t low_water = std::min(options.low_water, batch_size);
 
-  Comm comm(options.workers + 1);  // rank 0 = master
-  core::Scoreboard board(total_voxels);
   DriverStats local_stats;
-  // One busy-seconds slot per rank, written only by that rank's thread
-  // until the join below publishes them to the master.
   local_stats.worker_busy_s.assign(options.workers, 0.0);
+
+  core::Scoreboard board =
+      options.resume != nullptr ? *options.resume
+                                : core::Scoreboard(total_voxels);
+  if (options.resume != nullptr) {
+    FCMA_CHECK(board.total_voxels() == total_voxels,
+               "resume scoreboard does not match the dataset");
+  }
+  // Pending queue: every task with at least one unscored voxel.  A resumed
+  // run therefore skips completed ranges entirely; partially-scored tasks
+  // are recomputed whole (the idempotent scoreboard absorbs the overlap).
+  std::deque<core::VoxelTask> pending;
+  for (const auto& task : tasks) {
+    bool done = true;
+    for (std::uint32_t v = task.first; v < task.first + task.count; ++v) {
+      if (!board.voxel_scored(v)) {
+        done = false;
+        break;
+      }
+    }
+    if (!done) pending.push_back(task);
+  }
+  if (board.complete()) {
+    // Nothing to do (fully-scored resume); keep the side effects uniform.
+    if (!options.checkpoint_path.empty()) {
+      write_checkpoint(options.checkpoint_path, board);
+      ++local_stats.checkpoints_written;
+    }
+    emit_counters(local_stats, 0);
+    if (stats != nullptr) *stats = local_stats;
+    return board;
+  }
+
+  const std::unique_ptr<Comm> comm_owner =
+      options.faults.message_faults()
+          ? std::make_unique<FaultyComm>(options.workers + 1, options.faults)
+          : std::make_unique<Comm>(options.workers + 1);  // rank 0 = master
+  Comm& comm = *comm_owner;
+
   std::vector<std::thread> workers;
   workers.reserve(options.workers);
+  const FarmGuard guard{comm, workers};
   for (std::size_t w = 1; w <= options.workers; ++w) {
     workers.emplace_back(worker_main, std::ref(comm), w, std::cref(epochs),
-                         std::cref(options),
+                         std::cref(options), low_water,
                          std::ref(local_stats.worker_busy_s[w - 1]));
   }
 
-  std::size_t next_task = 0;
-  std::size_t shutdowns = 0;
+  // --- master state -------------------------------------------------------
+  struct Lease {
+    std::size_t worker = 0;
+    std::vector<core::VoxelTask> outstanding;  ///< tasks without a result yet
+  };
+  std::unordered_map<std::uint64_t, Lease> leases;
+  std::uint64_t next_batch_id = 1;
+  std::vector<char> alive(options.workers + 1, 1);
+  std::vector<Clock::time_point> last_activity(options.workers + 1,
+                                               Clock::now());
+  std::unordered_map<std::uint32_t, std::size_t> requeue_count;
+  std::size_t tasks_reassigned_death = 0;
+  std::size_t results_since_ckpt = 0;
+  bool any_death = false;
+  Clock::time_point first_death{};
 
-  // Sends the next batch to `w`, or a shutdown when no tasks remain.
-  auto dispatch = [&](std::size_t w) {
-    if (next_task >= tasks.size()) {
-      comm.send(0, w, Tag::kShutdown, {});
-      ++shutdowns;
-      ++local_stats.messages;
-      return;
+  // Returns `w`'s outstanding leased tasks to the front of the pending
+  // queue (prompt recovery) and drops the leases.  The retry cap aborts the
+  // run instead of spinning when faults are severe enough that no delivery
+  // ever lands.
+  const auto requeue_worker = [&](std::size_t w) -> std::size_t {
+    std::size_t n = 0;
+    for (auto it = leases.begin(); it != leases.end();) {
+      if (it->second.worker != w) {
+        ++it;
+        continue;
+      }
+      for (const auto& task : it->second.outstanding) {
+        FCMA_CHECK(++requeue_count[task.first] <= options.max_task_retries,
+                   "task exceeded the retry limit; faults too severe to "
+                   "make progress");
+        pending.push_front(task);
+        ++n;
+      }
+      it = leases.erase(it);
     }
-    const std::size_t count =
-        std::min(batch_size, tasks.size() - next_task);
+    local_stats.tasks_requeued += n;
+    return n;
+  };
+
+  // Sends the next batch to `w` under a fresh lease; false when no work is
+  // pending (the worker keeps idling and will retry later).
+  const auto dispatch = [&](std::size_t w) -> bool {
+    if (pending.empty()) return false;
+    const std::size_t count = std::min(batch_size, pending.size());
     const std::vector<core::VoxelTask> batch(
-        tasks.begin() + static_cast<std::ptrdiff_t>(next_task),
-        tasks.begin() + static_cast<std::ptrdiff_t>(next_task + count));
-    next_task += count;
-    comm.send(0, w, Tag::kTaskAssign, encode_vector(batch));
+        pending.begin(),
+        pending.begin() + static_cast<std::ptrdiff_t>(count));
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(count));
+    const std::uint64_t batch_id = next_batch_id++;
+    leases[batch_id] = Lease{w, batch};
+    comm.send(0, w, Tag::kTaskAssign, assign_payload(batch_id, batch));
     local_stats.tasks_dispatched += count;
     ++local_stats.batches;
     ++local_stats.messages;
     // Per-batch master queue depth: how many tasks are still undispatched
     // after this assignment (the drain curve of the farm).
     trace::gauge_set("cluster/master/tasks_remaining",
-                     static_cast<double>(tasks.size() - next_task));
+                     static_cast<double>(pending.size()));
     trace::gauge_max("cluster/master/max_batch_tasks",
                      static_cast<double>(count));
+    return true;
   };
 
-  // Prime every worker with one batch (or shut it down if none remain).
-  for (std::size_t w = 1; w <= options.workers; ++w) dispatch(w);
-
-  // Collect results and answer work requests until every task's result is
-  // in and every worker has been released.  A worker's final work request
-  // always precedes its final result in its FIFO mailbox, so the request
-  // loop cannot stall: either results remain (recv will yield something)
-  // or only shutdown replies are owed (already counted via dispatch).
-  std::size_t results = 0;
-  while (results < tasks.size() || shutdowns < options.workers) {
-    const Message m = comm.recv(0);
-    ++local_stats.messages;
-    if (m.tag == Tag::kWorkRequest) {
-      ++local_stats.work_requests;
-      dispatch(m.source);
-      continue;
+  // Declares silent workers dead: a worker holding a lease that has shown
+  // no sign of life (heartbeat, result, request) for a full lease timeout
+  // is not coming back; its tasks move to the survivors.
+  const auto sweep_leases = [&] {
+    const auto now = Clock::now();
+    for (std::size_t w = 1; w <= options.workers; ++w) {
+      if (!alive[w]) continue;
+      bool leased = false;
+      for (const auto& entry : leases) {
+        if (entry.second.worker == w) {
+          leased = true;
+          break;
+        }
+      }
+      if (!leased) continue;
+      const double silent_s =
+          std::chrono::duration<double>(now - last_activity[w]).count();
+      if (silent_s <= options.lease_timeout_s) continue;
+      alive[w] = 0;
+      ++local_stats.workers_died;
+      ++local_stats.heartbeat_misses;
+      if (!any_death) {
+        any_death = true;
+        first_death = now;
+      }
+      tasks_reassigned_death += requeue_worker(w);
     }
-    FCMA_CHECK(m.tag == Tag::kTaskResult,
-               "master expected a result or work request");
-    const auto packed = decode_vector<double>(m.payload);
-    FCMA_CHECK(packed.size() >= 2, "malformed result payload");
-    core::TaskResult result;
-    result.task.first = static_cast<std::uint32_t>(packed[0]);
-    result.task.count = static_cast<std::uint32_t>(packed[1]);
-    result.accuracy.assign(packed.begin() + 2, packed.end());
-    board.add(result);
-    ++results;
+    bool any_alive = false;
+    for (std::size_t w = 1; w <= options.workers; ++w) {
+      if (alive[w]) any_alive = true;
+    }
+    FCMA_CHECK(any_alive, "every worker died before the analysis completed");
+  };
+
+  const auto checkpoint_if_due = [&](bool force) {
+    if (options.checkpoint_path.empty()) return;
+    if (!force && (options.checkpoint_every == 0 ||
+                   results_since_ckpt < options.checkpoint_every)) {
+      return;
+    }
+    write_checkpoint(options.checkpoint_path, board);
+    ++local_stats.checkpoints_written;
+    results_since_ckpt = 0;
+  };
+
+  // Prime every worker with one batch; surplus workers idle until shutdown.
+  for (std::size_t w = 1; w <= options.workers; ++w) (void)dispatch(w);
+
+  // Collect results, answer work requests, and recover losses until every
+  // voxel is scored.  The poll timeout bounds how stale the lease sweep can
+  // be; messages wake the master immediately.
+  const double master_poll =
+      std::min(0.05, options.lease_timeout_s / 4.0);
+  while (!board.complete()) {
+    const std::optional<Message> maybe = comm.recv_for(0, master_poll);
+    sweep_leases();
+    if (!maybe) continue;
+    const Message& m = *maybe;
+    ++local_stats.messages;
+    const std::size_t w = m.source;
+    last_activity[w] = Clock::now();
+    if (!alive[w]) alive[w] = 1;  // false positive: it spoke, so it lives
+
+    switch (m.tag) {
+      case Tag::kHeartbeat:
+        break;
+      case Tag::kWorkRequest: {
+        ++local_stats.work_requests;
+        const bool idle_retry =
+            !m.payload.empty() && m.payload[0] == kRequestIdleRetry;
+        if (idle_retry) {
+          // The worker has nothing, yet we may think it does: whatever it
+          // still leases was lost in flight (assignment or results) — put
+          // it back and re-serve.
+          const std::size_t n = requeue_worker(w);
+          if (n > 0) ++local_stats.retries;
+        }
+        (void)dispatch(w);
+        break;
+      }
+      case Tag::kTaskNack: {
+        // The worker received an assignment that failed its checksum; the
+        // batch id inside is untrustworthy, so requeue everything it holds
+        // and re-dispatch.
+        ++local_stats.corrupt_payloads;
+        const std::size_t n = requeue_worker(w);
+        if (n > 0) ++local_stats.retries;
+        (void)dispatch(w);
+        break;
+      }
+      case Tag::kTaskResult: {
+        if (!m.checksum_ok()) {
+          // Corrupted result: drop it.  The worker moves on; the lease (or
+          // its idle retry) re-runs the task eventually.
+          ++local_stats.corrupt_payloads;
+          break;
+        }
+        const auto packed = decode_vector<double>(m.payload);
+        FCMA_CHECK(packed.size() >= 3, "malformed result payload");
+        const auto batch_id = static_cast<std::uint64_t>(packed[0]);
+        core::TaskResult result;
+        result.task.first = static_cast<std::uint32_t>(packed[1]);
+        result.task.count = static_cast<std::uint32_t>(packed[2]);
+        result.accuracy.assign(packed.begin() + 3, packed.end());
+        // At-least-once: duplicates (redelivery, recomputation after a
+        // false requeue) are absorbed; disagreement throws.
+        (void)board.add_idempotent(result);
+        ++results_since_ckpt;
+        const auto lease_it = leases.find(batch_id);
+        if (lease_it != leases.end()) {
+          auto& out = lease_it->second.outstanding;
+          for (auto it = out.begin(); it != out.end(); ++it) {
+            if (it->first == result.task.first) {
+              out.erase(it);
+              break;
+            }
+          }
+          if (out.empty()) leases.erase(lease_it);
+        }
+        checkpoint_if_due(false);
+        break;
+      }
+      default:
+        FCMA_CHECK(false, "master received an unexpected message tag");
+    }
   }
 
-  for (auto& t : workers) t.join();
-  trace::count("cluster/tasks_dispatched",
-               static_cast<std::int64_t>(local_stats.tasks_dispatched));
-  trace::count("cluster/work_requests",
-               static_cast<std::int64_t>(local_stats.work_requests));
+  if (any_death) {
+    local_stats.recovery_wall_s =
+        std::chrono::duration<double>(Clock::now() - first_death).count();
+  }
+  checkpoint_if_due(true);
+  // Release the farm; a lost shutdown is covered by the guard's close().
+  for (std::size_t w = 1; w <= options.workers; ++w) {
+    comm.send(0, w, Tag::kShutdown, {});
+    ++local_stats.messages;
+  }
+  // The guard closes the communicator and joins every worker here — the
+  // per-rank busy slots are final afterwards, but we still need them below,
+  // so join explicitly first (the guard's second pass is a no-op).
+  comm.close();
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+
+  emit_counters(local_stats, tasks_reassigned_death);
   // Straggler / load-imbalance summary (joined above, so the per-rank busy
   // slots are final).
   trace::gauge_set("cluster/max_worker_busy_s",

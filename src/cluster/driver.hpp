@@ -1,4 +1,4 @@
-// Functional master-worker FCMA driver over the in-process communicator.
+// Fault-tolerant master-worker FCMA driver over the in-process communicator.
 //
 // Runs the real distribution protocol of paper §3.1.1 with real threads:
 // rank 0 (master) partitions the brain into voxel-range tasks and streams
@@ -6,16 +6,30 @@
 // task by task, returning one accuracies message per task, and sends a
 // work request when its local queue drops to the low-water mark so the
 // next batch overlaps the tail of the current one (the paper's dynamic
-// load-balancing protocol, where idle coprocessors pull work).  Used by
-// tests and examples to validate that the distributed analysis is
-// bit-identical to the single-node one; the virtual-time simulator
-// (sim.hpp) answers the timing questions at 96-node scale.
+// load-balancing protocol, where idle coprocessors pull work).
+//
+// Unlike the paper's farm, this driver survives faults (PR 5).  Every
+// dispatched batch carries an id and is tracked as a master-side *lease*;
+// workers heartbeat at each task start, and a worker whose lease outlives
+// its last sign of life is declared dead and its unacknowledged tasks are
+// requeued to the survivors.  Delivery is at-least-once — lost messages are
+// recovered by worker idle-retries (capped backoff) and lease expiry, and
+// redelivered results are deduplicated by the scoreboard's idempotent
+// per-voxel slots, which is what keeps every recovery path bit-identical
+// to the fault-free run.  Corrupted payloads are caught by the per-message
+// checksum (kTaskNack / ignored result).  The scoreboard can be
+// checkpointed periodically and a later run resumed from the sidecar,
+// skipping completed voxel ranges.  Fault injection for all of the above
+// lives in fault.hpp; the virtual-time simulator (sim.hpp) answers the
+// timing questions at 96-node scale, including recovery overhead.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "cluster/comm.hpp"
+#include "cluster/fault.hpp"
 #include "fcma/pipeline.hpp"
 #include "fcma/scoreboard.hpp"
 #include "fmri/dataset.hpp"
@@ -28,11 +42,43 @@ struct DriverOptions {
   std::size_t voxels_per_task = 0;  ///< 0 = one task per worker
   /// Tasks per kTaskAssign batch.  0 = auto: a quarter of a worker's even
   /// share, so every worker refills ~4 times and the tail stays balanced.
+  /// Clamped to the task count.
   std::size_t batch = 0;
   /// A worker requests more work when its local queue drops to this many
-  /// tasks (it keeps computing while the request is in flight).
+  /// tasks (it keeps computing while the request is in flight).  Clamped to
+  /// the batch size — a higher value would only re-request immediately.
   std::size_t low_water = 1;
   core::PipelineConfig pipeline;
+
+  // --- fault tolerance ---------------------------------------------------
+  /// A worker with an outstanding lease and no sign of life (heartbeat,
+  /// result, request) for this long is declared dead; its unacknowledged
+  /// tasks are requeued to the survivors.  Must exceed the longest single
+  /// task — workers heartbeat at task start, not mid-task.
+  double lease_timeout_s = 10.0;
+  /// Idle-worker poll interval: an idle worker retransmits its work request
+  /// after this long without traffic, with doubling backoff capped at 8x
+  /// (recovers dropped assignments well before any lease expires).  Also
+  /// bounds the master's lease-sweep latency.
+  double worker_poll_s = 0.05;
+  /// A task requeued more than this many times aborts the run — the
+  /// at-least-once loop must not spin forever when every delivery fails.
+  std::size_t max_task_retries = 8;
+  /// Fault injection (inactive by default).  Message faults wrap the
+  /// communicator in a FaultyComm; kill_rank/kill_after_tasks crash a
+  /// worker thread mid-run.
+  FaultPlan faults;
+
+  // --- checkpoint / resume ----------------------------------------------
+  /// When non-empty, the master writes the scoreboard here (fcma.ckpt.v1,
+  /// atomic tmp+rename): every `checkpoint_every` task results if that is
+  /// non-zero, and always once at completion.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+  /// Resume from a previously checkpointed scoreboard (loaded via
+  /// checkpoint.hpp): tasks whose voxels are already scored are not
+  /// dispatched.  Must match total_voxels.  Not owned.
+  const core::Scoreboard* resume = nullptr;
 };
 
 /// Statistics of a driver run.
@@ -45,6 +91,17 @@ struct DriverStats {
   /// 0 = rank 1).  The straggler report: a healthy dynamic farm keeps
   /// max/mean near 1, a stuck rank shows up as a long bar.
   std::vector<double> worker_busy_s;
+
+  // --- recovery ----------------------------------------------------------
+  std::size_t workers_died = 0;      ///< ranks declared dead (lease expiry)
+  std::size_t tasks_requeued = 0;    ///< tasks returned to the pending queue
+  std::size_t retries = 0;           ///< batch re-dispatches after loss/nack
+  std::size_t heartbeat_misses = 0;  ///< lease-expiry detections
+  std::size_t corrupt_payloads = 0;  ///< checksum failures (master + nacks)
+  std::size_t checkpoints_written = 0;
+  /// Wall-clock from the first death detection to completion — the real
+  /// protocol's analogue of the simulator's recovery_overhead_s.
+  double recovery_wall_s = 0.0;
 
   [[nodiscard]] double max_worker_busy_s() const {
     double m = 0.0;
@@ -68,9 +125,11 @@ struct DriverStats {
 /// Runs the task farm over `epochs` (already normalized), scoring every
 /// voxel of the brain.  Returns the populated scoreboard.  The result is a
 /// pure function of (epochs, total_voxels, pipeline, voxels_per_task):
-/// workers/batch/low_water only move tasks between ranks, and the
-/// scoreboard stores per-voxel slots, so any configuration is bit-identical
-/// to the single-node run over the same tasks.
+/// workers/batch/low_water only move tasks between ranks, the scoreboard
+/// stores per-voxel slots, and every recovery path recomputes identical
+/// values — so any configuration, faulted or not, is bit-identical to the
+/// single-node run over the same tasks.  Throws fcma::Error if every worker
+/// dies or a task exhausts max_task_retries.
 [[nodiscard]] core::Scoreboard run_cluster_analysis(
     const fmri::NormalizedEpochs& epochs, std::size_t total_voxels,
     const DriverOptions& options, DriverStats* stats = nullptr);

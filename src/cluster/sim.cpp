@@ -152,6 +152,13 @@ FarmOutcomeEx simulate_task_farm(const FarmConfig& config,
         dead[w] = true;
         ++outcome.workers_lost;
         ++outcome.tasks_reassigned;
+        // Overhead of this death: the detection window plus whatever the
+        // node had computed of the doomed task (clipped — it may have died
+        // before the assignment even landed).
+        const double task_begin = send_begin + assign_s;
+        outcome.recovery_overhead_s +=
+            config.failure_detect_s +
+            std::max(0.0, workers[w].fails_at - task_begin);
         pending.push_back(Pending{
             task.task_s, workers[w].fails_at + config.failure_detect_s});
         continue;

@@ -111,6 +111,12 @@ struct FarmOutcomeEx {
   FarmOutcome base;
   std::size_t tasks_reassigned = 0;  ///< tasks lost to dead nodes and redone
   std::size_t workers_lost = 0;
+  /// Virtual seconds burned by failures: for each death, the detection
+  /// interval (failure_detect_s) plus the partial compute the dying node
+  /// threw away.  The model-side mirror of DriverStats::recovery_wall_s,
+  /// so recovery overhead can be budgeted at 96-node scale before paying
+  /// for a real run.
+  double recovery_overhead_s = 0.0;
 };
 
 /// Heterogeneous / faulty cluster: like simulate_task_farm but each worker

@@ -22,6 +22,27 @@ void Scoreboard::add(const TaskResult& result) {
   }
 }
 
+std::size_t Scoreboard::add_idempotent(const TaskResult& result) {
+  FCMA_CHECK(result.task.first + result.task.count <= scores_.size(),
+             "task exceeds scoreboard range");
+  FCMA_CHECK(result.accuracy.size() == result.task.count,
+             "task result size mismatch");
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < result.task.count; ++i) {
+    const std::size_t v = result.task.first + i;
+    if (seen_[v]) {
+      FCMA_CHECK(scores_[v] == result.accuracy[i],
+                 "duplicate voxel score disagrees with recorded value");
+      continue;
+    }
+    seen_[v] = true;
+    scores_[v] = result.accuracy[i];
+    ++scored_;
+    ++fresh;
+  }
+  return fresh;
+}
+
 std::vector<VoxelScore> Scoreboard::ranked() const {
   std::vector<VoxelScore> out(scores_.size());
   for (std::size_t v = 0; v < scores_.size(); ++v) {

@@ -23,12 +23,31 @@ class Scoreboard {
  public:
   explicit Scoreboard(std::size_t total_voxels);
 
-  /// Records one task's accuracies.
+  /// Records one task's accuracies.  Throws on any already-scored voxel —
+  /// the single-node paths dispatch each voxel exactly once, so a repeat is
+  /// a scheduling bug there.
   void add(const TaskResult& result);
+
+  /// At-least-once variant for the fault-tolerant cluster driver: an exact
+  /// duplicate of an already-recorded score is skipped silently (this is
+  /// what makes redelivered kTaskResult messages harmless), but a
+  /// *conflicting* re-score throws — under the bit-identity contract two
+  /// deliveries of the same voxel must agree, so disagreement means data
+  /// corruption slipped past the checksum.  Returns the number of voxels
+  /// newly scored by this call (0 for a full duplicate).
+  std::size_t add_idempotent(const TaskResult& result);
 
   /// True once every voxel has been scored.
   [[nodiscard]] bool complete() const { return scored_ == scores_.size(); }
   [[nodiscard]] std::size_t scored() const { return scored_; }
+  [[nodiscard]] std::size_t total_voxels() const { return scores_.size(); }
+
+  /// True if voxel `v` has been scored (checkpoint/resume uses this to skip
+  /// completed ranges).
+  [[nodiscard]] bool voxel_scored(std::uint32_t v) const {
+    FCMA_CHECK(v < seen_.size(), "voxel out of range");
+    return seen_[v];
+  }
 
   /// All scores, sorted by accuracy descending (ties: lower voxel id first,
   /// for determinism).

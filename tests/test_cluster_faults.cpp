@@ -116,6 +116,47 @@ TEST(FaultSim, DetectionLatencyDelaysReassignment) {
   EXPECT_LE(fast, slow);
 }
 
+TEST(FaultSim, RecoveryOverheadIsZeroWithoutFailures) {
+  const std::vector<double> tasks(32, 1.0);
+  FarmConfig config = basic_config();
+  const auto workers = uniform_workers(4);
+  const FarmOutcomeEx outcome =
+      simulate_task_farm(config, tasks, 2, workers);
+  EXPECT_EQ(outcome.workers_lost, 0u);
+  EXPECT_DOUBLE_EQ(outcome.recovery_overhead_s, 0.0);
+}
+
+TEST(FaultSim, RecoveryOverheadChargedPerDeath) {
+  const std::vector<double> tasks(40, 2.0);
+  FarmConfig config = basic_config();
+  auto workers = uniform_workers(4);
+  workers[0].fails_at = 3.0;
+  const FarmOutcomeEx outcome =
+      simulate_task_farm(config, tasks, 1, workers);
+  EXPECT_EQ(outcome.workers_lost, 1u);
+  // At least the detection window; at most detection + one full task of
+  // wasted partial compute per reassignment.
+  EXPECT_GE(outcome.recovery_overhead_s, config.failure_detect_s);
+  EXPECT_LE(outcome.recovery_overhead_s,
+            static_cast<double>(outcome.tasks_reassigned) *
+                (config.failure_detect_s + 2.0) + 1e-9);
+}
+
+TEST(FaultSim, RecoveryOverheadGrowsWithDetectionLatency) {
+  const std::vector<double> tasks(8, 2.0);
+  FarmConfig slow_detect = basic_config();
+  slow_detect.failure_detect_s = 30.0;
+  FarmConfig fast_detect = basic_config();
+  fast_detect.failure_detect_s = 0.5;
+  auto workers = uniform_workers(2);
+  workers[0].fails_at = 1.0;
+  const double slow =
+      simulate_task_farm(slow_detect, tasks, 1, workers).recovery_overhead_s;
+  const double fast =
+      simulate_task_farm(fast_detect, tasks, 1, workers).recovery_overhead_s;
+  EXPECT_GT(slow, fast);
+}
+
 TEST(FaultSim, RejectsBadProfiles) {
   const std::vector<double> tasks(4, 1.0);
   FarmConfig config = basic_config();

@@ -1,17 +1,18 @@
 #!/bin/sh
 # Scaled-down smoke run of the paper benches: Table 5 (matmul GFLOPS),
 # Table 7 (stage merging), Table 8 (SVM solvers), Fig 9 (single-node
-# speedup), and the cluster task-farm smoke.  Each bench runs at a fraction
-# of its default problem size so the whole sweep finishes in seconds, and
-# the results land in one JSON file: per-bench wall-clock, the Table 5
-# per-kernel GFLOPS, p95 span latencies of the pipeline stages, and the
-# cluster load-imbalance ratio.
+# speedup), and the cluster task-farm smoke in clean and fault-injected
+# (worker crash + recovery) variants.  Each bench runs at a fraction of its
+# default problem size so the whole sweep finishes in seconds, and the
+# results land in one JSON file: per-bench wall-clock, the Table 5
+# per-kernel GFLOPS, p95 span latencies of the pipeline stages, the cluster
+# load-imbalance ratio, and the crash run's recovery cost.
 #
 # Usage: bench_smoke.sh <bench-dir> [output.json]
 set -eu
 
 BENCH_DIR="$1"
-OUT="${2:-BENCH_pr4.json}"
+OUT="${2:-BENCH_pr5.json}"
 TOOLS_DIR=$(dirname "$0")
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
@@ -49,6 +50,16 @@ run_bench fig9_single_node_speedup \
   --voxels 1024 --subjects 4 --calib-task 6
 run_bench cluster_smoke "$BENCH_DIR/bench_cluster_smoke" \
   --voxels 256 --subjects 4 --workers 3 --task 16
+# The metrics sidecar is overwritten per invocation: snapshot the clean
+# run's before the fault-injected variant (worker 2 crashes after one
+# task; a short lease keeps detection fast) replaces it.
+cp "$BENCH_DIR/bench_cluster_smoke.metrics.json" \
+  "$WORK/cluster_clean_metrics.json"
+run_bench cluster_smoke_faulted "$BENCH_DIR/bench_cluster_smoke" \
+  --voxels 256 --subjects 4 --workers 3 --task 16 \
+  --lease-timeout 0.5 --fault-kill-rank 2 --fault-kill-after 1
+cp "$BENCH_DIR/bench_cluster_smoke.metrics.json" \
+  "$WORK/cluster_faulted_metrics.json"
 
 # Every table must have produced its metrics sidecar with the dispatched
 # ISA recorded.
@@ -97,28 +108,37 @@ span_p95() {
 P95_CORR=$(span_p95 "task/correlation")
 P95_SVM=$(span_p95 "task/svm")
 
-# Cluster load-balance gauges from the task-farm smoke sidecar.
-CLUSTER_METRICS="$BENCH_DIR/bench_cluster_smoke.metrics.json"
+# Cluster load-balance gauges from the clean task-farm smoke sidecar, and
+# the recovery counters from the fault-injected one.
+CLUSTER_METRICS="$WORK/cluster_clean_metrics.json"
+FAULTED_METRICS="$WORK/cluster_faulted_metrics.json"
 cluster_num() {
-  v=$(sed -n "s/.*\"$1\": \([0-9.eE+-]*\).*/\1/p" "$CLUSTER_METRICS" \
-    | head -n 1)
+  v=$(sed -n "s/.*\"$2\": \([0-9.eE+-]*\).*/\1/p" "$1" | head -n 1)
   echo "${v:-0}"
 }
-IMBALANCE=$(cluster_num "cluster\\/imbalance_ratio")
-MAX_BUSY=$(cluster_num "cluster\\/max_worker_busy_s")
-MEAN_BUSY=$(cluster_num "cluster\\/mean_worker_busy_s")
+IMBALANCE=$(cluster_num "$CLUSTER_METRICS" "cluster\\/imbalance_ratio")
+MAX_BUSY=$(cluster_num "$CLUSTER_METRICS" "cluster\\/max_worker_busy_s")
+MEAN_BUSY=$(cluster_num "$CLUSTER_METRICS" "cluster\\/mean_worker_busy_s")
+DIED=$(cluster_num "$FAULTED_METRICS" "cluster\\/workers_died")
+REASSIGNED=$(cluster_num "$FAULTED_METRICS" "cluster\\/reassignments")
+RETRIES=$(cluster_num "$FAULTED_METRICS" "cluster\\/retries")
+HB_MISSES=$(cluster_num "$FAULTED_METRICS" "cluster\\/heartbeat_misses")
+RECOVERY_S=$(cluster_num "$FAULTED_METRICS" "cluster\\/recovery_wall_s")
+# The injected crash must actually have been detected and recovered from.
+test "$DIED" = "1"
 
 # Every sidecar this sweep consumed must pass the schema check (skipped
 # where python3 is unavailable).
 if command -v python3 >/dev/null 2>&1; then
-  python3 "$TOOLS_DIR/trace_check.py" "$FIG9_METRICS" "$CLUSTER_METRICS"
+  python3 "$TOOLS_DIR/trace_check.py" "$FIG9_METRICS" "$CLUSTER_METRICS" \
+    "$FAULTED_METRICS"
 else
   echo "bench smoke: python3 not found, skipping trace_check.py" >&2
 fi
 
 cat > "$OUT" <<EOF
 {
-  "schema": "fcma.bench_smoke.v2",
+  "schema": "fcma.bench_smoke.v3",
   "simd_isa": "$ISA",
   "benches": {
     "table5_matmul_gflops": {
@@ -145,6 +165,14 @@ cat > "$OUT" <<EOF
       "imbalance_ratio": $IMBALANCE,
       "max_worker_busy_s": $MAX_BUSY,
       "mean_worker_busy_s": $MEAN_BUSY
+    },
+    "cluster_smoke_faulted": {
+      "wall_s": $(wall_s cluster_smoke_faulted),
+      "workers_died": $DIED,
+      "tasks_reassigned": $REASSIGNED,
+      "retries": $RETRIES,
+      "heartbeat_misses": $HB_MISSES,
+      "recovery_wall_s": $RECOVERY_S
     }
   }
 }

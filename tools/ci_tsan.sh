@@ -1,8 +1,8 @@
 #!/bin/sh
 # ThreadSanitizer gate for the concurrency-sensitive layers: configures a
 # separate build tree with -DFCMA_SANITIZE=thread, builds the scheduler
-# (unit + sched-stress), threading, and tracing test binaries, and runs
-# them under TSan.  Any reported race fails
+# (unit + sched-stress), threading, tracing, and cluster fault-tolerance
+# test binaries, and runs them under TSan.  Any reported race fails
 # the script (halt_on_error); environments where TSan cannot compile or run
 # (no libtsan, unsupported kernel/ASLR settings) skip with exit 77, which
 # CTest maps to "skipped" via SKIP_RETURN_CODE.
@@ -47,7 +47,7 @@ cmake -S "$SRC" -B "$BUILD" \
 JOBS=$(nproc 2>/dev/null || echo 4)
 cmake --build "$BUILD" \
   --target test_sched test_sched_stress test_threading test_trace \
-          test_timeline \
+          test_timeline test_cluster test_cluster_recovery \
   -j "$JOBS" > /dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -61,4 +61,10 @@ echo "ci_tsan: running test_trace under TSan"
 "$BUILD/tests/test_trace"
 echo "ci_tsan: running test_timeline under TSan"
 "$BUILD/tests/test_timeline"
+# The cluster driver + fault-injection suites exercise the comm shutdown
+# race, lease expiry, and worker-death requeue paths across real threads.
+echo "ci_tsan: running test_cluster under TSan"
+"$BUILD/tests/test_cluster"
+echo "ci_tsan: running test_cluster_recovery under TSan"
+"$BUILD/tests/test_cluster_recovery"
 echo "ci_tsan: clean"

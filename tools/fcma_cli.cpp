@@ -18,6 +18,8 @@
 #include <optional>
 #include <string>
 
+#include "cluster/checkpoint.hpp"
+#include "cluster/driver.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "common/timer.hpp"
@@ -49,6 +51,8 @@ void usage() {
       "  preprocess  detrend + censor motion spikes (+ smooth if a mask "
       "exists)\n"
       "  analyze     run the FCMA pipeline and write a report\n"
+      "  cluster     run the fault-tolerant master-worker farm (in-process\n"
+      "              ranks; --fault-* injection, --checkpoint/--resume)\n"
       "  offline     run the nested leave-one-subject-out study\n"
       "  report      summarize a --trace JSON file (spans, percentiles,\n"
       "              roofline, cluster balance)\n"
@@ -275,6 +279,132 @@ int cmd_analyze(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_cluster(int argc, const char* const* argv) {
+  Cli cli("fcma cluster",
+          "fault-tolerant master-worker analysis over in-process ranks");
+  cli.add_flag("in", "study", "dataset stem");
+  cli.add_flag("report", "cluster.txt", "report output path");
+  cli.add_flag("workers", "3", "worker ranks (rank 0 is the master)");
+  cli.add_flag("voxels-per-task", "0",
+               "voxels per task (0 = one task per worker)");
+  cli.add_flag("batch", "0", "tasks per assignment (0 = auto)");
+  cli.add_flag("low-water", "1", "worker queue level that requests a refill");
+  cli.add_flag("top-k", "20", "voxels listed in the report");
+  cli.add_flag("fdr", "0.05", "FDR level for the selected set");
+  cli.add_flag("lease-timeout", "10.0",
+               "seconds of silence after which a leased worker is declared "
+               "dead and its tasks requeued");
+  cli.add_flag("fault-seed", "0", "fault-injection decision seed");
+  cli.add_flag("fault-drop", "0", "P(drop) per message");
+  cli.add_flag("fault-dup", "0", "P(duplicate) per message");
+  cli.add_flag("fault-corrupt", "0", "P(corrupt payload) per message");
+  cli.add_flag("fault-delay", "0", "P(delay/reorder) per message");
+  cli.add_flag("fault-kill-rank", "0",
+               "worker rank to crash mid-run (0 = none)");
+  cli.add_flag("fault-kill-after", "0",
+               "tasks the doomed rank completes before dying");
+  cli.add_flag("checkpoint", "",
+               "scoreboard checkpoint path (fcma.ckpt.v1; written "
+               "periodically and at completion)");
+  cli.add_flag("checkpoint-every", "0",
+               "task results between periodic checkpoints (0 = final only)");
+  cli.add_flag("resume", "",
+               "resume from a checkpoint, skipping scored voxel ranges");
+  cli.add_flag("trace", "",
+               "write a JSON span/counter trace of the run to this path");
+  cli.add_flag("trace-timeline", "",
+               "write a Chrome-trace timeline of the run to this path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string trace_path = cli.get("trace");
+  const std::string timeline_path = cli.get("trace-timeline");
+  const bool tracing = !trace_path.empty() || !timeline_path.empty();
+  if (tracing) {
+    trace::set_enabled(true);
+    if (!timeline_path.empty()) trace::set_timeline_enabled(true);
+    trace::set_thread_name("main");
+    trace::set_exit_dump(trace_path, timeline_path);
+    trace::meta_set("simd/isa",
+                    linalg::simd::isa_name(linalg::simd::active_isa()));
+  }
+
+  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
+  const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(d);
+
+  cluster::DriverOptions opts;
+  opts.workers = static_cast<std::size_t>(cli.get_int("workers"));
+  opts.voxels_per_task =
+      static_cast<std::size_t>(cli.get_int("voxels-per-task"));
+  opts.batch = static_cast<std::size_t>(cli.get_int("batch"));
+  opts.low_water = static_cast<std::size_t>(cli.get_int("low-water"));
+  opts.lease_timeout_s = cli.get_double("lease-timeout");
+  opts.faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+  opts.faults.drop = cli.get_double("fault-drop");
+  opts.faults.duplicate = cli.get_double("fault-dup");
+  opts.faults.corrupt = cli.get_double("fault-corrupt");
+  opts.faults.delay = cli.get_double("fault-delay");
+  opts.faults.kill_rank =
+      static_cast<std::size_t>(cli.get_int("fault-kill-rank"));
+  opts.faults.kill_after_tasks =
+      static_cast<std::size_t>(cli.get_int("fault-kill-after"));
+  opts.checkpoint_path = cli.get("checkpoint");
+  opts.checkpoint_every =
+      static_cast<std::size_t>(cli.get_int("checkpoint-every"));
+  std::optional<core::Scoreboard> resumed;
+  if (!cli.get("resume").empty()) {
+    resumed = cluster::load_checkpoint(cli.get("resume"), d.voxels());
+    opts.resume = &*resumed;
+    std::printf("resuming from %s: %zu of %zu voxels already scored\n",
+                cli.get("resume").c_str(), resumed->scored(), d.voxels());
+  }
+
+  WallTimer timer;
+  cluster::DriverStats stats;
+  const core::Scoreboard board =
+      cluster::run_cluster_analysis(epochs, d.voxels(), opts, &stats);
+  std::printf("scored %zu voxels on %zu workers in %.1f s "
+              "(%zu tasks in %zu batches, %zu work requests)\n",
+              d.voxels(), opts.workers, timer.seconds(),
+              stats.tasks_dispatched, stats.batches, stats.work_requests);
+  std::printf("recovery: deaths=%zu requeued=%zu retries=%zu "
+              "heartbeat_misses=%zu corrupt=%zu wall=%.2fs\n",
+              stats.workers_died, stats.tasks_requeued, stats.retries,
+              stats.heartbeat_misses, stats.corrupt_payloads,
+              stats.recovery_wall_s);
+  if (stats.checkpoints_written > 0) {
+    std::printf("checkpoint written to %s (%zu snapshot(s))\n",
+                opts.checkpoint_path.c_str(), stats.checkpoints_written);
+  }
+
+  const auto selected = core::significant_voxels(
+      board, epochs.meta.size(), cli.get_double("fdr"),
+      core::Correction::kFdr);
+  std::printf("FDR (q = %.3g) selected %zu voxels\n", cli.get_double("fdr"),
+              selected.size());
+  core::ReportOptions ropts;
+  ropts.cv_total = epochs.meta.size();
+  ropts.top_voxels = static_cast<std::size_t>(cli.get_int("top-k"));
+  std::string report;
+  try {
+    const fmri::BrainMask mask = fmri::load_mask(cli.get("in") + ".fcmm");
+    report = core::render_report(board, selected, &mask, ropts);
+  } catch (const Error&) {
+    report = core::render_report(board, selected, nullptr, ropts);
+  }
+  core::write_report(cli.get("report"), report);
+  std::printf("report written to %s\n", cli.get("report").c_str());
+  if (tracing) {
+    trace::dump_now();
+    if (!trace_path.empty()) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+      std::printf("timeline written to %s\n", timeline_path.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_offline(int argc, const char* const* argv) {
   Cli cli("fcma offline", "nested leave-one-subject-out study");
   cli.add_flag("in", "study", "dataset stem");
@@ -430,6 +560,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(sub_argc, sub_argv);
     if (command == "preprocess") return cmd_preprocess(sub_argc, sub_argv);
     if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
+    if (command == "cluster") return cmd_cluster(sub_argc, sub_argv);
     if (command == "offline") return cmd_offline(sub_argc, sub_argv);
     if (command == "report") return cmd_report(sub_argc, sub_argv);
     std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());

@@ -99,6 +99,46 @@ cmp isa_scalar.txt isa_avx512.txt
 grep -q "per-fold results" offline.txt
 grep -q "mean held-out accuracy" offline.txt
 
+# Cluster driver: a clean 3-worker run, then a crash-injected run (worker 2
+# killed after its first task, short lease so detection is fast).  The
+# recovery protocol is bit-deterministic, so the two reports must be
+# byte-identical; recovery counters land in the trace and are
+# schema-checked (including the zero-valued ones on the clean run).
+"$FCMA" cluster --in clean --report cluster_clean.txt --workers 3 \
+    --voxels-per-task 40 --top-k 6 --trace cluster_clean.json \
+    > cluster_clean.log
+grep -q "top voxels" cluster_clean.txt
+grep -q 'deaths=0' cluster_clean.log
+grep -q 'cluster/tasks_dispatched' cluster_clean.json
+grep -q 'cluster/retries' cluster_clean.json
+grep -q 'cluster/reassignments' cluster_clean.json
+trace_check cluster_clean.json
+
+"$FCMA" cluster --in clean --report cluster_faulted.txt --workers 3 \
+    --voxels-per-task 40 --top-k 6 --lease-timeout 0.5 \
+    --fault-kill-rank 2 --fault-kill-after 1 \
+    --trace cluster_faulted.json > cluster_faulted.log
+grep -q 'deaths=1' cluster_faulted.log
+cmp cluster_clean.txt cluster_faulted.txt
+trace_check cluster_faulted.json
+
+# Checkpoint during the run, then resume from the snapshot: the resumed run
+# reports its head start and renders the same report again.
+"$FCMA" cluster --in clean --report cluster_ckpt.txt --workers 3 \
+    --voxels-per-task 40 --top-k 6 --checkpoint board.ckpt \
+    --checkpoint-every 2 > cluster_ckpt.log
+test -f board.ckpt
+grep -q 'checkpoint written' cluster_ckpt.log
+"$FCMA" cluster --in clean --report cluster_resumed.txt --workers 3 \
+    --voxels-per-task 40 --top-k 6 --resume board.ckpt \
+    > cluster_resume.log
+grep -q 'resuming from' cluster_resume.log
+cmp cluster_clean.txt cluster_resumed.txt
+if "$FCMA" cluster --in clean --resume /nonexistent 2>/dev/null; then
+  echo "expected failure for a missing resume checkpoint" >&2
+  exit 1
+fi
+
 # Error paths exit non-zero with a message.
 if "$FCMA" info --in /nonexistent 2>/dev/null; then
   echo "expected failure for a missing dataset" >&2

@@ -74,6 +74,16 @@ def check_metrics(c, doc):
         for name, value in (values.items() if isinstance(values, dict) else []):
             c.check(c.is_number(value),
                     "%s %r: value is not numeric" % (section, name))
+    # Cluster runs must emit the full recovery counter set (zeros included):
+    # consumers diffing a clean run against a faulted one rely on every
+    # counter being present in both.
+    counters = doc.get("counters", {})
+    if isinstance(counters, dict) and "cluster/tasks_dispatched" in counters:
+        for name in ("cluster/retries", "cluster/reassignments",
+                     "cluster/heartbeat_misses", "cluster/corrupt_payloads"):
+            value = counters.get(name)
+            c.check(c.is_number(value) and value >= 0,
+                    "cluster run: counter %r missing or negative" % name)
     for label, roof in sorted(doc.get("roofline", {}).items()):
         for field in REQUIRED_ROOFLINE_FIELDS:
             c.check(field in roof,
