@@ -5,6 +5,7 @@
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -26,12 +27,35 @@ using Clock = std::chrono::steady_clock;
 constexpr std::uint8_t kRequestRefill = 0;
 constexpr std::uint8_t kRequestIdleRetry = 1;
 
+// A promoted standby opens a disjoint batch-id space so its fresh leases can
+// never collide with ids still riding in stale worker queues.
+constexpr std::uint64_t kFailoverBatchBase = std::uint64_t{1} << 32;
+
 std::vector<std::uint8_t> assign_payload(
     std::uint64_t batch_id, const std::vector<core::VoxelTask>& batch) {
   std::vector<std::uint8_t> payload = encode(batch_id);
   const auto tasks = encode_vector(batch);
   payload.insert(payload.end(), tasks.begin(), tasks.end());
   return payload;
+}
+
+/// A kTaskResult / kStateDelta payload: batch id, task descriptor,
+/// accuracies, packed as doubles.
+struct PackedResult {
+  std::uint64_t batch_id = 0;
+  core::TaskResult result;
+};
+
+std::optional<PackedResult> decode_result(
+    const std::vector<std::uint8_t>& payload) {
+  const auto packed = decode_vector<double>(payload);
+  if (packed.size() < 3) return std::nullopt;
+  PackedResult r;
+  r.batch_id = static_cast<std::uint64_t>(packed[0]);
+  r.result.task.first = static_cast<std::uint32_t>(packed[1]);
+  r.result.task.count = static_cast<std::uint32_t>(packed[2]);
+  r.result.accuracy.assign(packed.begin() + 3, packed.end());
+  return r;
 }
 
 /// Worker loop: receive task batches, run the pipeline task by task, return
@@ -48,15 +72,40 @@ std::vector<std::uint8_t> assign_payload(
 /// stalling the farm.  Each task start sends a heartbeat (renews the
 /// master-side lease), and an assignment that fails its checksum is nacked
 /// so the master can re-dispatch immediately.
+///
+/// The master is not a fixed rank: protocol traffic goes to whichever rank
+/// last assigned work or announced a takeover, so a standby promotion
+/// redirects the farm without restarting it.  A `parked` worker (elastic
+/// join) waits for kJoinGo before entering the loop, and the scheduled
+/// leaver sends kLeave and exits after its quota.
 void worker_main(Comm& comm, std::size_t rank,
                  const fmri::NormalizedEpochs& epochs,
                  const DriverOptions& options, std::size_t low_water,
-                 double& busy_s) {
+                 double& busy_s, bool parked) {
   // Per-worker span family: count/total/min/max of this rank's task
   // latencies, the cluster-level analogue of Table 3's load-balance data.
   const std::string task_label =
       "cluster/worker" + std::to_string(rank) + "/task";
   trace::set_thread_name("cluster/worker" + std::to_string(rank));
+  std::size_t master = 0;  // rank currently running the control plane
+  if (parked) {
+    // Elastic join: park until whichever master crosses the join threshold
+    // releases us.  A takeover announcement only re-routes; it does not
+    // release.
+    for (;;) {
+      const Message m = comm.recv(rank);
+      if (m.tag == Tag::kShutdown) return;
+      if (m.tag == Tag::kTakeover) {
+        master = m.source;
+        continue;
+      }
+      if (m.tag == Tag::kJoinGo) {
+        master = m.source;
+        break;
+      }
+      // Anything else is stale traffic; stay parked.
+    }
+  }
   std::deque<std::pair<std::uint64_t, core::VoxelTask>> local;
   bool requested = false;
   std::size_t completed = 0;
@@ -73,21 +122,30 @@ void worker_main(Comm& comm, std::size_t rank,
         // Idle with nothing inbound: our request or its assignment may
         // have been lost.  Retransmit with backoff; the idle-retry flag
         // tells the master to requeue whatever it still thinks we hold.
-        comm.send(rank, 0, Tag::kWorkRequest, {kRequestIdleRetry});
+        comm.send(rank, master, Tag::kWorkRequest, {kRequestIdleRetry});
         requested = true;
         poll = std::min(poll * 2.0, base_poll * 8.0);
         continue;
       }
       if (m->tag == Tag::kShutdown) return;
+      if (m->tag == Tag::kTakeover) {
+        // New control plane: route to it and re-request promptly — our old
+        // request (or its assignment) may have died with the old master.
+        master = m->source;
+        requested = false;
+        poll = base_poll;
+        continue;
+      }
       if (m->tag == Tag::kTaskAssign) {
         if (!m->checksum_ok()) {
           // Corrupted in flight: unusable (even the batch id bytes are
           // suspect).  Nack so the master requeues our leases promptly.
-          comm.send(rank, 0, Tag::kTaskNack, {});
+          comm.send(rank, master, Tag::kTaskNack, {});
           continue;
         }
         FCMA_CHECK(m->payload.size() > sizeof(std::uint64_t),
                    "empty task batch");
+        master = m->source;  // results go to whoever assigned the work
         std::uint64_t batch_id = 0;
         std::memcpy(&batch_id, m->payload.data(), sizeof(batch_id));
         const std::vector<std::uint8_t> rest(
@@ -102,12 +160,19 @@ void worker_main(Comm& comm, std::size_t rank,
       continue;
     }
     if (!requested && local.size() <= low_water) {
-      comm.send(rank, 0, Tag::kWorkRequest, {kRequestRefill});
+      comm.send(rank, master, Tag::kWorkRequest, {kRequestRefill});
       requested = true;
     }
     const auto [batch_id, task] = local.front();
     local.pop_front();
-    comm.send(rank, 0, Tag::kHeartbeat, {});  // renews our lease
+    comm.send(rank, master, Tag::kHeartbeat, {});  // renews our lease
+    if (options.faults.stalls(rank)) {
+      // Scheduled straggler: the lease ages while we sleep, but the
+      // heartbeat above keeps us alive — the speculation trigger, not the
+      // death trigger.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.faults.stall_s));
+    }
     const auto task_begin = Clock::now();
     {
       const trace::Span task_span(task_label);
@@ -123,22 +188,31 @@ void worker_main(Comm& comm, std::size_t rank,
       packed.push_back(static_cast<double>(task.count));
       packed.insert(packed.end(), result.accuracy.begin(),
                     result.accuracy.end());
-      comm.send(rank, 0, Tag::kTaskResult, encode_vector(packed));
+      comm.send(rank, master, Tag::kTaskResult, encode_vector(packed));
     }
     ++completed;
+    if (options.leave_rank == rank && completed >= options.leave_after_tasks) {
+      // Graceful departure: unlike a crash, we say goodbye so the master
+      // requeues immediately instead of waiting out the lease.
+      comm.send(rank, master, Tag::kLeave, {});
+      return;
+    }
   }
 }
 
 /// Joins the farm on every exit path: poisons the communicator first so a
-/// worker blocked in recv unblocks (the shutdown-race fix), then joins.
+/// worker (or the standby) blocked in recv unblocks (the shutdown-race
+/// fix), then joins.
 struct FarmGuard {
   Comm& comm;
   std::vector<std::thread>& threads;
+  std::thread* standby = nullptr;
   ~FarmGuard() {
     comm.close();
     for (auto& t : threads) {
       if (t.joinable()) t.join();
     }
+    if (standby != nullptr && standby->joinable()) standby->join();
   }
 };
 
@@ -154,6 +228,495 @@ void emit_counters(const DriverStats& s, std::size_t reassigned) {
                static_cast<std::int64_t>(s.heartbeat_misses));
   trace::count("cluster/corrupt_payloads",
                static_cast<std::int64_t>(s.corrupt_payloads));
+  trace::count("cluster/speculative_dispatches",
+               static_cast<std::int64_t>(s.speculative_dispatches));
+  trace::count("cluster/resurrections",
+               static_cast<std::int64_t>(s.resurrections));
+  trace::count("cluster/failovers", static_cast<std::int64_t>(s.failovers));
+}
+
+/// Immutable per-run context shared by both control-plane incarnations.
+struct ControlContext {
+  Comm& comm;
+  const DriverOptions& options;
+  const std::vector<core::VoxelTask>& tasks;
+  std::size_t batch_size;
+  std::size_t worker_ranks;  ///< initial + joiner ranks (1..worker_ranks)
+  std::size_t standby_rank;  ///< 0 = control plane not replicated
+};
+
+enum class MasterExit {
+  kCompleted,  ///< every voxel scored; farm shut down
+  kKilled,     ///< injected master crash (kill_master_after_batches)
+  kAbdicated,  ///< a promoted standby (or teardown) superseded this loop
+};
+
+/// The master protocol loop, runnable by the primary (self = 0, fresh or
+/// resumed state) and by a promoted standby (self = standby_rank, state
+/// replicated from the delta stream).  Rebuilds the pending queue from the
+/// scoreboard exactly like checkpoint/resume, primes the initial workers,
+/// then collects results, answers work requests, and recovers losses until
+/// every voxel is scored.  `reassigned_death` accumulates tasks moved off
+/// dead workers (the cluster/reassignments counter).
+MasterExit run_master_loop(const ControlContext& ctx, std::size_t self,
+                           bool is_failover, core::Scoreboard& board,
+                           DriverStats& stats,
+                           std::size_t& reassigned_death) {
+  Comm& comm = ctx.comm;
+  const DriverOptions& options = ctx.options;
+  const std::size_t worker_ranks = ctx.worker_ranks;
+  const bool replicate = ctx.standby_rank != 0 && self != ctx.standby_rank;
+
+  const auto task_scored = [&board](const core::VoxelTask& task) {
+    for (std::uint32_t v = task.first; v < task.first + task.count; ++v) {
+      if (!board.voxel_scored(v)) return false;
+    }
+    return true;
+  };
+
+  // Pending queue: every task with at least one unscored voxel.  A resumed
+  // (or failed-over) run therefore skips completed ranges entirely;
+  // partially-scored tasks are recomputed whole (the idempotent scoreboard
+  // absorbs the overlap).
+  std::deque<core::VoxelTask> pending;
+  for (const auto& task : ctx.tasks) {
+    if (!task_scored(task)) pending.push_back(task);
+  }
+
+  struct Lease {
+    std::size_t worker = 0;
+    std::vector<core::VoxelTask> outstanding;  ///< tasks without a result yet
+    Clock::time_point granted{};
+    bool speculated = false;  ///< a replica exists (or this is one)
+  };
+  std::unordered_map<std::uint64_t, Lease> leases;
+  std::uint64_t next_batch_id = is_failover ? kFailoverBatchBase : 1;
+  std::vector<char> alive(worker_ranks + 1, 1);
+  // Joiner ranks park until released.  The release threshold is a pure
+  // function of the scoreboard, so whichever incarnation crosses it sends
+  // the go; a duplicate go is ignored by an already-running worker.
+  std::vector<char> released(worker_ranks + 1, 0);
+  for (std::size_t w = 1; w <= options.workers; ++w) released[w] = 1;
+  bool joiners_parked = options.join_workers > 0;
+  std::vector<Clock::time_point> last_activity(worker_ranks + 1,
+                                               Clock::now());
+  std::unordered_map<std::uint32_t, std::size_t> requeue_count;
+  std::size_t results_since_ckpt = 0;
+  // A failover IS a recovery window: clock it from promotion to completion.
+  bool any_death = is_failover;
+  Clock::time_point first_death = Clock::now();
+
+  // Returns `w`'s outstanding leased tasks to the front of the pending
+  // queue (prompt recovery) and drops the leases.  Tasks whose voxels are
+  // already fully scored (a late result or speculative replica raced the
+  // requeue) are purged without recompute — and without burning a retry.
+  // The retry cap aborts the run instead of spinning when faults are severe
+  // enough that no delivery ever lands.
+  const auto requeue_worker = [&](std::size_t w) -> std::size_t {
+    std::size_t n = 0;
+    for (auto it = leases.begin(); it != leases.end();) {
+      if (it->second.worker != w) {
+        ++it;
+        continue;
+      }
+      for (const auto& task : it->second.outstanding) {
+        if (task_scored(task)) continue;
+        FCMA_CHECK(++requeue_count[task.first] <= options.max_task_retries,
+                   "task exceeded the retry limit; faults too severe to "
+                   "make progress");
+        pending.push_front(task);
+        ++n;
+      }
+      it = leases.erase(it);
+    }
+    stats.tasks_requeued += n;
+    return n;
+  };
+
+  const auto holds_lease = [&](std::size_t w) {
+    for (const auto& entry : leases) {
+      if (entry.second.worker == w) return true;
+    }
+    return false;
+  };
+
+  // Sends the next batch to `w` under a fresh lease; false when no work is
+  // pending (the worker keeps idling and will retry later).
+  const auto dispatch = [&](std::size_t w) -> bool {
+    if (pending.empty()) return false;
+    const std::size_t count = std::min(ctx.batch_size, pending.size());
+    std::vector<core::VoxelTask> batch(
+        pending.begin(),
+        pending.begin() + static_cast<std::ptrdiff_t>(count));
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(count));
+    const std::uint64_t batch_id = next_batch_id++;
+    comm.send(self, w, Tag::kTaskAssign, assign_payload(batch_id, batch));
+    leases[batch_id] = Lease{w, std::move(batch), Clock::now(), false};
+    stats.tasks_dispatched += count;
+    ++stats.batches;
+    ++stats.messages;
+    // Per-batch master queue depth: how many tasks are still undispatched
+    // after this assignment (the drain curve of the farm).
+    trace::gauge_set("cluster/master/tasks_remaining",
+                     static_cast<double>(pending.size()));
+    trace::gauge_max("cluster/master/max_batch_tasks",
+                     static_cast<double>(count));
+    return true;
+  };
+
+  // Releases the parked joiner ranks once `join_after_tasks` tasks are
+  // fully scored (or immediately when forced — the farm would otherwise
+  // have no capacity left).
+  const auto release_joiners = [&](bool force) {
+    if (!joiners_parked) return;
+    if (!force) {
+      std::size_t done = 0;
+      for (const auto& task : ctx.tasks) {
+        if (task_scored(task)) ++done;
+      }
+      if (done < options.join_after_tasks) return;
+    }
+    for (std::size_t w = options.workers + 1; w <= worker_ranks; ++w) {
+      comm.send(self, w, Tag::kJoinGo, {});
+      ++stats.messages;
+      released[w] = 1;
+      ++stats.workers_joined;
+    }
+    joiners_parked = false;
+  };
+
+  // Declares silent workers dead (a leased worker with no sign of life for
+  // a full lease timeout is not coming back; its tasks move to the
+  // survivors) and speculatively replicates straggling leases onto idle
+  // ranks before they get that far.
+  const auto sweep = [&] {
+    const auto now = Clock::now();
+    for (std::size_t w = 1; w <= worker_ranks; ++w) {
+      if (!alive[w]) continue;
+      if (!holds_lease(w)) continue;
+      const double silent_s =
+          std::chrono::duration<double>(now - last_activity[w]).count();
+      if (silent_s <= options.lease_timeout_s) continue;
+      alive[w] = 0;
+      ++stats.workers_died;
+      ++stats.heartbeat_misses;
+      if (!any_death) {
+        any_death = true;
+        first_death = now;
+      }
+      reassigned_death += requeue_worker(w);
+    }
+    if (options.speculate) {
+      // A lease older than speculation_factor * lease_timeout_s on a live
+      // worker is a straggler: clone its unscored tasks onto an idle rank.
+      // Both replicas run to completion and the idempotent scoreboard keeps
+      // whichever result lands first, so this is pure tail-latency insurance.
+      std::vector<std::uint64_t> stale;
+      for (const auto& [id, lease] : leases) {
+        const double age_s =
+            std::chrono::duration<double>(now - lease.granted).count();
+        if (!lease.speculated &&
+            age_s > options.speculation_factor * options.lease_timeout_s) {
+          stale.push_back(id);
+        }
+      }
+      for (const std::uint64_t id : stale) {
+        std::size_t idle = 0;
+        for (std::size_t w = 1; w <= worker_ranks; ++w) {
+          if (alive[w] && released[w] && w != leases[id].worker &&
+              !holds_lease(w)) {
+            idle = w;
+            break;
+          }
+        }
+        if (idle == 0) break;  // nobody free; later sweeps retry
+        leases[id].speculated = true;
+        std::vector<core::VoxelTask> copy;
+        for (const auto& task : leases[id].outstanding) {
+          if (!task_scored(task)) copy.push_back(task);
+        }
+        if (copy.empty()) continue;
+        const std::uint64_t replica_id = next_batch_id++;
+        comm.send(self, idle, Tag::kTaskAssign,
+                  assign_payload(replica_id, copy));
+        stats.tasks_dispatched += copy.size();
+        ++stats.batches;
+        ++stats.messages;
+        ++stats.speculative_dispatches;
+        leases[replica_id] = Lease{idle, std::move(copy), now, true};
+      }
+    }
+    bool any_active = false;
+    for (std::size_t w = 1; w <= worker_ranks; ++w) {
+      if (alive[w] && released[w]) any_active = true;
+    }
+    if (!any_active && joiners_parked) {
+      // Parked joiners are untapped capacity: release them instead of
+      // declaring the farm lost.
+      release_joiners(true);
+      for (std::size_t w = 1; w <= worker_ranks; ++w) {
+        if (alive[w] && released[w]) any_active = true;
+      }
+    }
+    FCMA_CHECK(any_active, "every worker died before the analysis completed");
+  };
+
+  const auto checkpoint_if_due = [&](bool force) {
+    if (options.checkpoint_path.empty()) return;
+    if (!force && (options.checkpoint_every == 0 ||
+                   results_since_ckpt < options.checkpoint_every)) {
+      return;
+    }
+    write_checkpoint(options.checkpoint_path, board);
+    ++stats.checkpoints_written;
+    results_since_ckpt = 0;
+  };
+
+  // Prime every initial worker with one batch; surplus workers idle until
+  // shutdown.  (A promoted standby re-primes the same way: stale in-flight
+  // work is absorbed idempotently.)
+  for (std::size_t w = 1; w <= options.workers; ++w) (void)dispatch(w);
+
+  // Collect results, answer work requests, and recover losses until every
+  // voxel is scored.  The poll timeout bounds how stale the lease sweep can
+  // be; messages wake the master immediately.
+  const double master_poll = std::min(0.05, options.lease_timeout_s / 4.0);
+  Clock::time_point last_ping = Clock::now();
+  while (!board.complete()) {
+    // Injected master crash: the primary vanishes mid-protocol — no
+    // farewell, no final delta — once it has dispatched its quota.
+    if (self == 0 && options.faults.kills_master(stats.batches)) {
+      return MasterExit::kKilled;
+    }
+    const std::optional<Message> maybe = comm.recv_for(self, master_poll);
+    sweep();
+    release_joiners(false);
+    if (replicate) {
+      // Liveness for the standby while no results flow; results themselves
+      // double as liveness (every delta refreshes the standby's timer).
+      const auto now = Clock::now();
+      if (std::chrono::duration<double>(now - last_ping).count() >=
+          master_poll) {
+        comm.send(self, ctx.standby_rank, Tag::kMasterPing, {});
+        ++stats.messages;
+        last_ping = now;
+      }
+    }
+    if (!maybe) continue;
+    const Message& m = *maybe;
+    if (m.tag == Tag::kShutdown) return MasterExit::kAbdicated;  // teardown
+    if (m.tag == Tag::kTakeover) {
+      // A promoted standby declared us dead.  Its state is a superset of
+      // what we have durably forwarded, the workers now route to it, and
+      // anything we still believe is leased will be recomputed from its
+      // pending queue — abdicate instead of fighting for the farm.
+      return MasterExit::kAbdicated;
+    }
+    ++stats.messages;
+    const std::size_t w = m.source;
+    if (w < 1 || w > worker_ranks) {
+      // Control-plane traffic from the old master (a not-actually-dead
+      // primary still relaying): absorb state deltas, ignore pings.
+      if (m.tag == Tag::kStateDelta && m.checksum_ok()) {
+        if (const auto delta = decode_result(m.payload)) {
+          (void)board.add_idempotent(delta->result);
+        }
+      }
+      continue;
+    }
+    last_activity[w] = Clock::now();
+    if (!alive[w]) {
+      // Resurrection: a declared-dead worker spoke again (it was slow, not
+      // gone).  Its tasks were already requeued at death, so any lease
+      // still recorded for it is stale — purge them (unscored tasks go
+      // back to pending, scored ones vanish) before readmitting it, and
+      // count the event: every resurrection is a false-positive death.
+      alive[w] = 1;
+      ++stats.resurrections;
+      (void)requeue_worker(w);
+    }
+
+    switch (m.tag) {
+      case Tag::kHeartbeat:
+        break;
+      case Tag::kLeave: {
+        // Graceful departure: requeue whatever it still holds, but do not
+        // count a death — nothing timed out.
+        alive[w] = 0;
+        ++stats.workers_left;
+        (void)requeue_worker(w);
+        break;
+      }
+      case Tag::kWorkRequest: {
+        ++stats.work_requests;
+        const bool idle_retry =
+            !m.payload.empty() && m.payload[0] == kRequestIdleRetry;
+        if (idle_retry) {
+          // The worker has nothing, yet we may think it does: whatever it
+          // still leases was lost in flight (assignment or results) — put
+          // it back and re-serve.
+          const std::size_t n = requeue_worker(w);
+          if (n > 0) ++stats.retries;
+        }
+        (void)dispatch(w);
+        break;
+      }
+      case Tag::kTaskNack: {
+        // The worker received an assignment that failed its checksum; the
+        // batch id inside is untrustworthy, so requeue everything it holds
+        // and re-dispatch.
+        ++stats.corrupt_payloads;
+        const std::size_t n = requeue_worker(w);
+        if (n > 0) ++stats.retries;
+        (void)dispatch(w);
+        break;
+      }
+      case Tag::kTaskResult: {
+        if (!m.checksum_ok()) {
+          // Corrupted result: drop it.  The worker moves on; the lease (or
+          // its idle retry) re-runs the task eventually.
+          ++stats.corrupt_payloads;
+          break;
+        }
+        const auto packed = decode_result(m.payload);
+        FCMA_CHECK(packed.has_value(), "malformed result payload");
+        // At-least-once: duplicates (redelivery, recomputation after a
+        // false requeue, a speculative replica) are absorbed; disagreement
+        // throws.
+        const std::size_t newly = board.add_idempotent(packed->result);
+        if (replicate && newly > 0) {
+          // Replicate before anything else observes the new state: the
+          // delta is the result payload verbatim, so the standby's board
+          // is bit-identical to ours by construction.
+          comm.send(self, ctx.standby_rank, Tag::kStateDelta, m.payload);
+          ++stats.messages;
+        }
+        ++results_since_ckpt;
+        const auto lease_it = leases.find(packed->batch_id);
+        if (lease_it != leases.end()) {
+          auto& out = lease_it->second.outstanding;
+          for (auto it = out.begin(); it != out.end(); ++it) {
+            if (it->first == packed->result.task.first) {
+              out.erase(it);
+              break;
+            }
+          }
+          if (out.empty()) leases.erase(lease_it);
+        }
+        checkpoint_if_due(false);
+        break;
+      }
+      default:
+        FCMA_CHECK(false, "master received an unexpected message tag");
+    }
+  }
+
+  if (any_death) {
+    stats.recovery_wall_s =
+        std::chrono::duration<double>(Clock::now() - first_death).count();
+  }
+  checkpoint_if_due(true);
+  // Release the farm; a lost shutdown is covered by the guard's close().
+  for (std::size_t w = 1; w <= worker_ranks; ++w) {
+    comm.send(self, w, Tag::kShutdown, {});
+    ++stats.messages;
+  }
+  if (replicate) {
+    comm.send(self, ctx.standby_rank, Tag::kShutdown, {});
+    ++stats.messages;
+  }
+  if (self != 0) {
+    // Tell an abdicated (or long-dead) primary the run is over.
+    comm.send(self, 0, Tag::kShutdown, {});
+    ++stats.messages;
+  }
+  return MasterExit::kCompleted;
+}
+
+/// What the standby thread hands back to the orchestrator.  Only read
+/// after the thread is joined.
+struct StandbyOutcome {
+  std::optional<core::Scoreboard> board;
+  DriverStats stats;
+  std::size_t reassigned_death = 0;
+  bool completed = false;
+  std::exception_ptr error;
+};
+
+/// Standby loop: mirror the master's scoreboard through the delta stream,
+/// and promote to master once the primary has been silent for 1.5 lease
+/// timeouts (more conservative than the worker-death threshold — a
+/// failover re-primes the whole farm, a worker requeue moves one batch).
+void standby_main(const ControlContext& ctx, core::Scoreboard board,
+                  StandbyOutcome& out) {
+  try {
+    trace::set_thread_name("cluster/standby");
+    const double poll = std::min(0.05, ctx.options.lease_timeout_s / 4.0);
+    const double silence_limit = 1.5 * ctx.options.lease_timeout_s;
+    auto last_master = Clock::now();
+    for (;;) {
+      const std::optional<Message> m =
+          ctx.comm.recv_for(ctx.standby_rank, poll);
+      if (m) {
+        if (m->tag == Tag::kShutdown) return;  // primary completed/teardown
+        last_master = Clock::now();
+        if (m->tag == Tag::kStateDelta && m->checksum_ok()) {
+          if (const auto delta = decode_result(m->payload)) {
+            // The delta carries the result payload verbatim, so the mirror
+            // is bit-identical; a dropped or corrupted delta only means the
+            // promoted plan recomputes that task.
+            (void)board.add_idempotent(delta->result);
+          }
+        }
+        // kMasterPing (and any stray traffic) only refreshes liveness.
+        continue;
+      }
+      const double silent_s =
+          std::chrono::duration<double>(Clock::now() - last_master).count();
+      if (silent_s <= silence_limit) continue;
+      // Promote: announce the takeover to every worker (and the old master,
+      // in case it is merely slow — it abdicates on receipt), then run the
+      // same master loop from the replicated state.
+      out.stats.failovers = 1;
+      for (std::size_t w = 1; w <= ctx.worker_ranks; ++w) {
+        ctx.comm.send(ctx.standby_rank, w, Tag::kTakeover, {});
+        ++out.stats.messages;
+      }
+      ctx.comm.send(ctx.standby_rank, 0, Tag::kTakeover, {});
+      ++out.stats.messages;
+      const MasterExit exit =
+          run_master_loop(ctx, ctx.standby_rank, /*is_failover=*/true, board,
+                          out.stats, out.reassigned_death);
+      out.completed = exit == MasterExit::kCompleted;
+      out.board.emplace(std::move(board));
+      return;
+    }
+  } catch (...) {
+    out.error = std::current_exception();
+  }
+}
+
+/// Field-wise accumulation of one control-plane incarnation's counters into
+/// the run totals (worker_busy_s stays with the orchestrator).
+void merge_stats(DriverStats& total, const DriverStats& part) {
+  total.tasks_dispatched += part.tasks_dispatched;
+  total.batches += part.batches;
+  total.work_requests += part.work_requests;
+  total.messages += part.messages;
+  total.workers_died += part.workers_died;
+  total.tasks_requeued += part.tasks_requeued;
+  total.retries += part.retries;
+  total.heartbeat_misses += part.heartbeat_misses;
+  total.corrupt_payloads += part.corrupt_payloads;
+  total.checkpoints_written += part.checkpoints_written;
+  total.failovers += part.failovers;
+  total.speculative_dispatches += part.speculative_dispatches;
+  total.resurrections += part.resurrections;
+  total.workers_joined += part.workers_joined;
+  total.workers_left += part.workers_left;
+  total.recovery_wall_s = std::max(total.recovery_wall_s,
+                                   part.recovery_wall_s);
 }
 
 }  // namespace
@@ -168,7 +731,16 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
   FCMA_CHECK(options.lease_timeout_s > 0.0, "lease timeout must be positive");
   FCMA_CHECK(options.worker_poll_s > 0.0, "worker poll must be positive");
   FCMA_CHECK(options.max_task_retries >= 1, "retry limit must be at least 1");
-  options.faults.validate(options.workers + 1);
+  FCMA_CHECK(options.speculation_factor > 0.0 &&
+                 options.speculation_factor <= 1.0,
+             "speculation factor must be in (0, 1]");
+  const std::size_t worker_ranks = options.workers + options.join_workers;
+  options.faults.validate(worker_ranks + 1);
+  FCMA_CHECK(options.faults.kill_master_after_batches == 0 || options.standby,
+             "a master kill schedule requires a standby rank");
+  if (options.leave_rank != 0) {
+    FCMA_CHECK(options.leave_rank <= worker_ranks, "leave rank out of range");
+  }
 
   const std::size_t per_task =
       options.voxels_per_task != 0
@@ -185,8 +757,8 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
       tasks.size());
   const std::size_t low_water = std::min(options.low_water, batch_size);
 
-  DriverStats local_stats;
-  local_stats.worker_busy_s.assign(options.workers, 0.0);
+  DriverStats totals;
+  totals.worker_busy_s.assign(worker_ranks, 0.0);
 
   core::Scoreboard board =
       options.resume != nullptr ? *options.resume
@@ -195,265 +767,90 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
     FCMA_CHECK(board.total_voxels() == total_voxels,
                "resume scoreboard does not match the dataset");
   }
-  // Pending queue: every task with at least one unscored voxel.  A resumed
-  // run therefore skips completed ranges entirely; partially-scored tasks
-  // are recomputed whole (the idempotent scoreboard absorbs the overlap).
-  std::deque<core::VoxelTask> pending;
-  for (const auto& task : tasks) {
-    bool done = true;
-    for (std::uint32_t v = task.first; v < task.first + task.count; ++v) {
-      if (!board.voxel_scored(v)) {
-        done = false;
-        break;
-      }
-    }
-    if (!done) pending.push_back(task);
-  }
   if (board.complete()) {
     // Nothing to do (fully-scored resume); keep the side effects uniform.
     if (!options.checkpoint_path.empty()) {
       write_checkpoint(options.checkpoint_path, board);
-      ++local_stats.checkpoints_written;
+      ++totals.checkpoints_written;
     }
-    emit_counters(local_stats, 0);
-    if (stats != nullptr) *stats = local_stats;
+    emit_counters(totals, 0);
+    if (stats != nullptr) *stats = totals;
     return board;
   }
 
+  // Rank layout: 0 = primary master, 1..workers = initial workers,
+  // workers+1..worker_ranks = parked joiners, last = standby (if enabled).
+  const std::size_t standby_rank = options.standby ? worker_ranks + 1 : 0;
+  const std::size_t ranks = worker_ranks + 1 + (options.standby ? 1 : 0);
   const std::unique_ptr<Comm> comm_owner =
       options.faults.message_faults()
-          ? std::make_unique<FaultyComm>(options.workers + 1, options.faults)
-          : std::make_unique<Comm>(options.workers + 1);  // rank 0 = master
+          ? std::make_unique<FaultyComm>(ranks, options.faults)
+          : std::make_unique<Comm>(ranks);
   Comm& comm = *comm_owner;
 
+  const ControlContext ctx{comm,       options,      tasks,
+                           batch_size, worker_ranks, standby_rank};
+
   std::vector<std::thread> workers;
-  workers.reserve(options.workers);
-  const FarmGuard guard{comm, workers};
-  for (std::size_t w = 1; w <= options.workers; ++w) {
+  workers.reserve(worker_ranks);
+  std::thread standby_thread;
+  const FarmGuard guard{comm, workers, &standby_thread};
+  for (std::size_t w = 1; w <= worker_ranks; ++w) {
     workers.emplace_back(worker_main, std::ref(comm), w, std::cref(epochs),
                          std::cref(options), low_water,
-                         std::ref(local_stats.worker_busy_s[w - 1]));
+                         std::ref(totals.worker_busy_s[w - 1]),
+                         /*parked=*/w > options.workers);
+  }
+  StandbyOutcome standby_out;
+  if (options.standby) {
+    // The mirror seed is copied here, before the primary loop mutates the
+    // board; from then on the delta stream keeps the copies convergent.
+    standby_thread = std::thread(
+        [&ctx, &standby_out, seed = board]() mutable {
+          standby_main(ctx, std::move(seed), standby_out);
+        });
   }
 
-  // --- master state -------------------------------------------------------
-  struct Lease {
-    std::size_t worker = 0;
-    std::vector<core::VoxelTask> outstanding;  ///< tasks without a result yet
-  };
-  std::unordered_map<std::uint64_t, Lease> leases;
-  std::uint64_t next_batch_id = 1;
-  std::vector<char> alive(options.workers + 1, 1);
-  std::vector<Clock::time_point> last_activity(options.workers + 1,
-                                               Clock::now());
-  std::unordered_map<std::uint32_t, std::size_t> requeue_count;
-  std::size_t tasks_reassigned_death = 0;
-  std::size_t results_since_ckpt = 0;
-  bool any_death = false;
-  Clock::time_point first_death{};
+  DriverStats primary;
+  std::size_t primary_reassigned = 0;
+  const MasterExit exit =
+      run_master_loop(ctx, 0, /*is_failover=*/false, board, primary,
+                      primary_reassigned);
 
-  // Returns `w`'s outstanding leased tasks to the front of the pending
-  // queue (prompt recovery) and drops the leases.  The retry cap aborts the
-  // run instead of spinning when faults are severe enough that no delivery
-  // ever lands.
-  const auto requeue_worker = [&](std::size_t w) -> std::size_t {
-    std::size_t n = 0;
-    for (auto it = leases.begin(); it != leases.end();) {
-      if (it->second.worker != w) {
-        ++it;
-        continue;
-      }
-      for (const auto& task : it->second.outstanding) {
-        FCMA_CHECK(++requeue_count[task.first] <= options.max_task_retries,
-                   "task exceeded the retry limit; faults too severe to "
-                   "make progress");
-        pending.push_front(task);
-        ++n;
-      }
-      it = leases.erase(it);
-    }
-    local_stats.tasks_requeued += n;
-    return n;
-  };
-
-  // Sends the next batch to `w` under a fresh lease; false when no work is
-  // pending (the worker keeps idling and will retry later).
-  const auto dispatch = [&](std::size_t w) -> bool {
-    if (pending.empty()) return false;
-    const std::size_t count = std::min(batch_size, pending.size());
-    const std::vector<core::VoxelTask> batch(
-        pending.begin(),
-        pending.begin() + static_cast<std::ptrdiff_t>(count));
-    pending.erase(pending.begin(),
-                  pending.begin() + static_cast<std::ptrdiff_t>(count));
-    const std::uint64_t batch_id = next_batch_id++;
-    leases[batch_id] = Lease{w, batch};
-    comm.send(0, w, Tag::kTaskAssign, assign_payload(batch_id, batch));
-    local_stats.tasks_dispatched += count;
-    ++local_stats.batches;
-    ++local_stats.messages;
-    // Per-batch master queue depth: how many tasks are still undispatched
-    // after this assignment (the drain curve of the farm).
-    trace::gauge_set("cluster/master/tasks_remaining",
-                     static_cast<double>(pending.size()));
-    trace::gauge_max("cluster/master/max_batch_tasks",
-                     static_cast<double>(count));
-    return true;
-  };
-
-  // Declares silent workers dead: a worker holding a lease that has shown
-  // no sign of life (heartbeat, result, request) for a full lease timeout
-  // is not coming back; its tasks move to the survivors.
-  const auto sweep_leases = [&] {
-    const auto now = Clock::now();
-    for (std::size_t w = 1; w <= options.workers; ++w) {
-      if (!alive[w]) continue;
-      bool leased = false;
-      for (const auto& entry : leases) {
-        if (entry.second.worker == w) {
-          leased = true;
-          break;
-        }
-      }
-      if (!leased) continue;
-      const double silent_s =
-          std::chrono::duration<double>(now - last_activity[w]).count();
-      if (silent_s <= options.lease_timeout_s) continue;
-      alive[w] = 0;
-      ++local_stats.workers_died;
-      ++local_stats.heartbeat_misses;
-      if (!any_death) {
-        any_death = true;
-        first_death = now;
-      }
-      tasks_reassigned_death += requeue_worker(w);
-    }
-    bool any_alive = false;
-    for (std::size_t w = 1; w <= options.workers; ++w) {
-      if (alive[w]) any_alive = true;
-    }
-    FCMA_CHECK(any_alive, "every worker died before the analysis completed");
-  };
-
-  const auto checkpoint_if_due = [&](bool force) {
-    if (options.checkpoint_path.empty()) return;
-    if (!force && (options.checkpoint_every == 0 ||
-                   results_since_ckpt < options.checkpoint_every)) {
-      return;
-    }
-    write_checkpoint(options.checkpoint_path, board);
-    ++local_stats.checkpoints_written;
-    results_since_ckpt = 0;
-  };
-
-  // Prime every worker with one batch; surplus workers idle until shutdown.
-  for (std::size_t w = 1; w <= options.workers; ++w) (void)dispatch(w);
-
-  // Collect results, answer work requests, and recover losses until every
-  // voxel is scored.  The poll timeout bounds how stale the lease sweep can
-  // be; messages wake the master immediately.
-  const double master_poll =
-      std::min(0.05, options.lease_timeout_s / 4.0);
-  while (!board.complete()) {
-    const std::optional<Message> maybe = comm.recv_for(0, master_poll);
-    sweep_leases();
-    if (!maybe) continue;
-    const Message& m = *maybe;
-    ++local_stats.messages;
-    const std::size_t w = m.source;
-    last_activity[w] = Clock::now();
-    if (!alive[w]) alive[w] = 1;  // false positive: it spoke, so it lives
-
-    switch (m.tag) {
-      case Tag::kHeartbeat:
-        break;
-      case Tag::kWorkRequest: {
-        ++local_stats.work_requests;
-        const bool idle_retry =
-            !m.payload.empty() && m.payload[0] == kRequestIdleRetry;
-        if (idle_retry) {
-          // The worker has nothing, yet we may think it does: whatever it
-          // still leases was lost in flight (assignment or results) — put
-          // it back and re-serve.
-          const std::size_t n = requeue_worker(w);
-          if (n > 0) ++local_stats.retries;
-        }
-        (void)dispatch(w);
-        break;
-      }
-      case Tag::kTaskNack: {
-        // The worker received an assignment that failed its checksum; the
-        // batch id inside is untrustworthy, so requeue everything it holds
-        // and re-dispatch.
-        ++local_stats.corrupt_payloads;
-        const std::size_t n = requeue_worker(w);
-        if (n > 0) ++local_stats.retries;
-        (void)dispatch(w);
-        break;
-      }
-      case Tag::kTaskResult: {
-        if (!m.checksum_ok()) {
-          // Corrupted result: drop it.  The worker moves on; the lease (or
-          // its idle retry) re-runs the task eventually.
-          ++local_stats.corrupt_payloads;
-          break;
-        }
-        const auto packed = decode_vector<double>(m.payload);
-        FCMA_CHECK(packed.size() >= 3, "malformed result payload");
-        const auto batch_id = static_cast<std::uint64_t>(packed[0]);
-        core::TaskResult result;
-        result.task.first = static_cast<std::uint32_t>(packed[1]);
-        result.task.count = static_cast<std::uint32_t>(packed[2]);
-        result.accuracy.assign(packed.begin() + 3, packed.end());
-        // At-least-once: duplicates (redelivery, recomputation after a
-        // false requeue) are absorbed; disagreement throws.
-        (void)board.add_idempotent(result);
-        ++results_since_ckpt;
-        const auto lease_it = leases.find(batch_id);
-        if (lease_it != leases.end()) {
-          auto& out = lease_it->second.outstanding;
-          for (auto it = out.begin(); it != out.end(); ++it) {
-            if (it->first == result.task.first) {
-              out.erase(it);
-              break;
-            }
-          }
-          if (out.empty()) leases.erase(lease_it);
-        }
-        checkpoint_if_due(false);
-        break;
-      }
-      default:
-        FCMA_CHECK(false, "master received an unexpected message tag");
-    }
+  if (exit != MasterExit::kCompleted) {
+    // The primary died (injected crash) or abdicated to a promoted standby:
+    // the run now completes — or fails — on the standby's control plane.
+    // Do NOT close the communicator here; the standby is still driving the
+    // farm over it.
+    FCMA_CHECK(options.standby, "master died with no standby to take over");
+    if (standby_thread.joinable()) standby_thread.join();
+    if (standby_out.error) std::rethrow_exception(standby_out.error);
+    FCMA_CHECK(standby_out.completed && standby_out.board.has_value(),
+               "standby exited without completing the analysis");
+    board = std::move(*standby_out.board);
   }
 
-  if (any_death) {
-    local_stats.recovery_wall_s =
-        std::chrono::duration<double>(Clock::now() - first_death).count();
-  }
-  checkpoint_if_due(true);
-  // Release the farm; a lost shutdown is covered by the guard's close().
-  for (std::size_t w = 1; w <= options.workers; ++w) {
-    comm.send(0, w, Tag::kShutdown, {});
-    ++local_stats.messages;
-  }
-  // The guard closes the communicator and joins every worker here — the
+  // The guard closes the communicator and joins every thread here — the
   // per-rank busy slots are final afterwards, but we still need them below,
-  // so join explicitly first (the guard's second pass is a no-op).
+  // so close and join explicitly first (the guard's second pass is a no-op).
   comm.close();
   for (auto& t : workers) {
     if (t.joinable()) t.join();
   }
+  if (standby_thread.joinable()) standby_thread.join();
 
-  emit_counters(local_stats, tasks_reassigned_death);
+  merge_stats(totals, primary);
+  merge_stats(totals, standby_out.stats);
+  const std::size_t reassigned =
+      primary_reassigned + standby_out.reassigned_death;
+
+  emit_counters(totals, reassigned);
   // Straggler / load-imbalance summary (joined above, so the per-rank busy
   // slots are final).
-  trace::gauge_set("cluster/max_worker_busy_s",
-                   local_stats.max_worker_busy_s());
-  trace::gauge_set("cluster/mean_worker_busy_s",
-                   local_stats.mean_worker_busy_s());
-  trace::gauge_set("cluster/imbalance_ratio", local_stats.imbalance_ratio());
-  if (stats != nullptr) *stats = local_stats;
+  trace::gauge_set("cluster/max_worker_busy_s", totals.max_worker_busy_s());
+  trace::gauge_set("cluster/mean_worker_busy_s", totals.mean_worker_busy_s());
+  trace::gauge_set("cluster/imbalance_ratio", totals.imbalance_ratio());
+  if (stats != nullptr) *stats = totals;
   return board;
 }
 

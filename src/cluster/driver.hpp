@@ -19,9 +19,21 @@
 // to the fault-free run.  Corrupted payloads are caught by the per-message
 // checksum (kTaskNack / ignored result).  The scoreboard can be
 // checkpointed periodically and a later run resumed from the sidecar,
-// skipping completed voxel ranges.  Fault injection for all of the above
-// lives in fault.hpp; the virtual-time simulator (sim.hpp) answers the
-// timing questions at 96-node scale, including recovery overhead.
+// skipping completed voxel ranges.
+//
+// The control plane itself is replicated (PR 6): a standby rank mirrors the
+// scoreboard through kStateDelta messages piggybacked on the result flow
+// (one delta per newly-recorded result, pings while idle), declares the
+// master dead after lease_timeout_s of silence, announces the takeover to
+// every worker, and resumes the same master loop from the replicated state
+// — the failover analogue of checkpoint/resume, with in-flight duplicates
+// absorbed by the idempotent scoreboard.  Straggling leases are
+// speculatively re-dispatched to idle ranks at speculation_factor of the
+// lease timeout, and workers can join (parked until released) or leave
+// (graceful kLeave) mid-run over the same lease/requeue machinery.  Fault
+// injection for all of the above lives in fault.hpp; the virtual-time
+// simulator (sim.hpp) answers the timing questions at 96-node scale,
+// including recovery, failover, and speculation overhead.
 #pragma once
 
 #include <cstddef>
@@ -66,8 +78,42 @@ struct DriverOptions {
   std::size_t max_task_retries = 8;
   /// Fault injection (inactive by default).  Message faults wrap the
   /// communicator in a FaultyComm; kill_rank/kill_after_tasks crash a
-  /// worker thread mid-run.
+  /// worker thread mid-run; kill_master_after_batches crashes the primary
+  /// master (standby takeover); stall_rank/stall_s plants a straggler.
   FaultPlan faults;
+
+  // --- replicated control plane -------------------------------------------
+  /// Mirror the master's state (scoreboard deltas piggybacked on result
+  /// traffic, pings while idle) to a standby rank that promotes itself on
+  /// master silence longer than lease_timeout_s: it announces the takeover,
+  /// rebuilds the pending queue from the replicated scoreboard, and
+  /// re-primes the workers mid-fold.  The idempotent scoreboard absorbs any
+  /// work the old master had in flight, so failover is bit-identical.
+  bool standby = true;
+
+  // --- speculative execution ----------------------------------------------
+  /// Re-dispatch a straggling lease's unscored tasks to an idle rank once
+  /// the lease is older than speculation_factor * lease_timeout_s.  Both
+  /// replicas run to completion; the first result scores each voxel and the
+  /// duplicate is absorbed idempotently, so speculation never changes
+  /// results — it only shortens the straggler tail.  Off by default: a
+  /// speculative replica can recover a crashed worker's lease before death
+  /// detection fires, which is the desired production behaviour but makes
+  /// death/requeue counters timing-dependent — opt in per run.
+  bool speculate = false;
+  double speculation_factor = 0.75;
+
+  // --- elastic membership --------------------------------------------------
+  /// Extra worker ranks that join mid-run: they park until the master has
+  /// collected `join_after_tasks` task results, then enter the normal
+  /// worker loop and pull work through the same lease/request machinery.
+  std::size_t join_workers = 0;
+  std::size_t join_after_tasks = 1;
+  /// Graceful departure: rank `leave_rank` (0 = disabled) sends kLeave and
+  /// exits after completing `leave_after_tasks` tasks; its leases requeue
+  /// without being counted as a death.
+  std::size_t leave_rank = 0;
+  std::size_t leave_after_tasks = 1;
 
   // --- checkpoint / resume ----------------------------------------------
   /// When non-empty, the master writes the scoreboard here (fcma.ckpt.v1,
@@ -99,6 +145,16 @@ struct DriverStats {
   std::size_t heartbeat_misses = 0;  ///< lease-expiry detections
   std::size_t corrupt_payloads = 0;  ///< checksum failures (master + nacks)
   std::size_t checkpoints_written = 0;
+
+  // --- control plane ------------------------------------------------------
+  std::size_t failovers = 0;  ///< standby promotions (master silence)
+  /// Straggler leases speculatively re-dispatched to an idle rank.
+  std::size_t speculative_dispatches = 0;
+  /// Declared-dead workers readmitted after late traffic (their stale
+  /// leases are purged on the way back in).
+  std::size_t resurrections = 0;
+  std::size_t workers_joined = 0;  ///< parked ranks released mid-run
+  std::size_t workers_left = 0;    ///< graceful kLeave departures
   /// Wall-clock from the first death detection to completion — the real
   /// protocol's analogue of the simulator's recovery_overhead_s.
   double recovery_wall_s = 0.0;

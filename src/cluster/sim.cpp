@@ -99,6 +99,13 @@ FarmOutcomeEx simulate_task_farm(const FarmConfig& config,
     FCMA_CHECK(w.speed > 0.0, "worker speed must be positive");
   }
 
+  FCMA_CHECK(config.master_fails_at >= 0.0,
+             "master failure time must be non-negative");
+  FCMA_CHECK(config.failover_detect_s > 0.0,
+             "failover detection interval must be positive");
+  FCMA_CHECK(config.speculate_after_s > 0.0,
+             "speculation threshold must be positive");
+
   FarmOutcomeEx outcome;
   outcome.base.worker_busy_s.assign(workers.size(), 0.0);
   double clock = broadcast_s(config.net, config.broadcast_bytes,
@@ -111,6 +118,12 @@ FarmOutcomeEx simulate_task_farm(const FarmConfig& config,
     double not_before;
   };
   std::vector<bool> dead(workers.size(), false);
+  // Master death is a one-time event across the whole run: once the standby
+  // promotes, the control plane is back for good.
+  const bool master_mortal = std::isfinite(config.master_fails_at);
+  const double failover_resume =
+      config.master_fails_at + config.failover_detect_s;
+  bool failed_over = false;
 
   for (std::size_t fold = 0; fold < folds; ++fold) {
     std::vector<Pending> pending;
@@ -140,12 +153,21 @@ FarmOutcomeEx simulate_task_farm(const FarmConfig& config,
       const Pending task = pending[best];
       pending.erase(pending.begin() + static_cast<long>(best));
 
-      const double send_begin =
+      double send_begin =
           std::max({master_send_free, worker_ready, task.not_before});
+      if (master_mortal && !failed_over &&
+          send_begin >= config.master_fails_at) {
+        // The primary died before this dispatch: nothing moves until the
+        // standby's silence detector fires and it re-primes the farm.
+        failed_over = true;
+        ++outcome.failovers;
+        outcome.failover_overhead_s += config.failover_detect_s;
+        send_begin = std::max(send_begin, failover_resume);
+      }
       master_send_free = send_begin + assign_s;
-      const double compute_done = send_begin + assign_s +
-                                  config.task_overhead_s +
-                                  task.task_s / workers[w].speed;
+      const double service =
+          config.task_overhead_s + task.task_s / workers[w].speed;
+      const double compute_done = send_begin + assign_s + service;
       if (compute_done >= workers[w].fails_at && !dead[w]) {
         // The node dies mid-task: the master notices after the detection
         // interval and re-dispatches; the node never returns.
@@ -164,6 +186,48 @@ FarmOutcomeEx simulate_task_farm(const FarmConfig& config,
         continue;
       }
       const double result_arrives = compute_done + result_s;
+      if (std::isfinite(config.speculate_after_s) &&
+          service > config.speculate_after_s && !free_at.empty()) {
+        // Straggler: clone the task onto the next free node once the lease
+        // has aged speculate_after_s.  Both replicas run to completion (no
+        // preemption, exactly like the real driver); the earlier result
+        // wins and the loser's service time is pure waste.  Only the
+        // winner's compute counts as useful.
+        const auto [spec_ready, w2] = free_at.top();
+        // The replica send happens in the future (at the trigger), so it
+        // must not reserve the master's send pipe now — one extra message
+        // among thousands does not move the aggregate floor.
+        const double spec_send = std::max(
+            spec_ready, send_begin + assign_s + config.speculate_after_s);
+        const double spec_service =
+            config.task_overhead_s + task.task_s / workers[w2].speed;
+        const double spec_done = spec_send + assign_s + spec_service;
+        if (spec_done < compute_done) {
+          free_at.pop();
+          ++outcome.tasks_speculated;
+          outcome.speculative_waste_s += service;
+          outcome.base.compute_s += task.task_s / workers[w2].speed;
+          outcome.base.worker_busy_s[w2] += task.task_s / workers[w2].speed;
+          // Both nodes return a result; the original's duplicate is
+          // absorbed idempotently and only frees its node.
+          free_at.push({result_arrives, w});
+          free_at.push({spec_done + result_s, w2});
+          fold_end = std::max(fold_end, spec_done + result_s);
+          continue;
+        }
+      }
+      if (master_mortal && result_arrives >= config.master_fails_at &&
+          result_arrives < failover_resume) {
+        // The result was in flight to the dead master: lost.  The promoted
+        // standby's pending queue (rebuilt from the replicated scoreboard)
+        // re-dispatches the task after the blackout; the node itself is
+        // unharmed and frees up normally.
+        ++outcome.tasks_reassigned;
+        outcome.failover_overhead_s += task.task_s / workers[w].speed;
+        pending.push_back(Pending{task.task_s, failover_resume});
+        free_at.push({result_arrives, w});
+        continue;
+      }
       free_at.push({result_arrives, w});
       fold_end = std::max(fold_end, result_arrives);
       outcome.base.compute_s += task.task_s / workers[w].speed;

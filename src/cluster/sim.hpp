@@ -58,6 +58,20 @@ struct FarmConfig {
   /// How long the master takes to notice a dead worker and re-dispatch its
   /// task (heartbeat/timeout interval); used by the fault-injected overload.
   double failure_detect_s = 5.0;
+  /// Virtual instant at which the primary master dies (infinity = never).
+  /// Dispatches stall until the standby notices the silence and promotes;
+  /// results in flight to the dead master during the blackout are lost and
+  /// recomputed — the model of driver.hpp's replicated control plane.
+  double master_fails_at = std::numeric_limits<double>::infinity();
+  /// Standby silence threshold: the dispatch blackout after a master death
+  /// lasts this long (the real driver waits 1.5 lease timeouts).
+  double failover_detect_s = 5.0;
+  /// Speculative re-execution trigger: a task whose service time exceeds
+  /// this is cloned onto a free worker that long after its assignment;
+  /// both replicas run to completion and the earlier result wins
+  /// (infinity = speculation off).  Models the driver's
+  /// speculation_factor * lease_timeout_s re-dispatch.
+  double speculate_after_s = std::numeric_limits<double>::infinity();
 };
 
 /// Outcome of a simulated run.
@@ -117,6 +131,17 @@ struct FarmOutcomeEx {
   /// so recovery overhead can be budgeted at 96-node scale before paying
   /// for a real run.
   double recovery_overhead_s = 0.0;
+
+  // --- control plane -----------------------------------------------------
+  std::size_t failovers = 0;  ///< master deaths survived by the standby
+  /// Virtual seconds of failover damage: the dispatch blackout
+  /// (failover_detect_s) plus the compute of every result lost in flight
+  /// to the dead master.
+  double failover_overhead_s = 0.0;
+  std::size_t tasks_speculated = 0;  ///< straggler tasks cloned to a free node
+  /// Node-seconds burned by losing speculative replicas (both copies run to
+  /// completion; the loser's full service time is waste).
+  double speculative_waste_s = 0.0;
 };
 
 /// Heterogeneous / faulty cluster: like simulate_task_farm but each worker

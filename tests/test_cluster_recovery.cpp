@@ -567,5 +567,136 @@ TEST(Checkpoint, ResumeFromCompleteCheckpointDispatchesNothing) {
   expect_bit_identical(reference, board);
 }
 
+// ---------------------------------------------------------------------------
+// Replicated control plane: failover, speculation, elastic membership
+// ---------------------------------------------------------------------------
+
+TEST(ControlPlane, MasterKilledMidFoldFailsOverBitIdentically) {
+  const Workload w = tiny_workload(64);
+  DriverOptions opts;
+  opts.workers = 2;
+  opts.voxels_per_task = 8;  // 8 tasks
+  opts.lease_timeout_s = 0.4;
+  // The primary dies after dispatching 3 batches: some results have already
+  // been replicated to the standby, the rest are mid-flight or pending.
+  opts.faults.kill_master_after_batches = 3;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(w.epochs, w.dataset.voxels(), opts, &stats);
+  EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_GT(stats.recovery_wall_s, 0.0);
+  expect_bit_identical(single_node_reference(w, 8), board);
+}
+
+TEST(ControlPlane, MasterKillWithoutStandbyIsAClearError) {
+  const Workload w = tiny_workload(32);
+  DriverOptions opts;
+  opts.workers = 2;
+  opts.voxels_per_task = 8;
+  opts.standby = false;
+  opts.faults.kill_master_after_batches = 1;
+  EXPECT_THROW(
+      (void)run_cluster_analysis(w.epochs, w.dataset.voxels(), opts),
+      Error);
+}
+
+TEST(ControlPlane, StragglerLeaseIsSpeculativelyReDispatched) {
+  const Workload w = tiny_workload(64);
+  DriverOptions opts;
+  opts.workers = 2;
+  opts.voxels_per_task = 8;  // 8 tasks
+  opts.speculate = true;
+  // Rank 2 sleeps 0.5 s before each task but heartbeats first, so it stays
+  // alive (silence < 0.6 s lease timeout) while its lease ages past the
+  // 0.45 s speculation threshold — the idle rank 1 gets the replica, and
+  // the straggler's own late result is absorbed idempotently.
+  opts.lease_timeout_s = 0.6;
+  opts.faults.stall_rank = 2;
+  opts.faults.stall_s = 0.5;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(w.epochs, w.dataset.voxels(), opts, &stats);
+  EXPECT_TRUE(board.complete());
+  EXPECT_GE(stats.speculative_dispatches, 1u);
+  EXPECT_EQ(stats.workers_died, 0u);
+  EXPECT_EQ(stats.failovers, 0u);
+  expect_bit_identical(single_node_reference(w, 8), board);
+}
+
+// The resurrection bugfix (this PR): a worker declared dead after a long
+// stall comes back with its delayed result, racing the requeued copy that a
+// survivor is already recomputing.  The readmission must purge the zombie's
+// stale leases and be counted — and the board must stay bit-identical no
+// matter which copy of each result lands first.
+TEST(ControlPlane, ResurrectedWorkerIsPurgedCountedAndBitIdentical) {
+  // Enough tasks that the survivor is still draining the queue when the
+  // zombie's delayed result lands — the race the readmission path must win.
+  const Workload w = tiny_workload(1024);
+  DriverOptions opts;
+  opts.workers = 2;
+  opts.voxels_per_task = 8;  // 128 tasks
+  // Stall 0.3 s >> lease 0.15 s: rank 2 is declared dead mid-stall, its
+  // tasks requeue to rank 1, then its late result arrives anyway.
+  opts.lease_timeout_s = 0.15;
+  opts.faults.stall_rank = 2;
+  opts.faults.stall_s = 0.3;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(w.epochs, w.dataset.voxels(), opts, &stats);
+  EXPECT_TRUE(board.complete());
+  EXPECT_GE(stats.workers_died, 1u);
+  EXPECT_GE(stats.resurrections, 1u);
+  EXPECT_GE(stats.tasks_requeued, 1u);
+  expect_bit_identical(single_node_reference(w, 8), board);
+}
+
+TEST(ControlPlane, JoiningWorkerIsReleasedMidRunBitIdentically) {
+  const Workload w = tiny_workload(64);
+  DriverOptions opts;
+  opts.workers = 1;
+  opts.join_workers = 1;  // rank 2 parks until released
+  opts.join_after_tasks = 1;
+  opts.voxels_per_task = 8;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(w.epochs, w.dataset.voxels(), opts, &stats);
+  EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.workers_joined, 1u);
+  EXPECT_EQ(stats.workers_died, 0u);
+  expect_bit_identical(single_node_reference(w, 8), board);
+}
+
+TEST(ControlPlane, GracefulLeaveRequeuesWithoutCountingADeath) {
+  const Workload w = tiny_workload(64);
+  DriverOptions opts;
+  opts.workers = 2;
+  opts.leave_rank = 2;  // departs after its first completed task
+  opts.leave_after_tasks = 1;
+  opts.voxels_per_task = 8;
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(w.epochs, w.dataset.voxels(), opts, &stats);
+  EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.workers_left, 1u);
+  EXPECT_EQ(stats.workers_died, 0u);
+  expect_bit_identical(single_node_reference(w, 8), board);
+}
+
+TEST(ControlPlane, SpeculationFactorOutOfRangeIsAClearError) {
+  const Workload w = tiny_workload(32);
+  DriverOptions opts;
+  opts.workers = 2;
+  opts.voxels_per_task = 8;
+  opts.speculation_factor = 0.0;
+  EXPECT_THROW(
+      (void)run_cluster_analysis(w.epochs, w.dataset.voxels(), opts),
+      Error);
+  opts.speculation_factor = 1.5;
+  EXPECT_THROW(
+      (void)run_cluster_analysis(w.epochs, w.dataset.voxels(), opts),
+      Error);
+}
+
 }  // namespace
 }  // namespace fcma::cluster

@@ -1,18 +1,38 @@
 #!/bin/sh
 # Scaled-down smoke run of the paper benches: Table 5 (matmul GFLOPS),
 # Table 7 (stage merging), Table 8 (SVM solvers), Fig 9 (single-node
-# speedup), and the cluster task-farm smoke in clean and fault-injected
-# (worker crash + recovery) variants.  Each bench runs at a fraction of its
-# default problem size so the whole sweep finishes in seconds, and the
-# results land in one JSON file: per-bench wall-clock, the Table 5
-# per-kernel GFLOPS, p95 span latencies of the pipeline stages, the cluster
-# load-imbalance ratio, and the crash run's recovery cost.
+# speedup), and the cluster task-farm smoke in clean, fault-injected
+# (worker crash + recovery) and master-failover (standby takeover)
+# variants.  Each bench runs at a fraction of its default problem size so
+# the whole sweep finishes in seconds, and the results land in one JSON
+# file: per-bench wall-clock, the Table 5 per-kernel GFLOPS, p95 span
+# latencies of the pipeline stages, the cluster load-imbalance ratio, and
+# the recovery/failover costs.
 #
-# Usage: bench_smoke.sh <bench-dir> [output.json]
+# Usage: bench_smoke.sh <bench-dir> [output.json] [--pr N]
+#
+# The output defaults to BENCH_pr${BENCH_PR:-6}.json — the per-PR sidecar
+# committed at the repo root so tools/bench_diff.py can gate later PRs
+# against it.  Pass --pr N (or set BENCH_PR) instead of hardcoding a name.
 set -eu
 
 BENCH_DIR="$1"
-OUT="${2:-BENCH_pr5.json}"
+shift
+PR="${BENCH_PR:-6}"
+OUT=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --pr)
+      PR="$2"
+      shift 2
+      ;;
+    *)
+      OUT="$1"
+      shift
+      ;;
+  esac
+done
+[ -n "$OUT" ] || OUT="BENCH_pr${PR}.json"
 TOOLS_DIR=$(dirname "$0")
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
@@ -60,6 +80,13 @@ run_bench cluster_smoke_faulted "$BENCH_DIR/bench_cluster_smoke" \
   --lease-timeout 0.5 --fault-kill-rank 2 --fault-kill-after 1
 cp "$BENCH_DIR/bench_cluster_smoke.metrics.json" \
   "$WORK/cluster_faulted_metrics.json"
+# Master-failover variant: the primary dies after 3 dispatched batches and
+# the standby takes over mid-fold (the replicated-control-plane cost).
+run_bench cluster_smoke_failover "$BENCH_DIR/bench_cluster_smoke" \
+  --voxels 256 --subjects 4 --workers 2 --task 16 \
+  --lease-timeout 0.5 --fault-kill-master-after 3
+cp "$BENCH_DIR/bench_cluster_smoke.metrics.json" \
+  "$WORK/cluster_failover_metrics.json"
 
 # Every table must have produced its metrics sidecar with the dispatched
 # ISA recorded.
@@ -108,10 +135,12 @@ span_p95() {
 P95_CORR=$(span_p95 "task/correlation")
 P95_SVM=$(span_p95 "task/svm")
 
-# Cluster load-balance gauges from the clean task-farm smoke sidecar, and
-# the recovery counters from the fault-injected one.
+# Cluster load-balance gauges from the clean task-farm smoke sidecar, the
+# recovery counters from the fault-injected one, and the control-plane
+# counters from the master-failover one.
 CLUSTER_METRICS="$WORK/cluster_clean_metrics.json"
 FAULTED_METRICS="$WORK/cluster_faulted_metrics.json"
+FAILOVER_METRICS="$WORK/cluster_failover_metrics.json"
 cluster_num() {
   v=$(sed -n "s/.*\"$2\": \([0-9.eE+-]*\).*/\1/p" "$1" | head -n 1)
   echo "${v:-0}"
@@ -124,21 +153,26 @@ REASSIGNED=$(cluster_num "$FAULTED_METRICS" "cluster\\/reassignments")
 RETRIES=$(cluster_num "$FAULTED_METRICS" "cluster\\/retries")
 HB_MISSES=$(cluster_num "$FAULTED_METRICS" "cluster\\/heartbeat_misses")
 RECOVERY_S=$(cluster_num "$FAULTED_METRICS" "cluster\\/recovery_wall_s")
-# The injected crash must actually have been detected and recovered from.
+FAILOVERS=$(cluster_num "$FAILOVER_METRICS" "cluster\\/failovers")
+FAILOVER_WALL_S=$(cluster_num "$FAILOVER_METRICS" \
+  "cluster\\/recovery_wall_s")
+# The injected crash must actually have been detected and recovered from,
+# and the injected master death must have promoted the standby.
 test "$DIED" = "1"
+test "$FAILOVERS" = "1"
 
 # Every sidecar this sweep consumed must pass the schema check (skipped
 # where python3 is unavailable).
 if command -v python3 >/dev/null 2>&1; then
   python3 "$TOOLS_DIR/trace_check.py" "$FIG9_METRICS" "$CLUSTER_METRICS" \
-    "$FAULTED_METRICS"
+    "$FAULTED_METRICS" "$FAILOVER_METRICS"
 else
   echo "bench smoke: python3 not found, skipping trace_check.py" >&2
 fi
 
 cat > "$OUT" <<EOF
 {
-  "schema": "fcma.bench_smoke.v3",
+  "schema": "fcma.bench_smoke.v4",
   "simd_isa": "$ISA",
   "benches": {
     "table5_matmul_gflops": {
@@ -173,6 +207,11 @@ cat > "$OUT" <<EOF
       "retries": $RETRIES,
       "heartbeat_misses": $HB_MISSES,
       "recovery_wall_s": $RECOVERY_S
+    },
+    "cluster_smoke_failover": {
+      "wall_s": $(wall_s cluster_smoke_failover),
+      "failovers": $FAILOVERS,
+      "recovery_wall_s": $FAILOVER_WALL_S
     }
   }
 }

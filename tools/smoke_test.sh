@@ -122,6 +122,30 @@ grep -q 'deaths=1' cluster_faulted.log
 cmp cluster_clean.txt cluster_faulted.txt
 trace_check cluster_faulted.json
 
+# Replicated control plane: kill the primary master mid-fold; the standby
+# detects the silence, announces the takeover, re-primes the workers from
+# its replicated scoreboard, and the report stays byte-identical.
+"$FCMA" cluster --in clean --report cluster_failover.txt --workers 2 \
+    --voxels-per-task 40 --top-k 6 --lease-timeout 0.4 \
+    --fault-kill-master-after 2 --trace cluster_failover.json \
+    > cluster_failover.log
+grep -q 'failovers=1' cluster_failover.log
+cmp cluster_clean.txt cluster_failover.txt
+grep -q 'cluster/failovers' cluster_failover.json
+grep -q 'cluster/speculative_dispatches' cluster_failover.json
+grep -q 'cluster/resurrections' cluster_failover.json
+trace_check cluster_failover.json
+
+# Speculative re-execution: a planted straggler ages its leases past the
+# speculation threshold; duplicate completions are absorbed idempotently,
+# so the report is byte-identical again (the dispatch count itself is
+# timing-dependent, so only the identity is asserted).
+"$FCMA" cluster --in clean --report cluster_spec.txt --workers 2 \
+    --voxels-per-task 40 --top-k 6 --lease-timeout 0.6 --speculate 1 \
+    --fault-stall-rank 2 --fault-stall-s 0.5 > cluster_spec.log
+grep -q 'speculative=' cluster_spec.log
+cmp cluster_clean.txt cluster_spec.txt
+
 # Checkpoint during the run, then resume from the snapshot: the resumed run
 # reports its head start and renders the same report again.
 "$FCMA" cluster --in clean --report cluster_ckpt.txt --workers 3 \
@@ -137,6 +161,24 @@ cmp cluster_clean.txt cluster_resumed.txt
 if "$FCMA" cluster --in clean --resume /nonexistent 2>/dev/null; then
   echo "expected failure for a missing resume checkpoint" >&2
   exit 1
+fi
+
+# Bench sidecar drift gate: the per-PR BENCH_pr*.json files committed at
+# the repo root were produced on one machine in one sitting, so comparing
+# the two most recent is deterministic — tools/bench_diff.py fails on >10%
+# regressions in the named spans.
+REPO_ROOT=$(cd "$TOOLS_DIR/.." && pwd)
+if command -v python3 >/dev/null 2>&1; then
+  sidecars=$(ls "$REPO_ROOT"/BENCH_pr*.json 2>/dev/null \
+    | sort -t r -k 2 -n || true)
+  count=$(printf '%s\n' "$sidecars" | grep -c 'BENCH' || true)
+  if [ "$count" -ge 2 ]; then
+    prev=$(printf '%s\n' "$sidecars" | tail -n 2 | head -n 1)
+    curr=$(printf '%s\n' "$sidecars" | tail -n 1)
+    python3 "$TOOLS_DIR/bench_diff.py" "$prev" "$curr"
+  else
+    echo "smoke: fewer than two BENCH_pr*.json sidecars, skipping bench_diff" >&2
+  fi
 fi
 
 # Error paths exit non-zero with a message.
