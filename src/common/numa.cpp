@@ -1,0 +1,90 @@
+#include "common/numa.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+
+// From <linux/mempolicy.h>, which not every toolchain sysroot carries.
+#ifndef MPOL_F_NODE
+#define MPOL_F_NODE (1 << 0)
+#endif
+#ifndef MPOL_F_ADDR
+#define MPOL_F_ADDR (1 << 1)
+#endif
+#endif  // __linux__
+
+namespace fcma::numa {
+
+namespace {
+
+int read_node_count() {
+#if defined(__linux__)
+  // "possible" is a range list like "0" or "0-3"; the highest id bounds the
+  // node count.  Missing file (pre-NUMA kernels) means a single node.
+  std::FILE* f = std::fopen("/sys/devices/system/node/possible", "re");
+  if (f == nullptr) return 1;
+  char buf[64] = {};
+  const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (got == 0) return 1;
+  int highest = 0;
+  int value = -1;
+  for (const char* p = buf; *p != '\0'; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      value = (value < 0 ? 0 : value * 10) + (*p - '0');
+    } else {
+      if (value > highest) highest = value;
+      value = -1;
+    }
+  }
+  if (value > highest) highest = value;
+  return highest + 1;
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+int node_count() {
+  static const int count = read_node_count();
+  return count;
+}
+
+int current_node() {
+#if defined(__linux__)
+  unsigned cpu = 0;
+  unsigned node = 0;
+  if (syscall(SYS_getcpu, &cpu, &node, nullptr) != 0) return -1;
+  return static_cast<int>(node);
+#else
+  return -1;
+#endif
+}
+
+int node_of(const void* p) {
+#if defined(__linux__)
+  int node = -1;
+  if (syscall(SYS_get_mempolicy, &node, nullptr, 0UL, p,
+              MPOL_F_NODE | MPOL_F_ADDR) != 0) {
+    return -1;
+  }
+  return node;
+#else
+  (void)p;
+  return -1;
+#endif
+}
+
+void first_touch(void* p, std::size_t bytes) {
+  if (p == nullptr || bytes == 0) return;
+  constexpr std::size_t kPage = 4096;
+  auto* bytes_p = static_cast<unsigned char*>(p);
+  for (std::size_t off = 0; off < bytes; off += kPage) bytes_p[off] = 0;
+  bytes_p[bytes - 1] = 0;
+}
+
+}  // namespace fcma::numa

@@ -1,0 +1,32 @@
+// Minimal NUMA topology queries for workspace placement accounting.
+//
+// The container ships no libnuma, so these are raw Linux syscalls
+// (`getcpu`, `get_mempolicy(MPOL_F_NODE | MPOL_F_ADDR)`) with graceful
+// fallbacks: on single-node machines, non-Linux hosts, or kernels that
+// refuse the calls, everything degrades to "node unknown" (-1) and the
+// derived `numa/remote_hits` counter stays 0 — exactly the honest answer
+// for hardware where remote accesses cannot happen or cannot be observed.
+#pragma once
+
+#include <cstddef>
+
+namespace fcma::numa {
+
+/// Number of possible NUMA nodes (>= 1; 1 when the topology is unknown).
+[[nodiscard]] int node_count();
+
+/// NUMA node of the CPU the calling thread is currently running on, or -1
+/// when the kernel cannot say.
+[[nodiscard]] int current_node();
+
+/// First-touch node of the page holding `p`, or -1 when unknown (page not
+/// yet faulted in, syscall unsupported, ...).
+[[nodiscard]] int node_of(const void* p);
+
+/// Faults every page of [p, p+bytes) in from the calling thread, so the
+/// kernel's first-touch policy places the memory on that thread's node.
+/// The buffer's contents afterwards are unspecified (callers treat fresh
+/// workspace buffers as uninitialized anyway).
+void first_touch(void* p, std::size_t bytes);
+
+}  // namespace fcma::numa

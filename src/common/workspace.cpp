@@ -3,13 +3,14 @@
 #include <bit>
 
 #include "common/error.hpp"
+#include "common/numa.hpp"
 #include "common/trace.hpp"
 
 namespace fcma::core {
 
 void Workspace::Lease::release() noexcept {
   if (owner_ != nullptr && !buf_.empty()) {
-    owner_->put_back(std::move(buf_));
+    owner_->put_back(std::move(buf_), node_);
   }
   owner_ = nullptr;
 }
@@ -23,10 +24,8 @@ std::size_t Workspace::bucket_of(std::size_t floats) noexcept {
 Workspace::Lease Workspace::acquire(std::size_t floats) {
   if (floats == 0) return {};
   if (acquires_ == 0 && trace::enabled()) {
-    // Workspaces are thread-local, so every pool hit is NUMA-node-local by
-    // construction.  Seed the remote-hit counter at 0 so traces state that
-    // explicitly (and so a future cross-thread handoff path has a counter
-    // to increment rather than a silently absent key).
+    // Seed the counter at 0 so single-node traces state "no remote hits"
+    // explicitly rather than with a silently absent key.
     trace::count("numa/remote_hits", 0);
   }
   ++acquires_;
@@ -35,19 +34,34 @@ Workspace::Lease Workspace::acquire(std::size_t floats) {
   if (free_count_[b] > 0) {
     ++hits_;
     AlignedBuffer<float> buf = std::move(free_[b][--free_count_[b]]);
+    const int node = free_node_[b][free_count_[b]];
     bytes_held_ -= buf.size() * sizeof(float);
     if (trace::enabled()) trace::count("workspace/pool_hits");
-    return Lease(this, std::move(buf));
+    // Remote hit: the buffer's pages live on the node the arena's thread
+    // first-touched them on, but the OS has since migrated the thread
+    // elsewhere — every access through this lease crosses the interconnect.
+    const int here = numa::current_node();
+    if (node >= 0 && here >= 0 && node != here) {
+      ++remote_hits_;
+      if (trace::enabled()) trace::count("numa/remote_hits");
+    }
+    return Lease(this, std::move(buf), node);
   }
   if (trace::enabled()) trace::count("workspace/pool_misses");
-  return Lease(this, AlignedBuffer<float>(kMinBucketFloats << b));
+  AlignedBuffer<float> buf(kMinBucketFloats << b);
+  // First-touch on the acquiring thread pins the pages to its current node
+  // (first-touch placement), then record where they landed.
+  numa::first_touch(buf.data(), buf.size() * sizeof(float));
+  const int node = numa::node_of(buf.data());
+  return Lease(this, std::move(buf), node);
 }
 
-void Workspace::put_back(AlignedBuffer<float> buf) noexcept {
+void Workspace::put_back(AlignedBuffer<float> buf, int node) noexcept {
   const std::size_t b = bucket_of(buf.size());
   if (b < kBucketCount && free_count_[b] < kMaxFreePerBucket &&
       (kMinBucketFloats << b) == buf.size()) {
     bytes_held_ += buf.size() * sizeof(float);
+    free_node_[b][free_count_[b]] = node;
     free_[b][free_count_[b]++] = std::move(buf);
     if (trace::enabled()) {
       trace::gauge_max("workspace/bytes_held",

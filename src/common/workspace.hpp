@@ -13,6 +13,12 @@
 // (every user acquires and releases within one task body, which the pool
 // runs on a single worker).  Because each thread owns its arena there is no
 // locking anywhere on the checkout path.
+//
+// NUMA: fresh buffers are first-touched on the acquiring thread, so their
+// pages land on that thread's node (common/numa).  The buffer remembers the
+// node; when a later pool hit hands it to a thread the OS has since migrated
+// to another node, that checkout counts as a numa/remote_hit — the
+// measurement behind the trace counter.  Single-node machines report 0.
 #pragma once
 
 #include <array>
@@ -60,13 +66,14 @@ class Workspace {
 
    private:
     friend class Workspace;
-    Lease(Workspace* owner, AlignedBuffer<float> buf)
-        : owner_(owner), buf_(std::move(buf)) {}
+    Lease(Workspace* owner, AlignedBuffer<float> buf, int node)
+        : owner_(owner), buf_(std::move(buf)), node_(node) {}
 
     void release() noexcept;
 
     Workspace* owner_ = nullptr;
     AlignedBuffer<float> buf_;
+    int node_ = -1;  // NUMA node the buffer was first-touched on (-1 unknown)
   };
 
   Workspace() = default;
@@ -80,6 +87,13 @@ class Workspace {
   /// Total checkouts / checkouts served from the pool without allocating.
   [[nodiscard]] std::size_t acquires() const noexcept { return acquires_; }
   [[nodiscard]] std::size_t pool_hits() const noexcept { return hits_; }
+
+  /// Checkouts that handed a buffer first-touched on another NUMA node to
+  /// the acquiring thread (the thread migrated since the first touch).
+  /// Always 0 on single-node machines.
+  [[nodiscard]] std::size_t remote_hits() const noexcept {
+    return remote_hits_;
+  }
 
   /// Bytes currently cached in the free lists (leased buffers excluded).
   [[nodiscard]] std::size_t bytes_held() const noexcept { return bytes_held_; }
@@ -96,7 +110,7 @@ class Workspace {
 
   static std::size_t bucket_of(std::size_t floats) noexcept;
 
-  void put_back(AlignedBuffer<float> buf) noexcept;
+  void put_back(AlignedBuffer<float> buf, int node) noexcept;
 
   // Bucket b caches buffers of exactly (kMinBucketFloats << b) floats.
   static constexpr std::size_t kMinBucketFloats = 256;  // 1 KiB
@@ -107,9 +121,12 @@ class Workspace {
 
   std::array<std::array<AlignedBuffer<float>, kMaxFreePerBucket>, kBucketCount>
       free_{};
+  // First-touch node of the cached buffer in the same slot of free_.
+  std::array<std::array<int, kMaxFreePerBucket>, kBucketCount> free_node_{};
   std::array<std::size_t, kBucketCount> free_count_{};
   std::size_t acquires_ = 0;
   std::size_t hits_ = 0;
+  std::size_t remote_hits_ = 0;
   std::size_t bytes_held_ = 0;
 };
 

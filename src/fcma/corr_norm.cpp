@@ -124,13 +124,15 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
   std::size_t max_e = 0;
   for (const SubjectRun& r : runs) max_e = std::max(max_e, r.last - r.first);
   const std::size_t t_len = epochs.per_epoch.front().cols();
-  auto bt = Workspace::local().acquire(max_e * t_len *
-                                       linalg::opt::kGemmPanelCols);
+  // One tuning decision covers the whole fused sweep: classify by the
+  // per-row-panel shape (task.count rows, n output columns, t_len depth).
+  const linalg::tune::GemmGeometry geo =
+      linalg::tune::gemm_plan(task.count, n, t_len);
+  auto bt = Workspace::local().acquire(max_e * t_len * geo.panel_cols);
   for (const SubjectRun& run : runs) {
     const std::size_t e_count = run.last - run.first;
-    for (std::size_t j0 = 0; j0 < n; j0 += linalg::opt::kGemmPanelCols) {
-      const std::size_t j1 =
-          std::min(n, j0 + linalg::opt::kGemmPanelCols);
+    for (std::size_t j0 = 0; j0 < n; j0 += geo.panel_cols) {
+      const std::size_t j1 = std::min(n, j0 + geo.panel_cols);
       const std::size_t width = j1 - j0;
       for (std::size_t e = 0; e < e_count; ++e) {
         linalg::opt::pack_bt_panel(epochs.per_epoch[run.first + e].view(), j0,
@@ -142,7 +144,7 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
           linalg::opt::gemm_row_panel(
               act.row(task.first + v), act.cols(),
               bt.data() + e * t_len * width, width,
-              out.row(v * m_total + run.first + e) + j0);
+              out.row(v * m_total + run.first + e) + j0, geo);
         }
         if (tracing) {
           const WallTimer norm_timer;

@@ -13,6 +13,7 @@
 #include "fcma/task.hpp"
 #include "fmri/dataset.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/tune.hpp"
 #include "memsim/instrument.hpp"
 #include "svm/cross_validation.hpp"
 #include "threading/thread_pool.hpp"
@@ -29,10 +30,13 @@ struct SvmStageResult {
 };
 
 /// Computes voxel `v_local`'s kernel matrix from the task's correlation
-/// buffer into `kernel` (must be M x M).
+/// buffer into `kernel` (must be M x M).  `geo` pins the syrk geometry;
+/// null consults the autotuner per call (svm_stage resolves the plan once
+/// per stage and passes it through so the tuner lock is off the voxel loop).
 void compute_voxel_kernel(linalg::ConstMatrixView corr, std::size_t epochs,
                           std::size_t v_local, Impl impl,
-                          linalg::MatrixView kernel);
+                          linalg::MatrixView kernel,
+                          const linalg::tune::SyrkGeometry* geo = nullptr);
 
 /// Runs stage 3 for every voxel of the task.  `corr` is the stage-1/2
 /// output buffer (task.count * M rows by N); `folds` are the CV test groups

@@ -31,12 +31,16 @@ void pack_panel(ConstMatrixView a, std::size_t k0, std::size_t k1,
 
 // Accumulates the contribution of panel [k0, k1) into c (ldc-strided, full
 // lower triangle in micro-tile granularity).  The tile sweep and its
-// register-blocked micro-kernel live in the runtime-dispatched simd layer.
+// register-blocked micro-kernel live in the runtime-dispatched simd layer;
+// micro_rows picks between the 9- and 6-row table variants.
 void panel_contribution(ConstMatrixView a, std::size_t k0, std::size_t k1,
                         float* a_local, float* at_local, float* c,
-                        std::size_t ldc) {
+                        std::size_t ldc, std::size_t micro_rows) {
   pack_panel(a, k0, k1, a_local, at_local);
-  simd::kernels().syrk_panel(a_local, at_local, a.rows, k1 - k0, c, ldc);
+  const auto& kernels = simd::kernels();
+  const auto panel_fn =
+      micro_rows == 6 ? kernels.syrk_panel_r6 : kernels.syrk_panel;
+  panel_fn(a_local, at_local, a.rows, k1 - k0, c, ldc);
 }
 
 // Mirrors the computed lower triangle into the upper one.
@@ -48,8 +52,11 @@ void mirror_upper(MatrixView c) {
 
 }  // namespace
 
-void syrk(ConstMatrixView a, MatrixView c) {
+void syrk_with(ConstMatrixView a, MatrixView c,
+               const tune::SyrkGeometry& geo) {
   FCMA_CHECK(c.rows == a.rows && c.cols == a.rows, "syrk: bad C shape");
+  FCMA_CHECK(geo.panel_k > 0 && geo.panel_k % kSyrkNumericK == 0,
+             "syrk: panel_k must be a positive multiple of kSyrkNumericK");
   const trace::Span span("syrk");
   const std::size_t m = a.rows;
   const std::size_t n = a.cols;
@@ -57,51 +64,59 @@ void syrk(ConstMatrixView a, MatrixView c) {
     std::memset(c.row(i), 0, m * sizeof(float));
   }
   auto& workspace = core::Workspace::local();
-  auto a_local = workspace.acquire(m * kSyrkPanelK);
-  auto at_local = workspace.acquire(kSyrkPanelK * m);
-  for (std::size_t k0 = 0; k0 < n; k0 += kSyrkPanelK) {
-    const std::size_t k1 = std::min(n, k0 + kSyrkPanelK);
+  auto a_local = workspace.acquire(m * geo.panel_k);
+  auto at_local = workspace.acquire(geo.panel_k * m);
+  for (std::size_t k0 = 0; k0 < n; k0 += geo.panel_k) {
+    const std::size_t k1 = std::min(n, k0 + geo.panel_k);
     panel_contribution(a, k0, k1, a_local.data(), at_local.data(), c.data,
-                       c.ld);
+                       c.ld, geo.micro_rows);
   }
   mirror_upper(c);
 }
 
-void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
+void syrk_with(ConstMatrixView a, MatrixView c, const tune::SyrkGeometry& geo,
+               threading::ThreadPool& pool) {
   FCMA_CHECK(c.rows == a.rows && c.cols == a.rows, "syrk: bad C shape");
+  FCMA_CHECK(geo.panel_k > 0 && geo.panel_k % kSyrkNumericK == 0,
+             "syrk: panel_k must be a positive multiple of kSyrkNumericK");
   const trace::Span span("syrk");
   const std::size_t m = a.rows;
   const std::size_t n = a.cols;
   for (std::size_t i = 0; i < m; ++i) {
     std::memset(c.row(i), 0, m * sizeof(float));
   }
-  // Each chunk owns a contiguous range of panels and accumulates into its
-  // own slot of a caller-owned buffer; the caller then folds the slots into
-  // C *in chunk order*.  The paper uses an OpenMP lock here, but a
-  // completion-order merge stops being reproducible now that nested
-  // parallel_for really runs parallel (the scheduler's help-first joins
-  // replaced the inline fallback) — ordered slots keep the result a pure
-  // function of the chunking, whatever worker ran what and when.  Packing
+  // Each chunk owns a contiguous range of the long dimension and
+  // accumulates into its own slot of a caller-owned buffer; the caller then
+  // folds the slots into C *in chunk order*.  The paper uses an OpenMP lock
+  // here, but a completion-order merge stops being reproducible now that
+  // nested parallel_for really runs parallel (the scheduler's help-first
+  // joins replaced the inline fallback) — ordered slots keep the result a
+  // pure function of the chunking, whatever worker ran what and when.
+  // Chunks are counted in kSyrkNumericK substeps, NOT in (tunable) packing
+  // panels: the chunk partition — and with it every accumulation chain —
+  // then depends only on (n, pool size), never on the tuner's panel_k, so
+  // tuned and untuned threaded runs stay bit-identical too.  Packing
   // buffers still come from the executing worker's arena; the slots cannot
   // (workspace leases are thread-affine, the merge runs on the caller).
-  const std::size_t panels = (n + kSyrkPanelK - 1) / kSyrkPanelK;
-  const std::size_t tasks = std::min<std::size_t>(pool.size() * 2, panels);
-  const std::size_t panels_per_task = (panels + tasks - 1) / tasks;
-  const std::size_t chunks = (panels + panels_per_task - 1) / panels_per_task;
+  const std::size_t substeps = (n + kSyrkNumericK - 1) / kSyrkNumericK;
+  const std::size_t tasks = std::min<std::size_t>(pool.size() * 2, substeps);
+  const std::size_t per_task = (substeps + tasks - 1) / tasks;
+  const std::size_t chunks = (substeps + per_task - 1) / per_task;
   AlignedBuffer<float> partials(chunks * m * m);
   std::memset(partials.data(), 0, chunks * m * m * sizeof(float));
   threading::parallel_for(
-      pool, 0, panels, panels_per_task,
-      [&](std::size_t p0, std::size_t p1) {
+      pool, 0, substeps, per_task,
+      [&](std::size_t s0, std::size_t s1) {
         auto& workspace = core::Workspace::local();
-        auto a_local = workspace.acquire(m * kSyrkPanelK);
-        auto at_local = workspace.acquire(kSyrkPanelK * m);
-        float* c_chunk = partials.data() + (p0 / panels_per_task) * m * m;
-        for (std::size_t p = p0; p < p1; ++p) {
-          const std::size_t k0 = p * kSyrkPanelK;
-          const std::size_t k1 = std::min(n, k0 + kSyrkPanelK);
+        auto a_local = workspace.acquire(m * geo.panel_k);
+        auto at_local = workspace.acquire(geo.panel_k * m);
+        float* c_chunk = partials.data() + (s0 / per_task) * m * m;
+        const std::size_t k_end = std::min(n, s1 * kSyrkNumericK);
+        for (std::size_t k0 = s0 * kSyrkNumericK; k0 < k_end;
+             k0 += geo.panel_k) {
+          const std::size_t k1 = std::min(k_end, k0 + geo.panel_k);
           panel_contribution(a, k0, k1, a_local.data(), at_local.data(),
-                             c_chunk, m);
+                             c_chunk, m, geo.micro_rows);
         }
       });
   for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
@@ -113,6 +128,14 @@ void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
     }
   }
   mirror_upper(c);
+}
+
+void syrk(ConstMatrixView a, MatrixView c) {
+  syrk_with(a, c, tune::syrk_plan(a.rows, a.cols));
+}
+
+void syrk(ConstMatrixView a, MatrixView c, threading::ThreadPool& pool) {
+  syrk_with(a, c, tune::syrk_plan(a.rows, a.cols), pool);
 }
 
 void syrk_instrumented(ConstMatrixView a, MatrixView c,

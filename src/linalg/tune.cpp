@@ -1,0 +1,526 @@
+#include "linalg/tune.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/opt.hpp"
+#include "linalg/simd.hpp"
+
+namespace fcma::linalg::tune {
+
+namespace {
+
+constexpr const char* kSchema = "fcma.tune.v1";
+
+// Probe shapes are clamped so a first-use sweep costs single-digit
+// milliseconds even when the real call is huge: panel-width effects show up
+// at a few thousand columns, and a few dozen rows exercise the register
+// blocks.  Probes time the real entry points (opt::gemm_nt_with /
+// opt::syrk_with), so what wins the probe is what runs in production.
+constexpr std::size_t kGemmProbeMaxRows = 32;
+constexpr std::size_t kGemmProbeMaxCols = 4096;
+constexpr std::size_t kGemmProbeMaxK = 64;
+constexpr std::size_t kSyrkProbeMaxM = 128;
+constexpr std::size_t kSyrkProbeMaxN = 2048;
+constexpr int kProbeReps = 2;  // timed reps per candidate (after 1 warm-up)
+
+unsigned hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+// log2 bucket: 1 -> 1, 2..3 -> 2, 4..7 -> 3, ... (shapes within a factor
+// of two share a bucket, and so a tuning decision).
+unsigned bucket(std::size_t v) {
+  return static_cast<unsigned>(std::bit_width(v | 1));
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  // 17 significant digits round-trip any IEEE-754 double through strtod.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+std::string describe(const Entry& e) {
+  std::ostringstream os;
+  if (e.kind == "gemm") {
+    os << "panel_cols=" << e.gemm.panel_cols << " unroll=" << e.gemm.unroll;
+  } else {
+    os << "panel_k=" << e.syrk.panel_k << " micro_rows=" << e.syrk.micro_rows;
+  }
+  os << " src=" << e.source;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " gflops=%.1f pct_roof=%.1f", e.gflops,
+                e.pct_roofline);
+  os << buf;
+  return os.str();
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.uniform(-1.0f, 1.0f);
+  }
+  return m;
+}
+
+// Best-of-reps wall time of `body` after one warm-up call.
+template <typename Fn>
+double probe_seconds(Fn&& body) {
+  body();
+  double best = 0.0;
+  for (int rep = 0; rep < kProbeReps; ++rep) {
+    const WallTimer timer;
+    body();
+    const double s = timer.seconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+long long parse_ll(const std::string& text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  FCMA_CHECK(end != nullptr && *end == '\0' && !text.empty(),
+             "tune: expected an integer, got \"" + text + "\"");
+  return v;
+}
+
+}  // namespace
+
+const std::vector<GemmGeometry>& gemm_candidates() {
+  static const std::vector<GemmGeometry> candidates = [] {
+    std::vector<GemmGeometry> out;
+    for (const std::size_t cols : {128, 256, 512, 1024}) {
+      for (const int unroll : {4, 2}) {
+        out.push_back(GemmGeometry{cols, unroll});
+      }
+    }
+    return out;
+  }();
+  return candidates;
+}
+
+const std::vector<SyrkGeometry>& syrk_candidates() {
+  static const std::vector<SyrkGeometry> candidates = [] {
+    std::vector<SyrkGeometry> out;
+    for (const std::size_t panel_k : {48, 96, 192}) {
+      for (const std::size_t rows : {9, 6}) {
+        out.push_back(SyrkGeometry{panel_k, rows});
+      }
+    }
+    return out;
+  }();
+  return candidates;
+}
+
+std::string gemm_class(std::size_t m, std::size_t n, std::size_t k) {
+  std::ostringstream os;
+  os << "gemm:m" << bucket(m) << ":n" << bucket(n) << ":k" << bucket(k);
+  return os.str();
+}
+
+std::string syrk_class(std::size_t m, std::size_t n) {
+  std::ostringstream os;
+  os << "syrk:m" << bucket(m) << ":n" << bucket(n);
+  return os.str();
+}
+
+Tuner& Tuner::instance() {
+  static Tuner* tuner = [] {
+    auto* t = new Tuner();
+    t->init_from_env();
+    return t;
+  }();
+  return *tuner;
+}
+
+void Tuner::init_from_env() {
+  const char* mode = std::getenv("FCMA_TUNE");
+  if (mode != nullptr && mode[0] != '\0') {
+    const std::string_view v(mode);
+    if (v == "off" || v == "0") {
+      set_enabled(false);
+    } else {
+      FCMA_CHECK(v == "on" || v == "1",
+                 "FCMA_TUNE must be on/off (got \"" + std::string(mode) +
+                     "\")");
+    }
+  }
+  const char* force = std::getenv("FCMA_TUNE_FORCE");
+  if (force != nullptr && force[0] != '\0') set_force(force);
+  const char* cache = std::getenv("FCMA_TUNE_CACHE");
+  if (cache != nullptr && cache[0] != '\0') set_cache_path(cache);
+}
+
+void Tuner::set_enabled(bool enabled) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool Tuner::enabled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void Tuner::set_cache_path(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cache_path_ = path;
+  if (!path.empty() && std::ifstream(path).good()) {
+    load_cache_locked(path);
+  }
+}
+
+void Tuner::set_force(const std::string& spec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  force_gemm_set_ = false;
+  force_syrk_set_ = false;
+  if (spec.empty()) return;
+  std::string item;
+  std::vector<std::string> items;
+  for (const char ch : spec) {
+    if (ch == ',' || ch == ';') {
+      if (!item.empty()) items.push_back(item);
+      item.clear();
+    } else {
+      item += ch;
+    }
+  }
+  if (!item.empty()) items.push_back(item);
+  for (const std::string& it : items) {
+    std::vector<std::string> parts;
+    std::string part;
+    for (const char ch : it) {
+      if (ch == ':') {
+        parts.push_back(part);
+        part.clear();
+      } else {
+        part += ch;
+      }
+    }
+    parts.push_back(part);
+    FCMA_CHECK(parts.size() >= 2 && parts.size() <= 3,
+               "tune: bad force spec item \"" + it +
+                   "\" (want gemm:COLS[:uN] or syrk:K[:rN])");
+    if (parts[0] == "gemm") {
+      GemmGeometry geo;
+      geo.panel_cols = static_cast<std::size_t>(parse_ll(parts[1]));
+      if (parts.size() == 3) {
+        FCMA_CHECK(parts[2].size() >= 2 && parts[2][0] == 'u',
+                   "tune: bad gemm unroll \"" + parts[2] + "\" (want uN)");
+        geo.unroll = static_cast<int>(parse_ll(parts[2].substr(1)));
+      }
+      const auto& grid = gemm_candidates();
+      FCMA_CHECK(std::find(grid.begin(), grid.end(), geo) != grid.end(),
+                 "tune: forced gemm geometry outside the candidate grid: " +
+                     it);
+      force_gemm_ = geo;
+      force_gemm_set_ = true;
+    } else if (parts[0] == "syrk") {
+      SyrkGeometry geo;
+      geo.panel_k = static_cast<std::size_t>(parse_ll(parts[1]));
+      if (parts.size() == 3) {
+        FCMA_CHECK(parts[2].size() >= 2 && parts[2][0] == 'r',
+                   "tune: bad syrk micro_rows \"" + parts[2] +
+                       "\" (want rN)");
+        geo.micro_rows = static_cast<std::size_t>(parse_ll(parts[2].substr(1)));
+      }
+      const auto& grid = syrk_candidates();
+      FCMA_CHECK(std::find(grid.begin(), grid.end(), geo) != grid.end(),
+                 "tune: forced syrk geometry outside the candidate grid: " +
+                     it);
+      force_syrk_ = geo;
+      force_syrk_set_ = true;
+    } else {
+      FCMA_CHECK(false, "tune: bad force spec kind \"" + parts[0] +
+                            "\" (want gemm or syrk)");
+    }
+  }
+}
+
+std::string Tuner::map_key_locked(const std::string& cls) const {
+  return cls + "|" + simd::isa_name(simd::active_isa()) + "|" +
+         std::to_string(hardware_threads());
+}
+
+GemmGeometry Tuner::gemm(std::size_t m, std::size_t n, std::size_t k) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trace::meta_set("tune/enabled", enabled_ ? "1" : "0");
+  // Counters are (re-)seeded on every decision so a traced run always
+  // carries them, zeros included — even with tuning disabled, so any
+  // trace with tune metadata also has the counter set.
+  trace::count("tune/probes", 0);
+  trace::count("tune/cache_hits", 0);
+  if (!enabled_) return GemmGeometry{};
+  const std::string cls = gemm_class(m, n, k);
+  last_gemm_key_ = map_key_locked(cls);
+  if (force_gemm_set_) {
+    Entry e;
+    e.key = cls;
+    e.kind = "gemm";
+    e.gemm = force_gemm_;
+    e.source = "forced";
+    trace::meta_set("tune/" + cls, describe(e));
+    return force_gemm_;
+  }
+  auto it = entries_.find(last_gemm_key_);
+  if (it != entries_.end()) {
+    ++cache_hits_;
+    trace::count("tune/cache_hits");
+    trace::meta_set("tune/" + cls, describe(it->second));
+    return it->second.gemm;
+  }
+
+  // Probe sweep on a clamped synthetic shape.
+  const trace::Span span("tune/probe");
+  const std::size_t mp = std::clamp<std::size_t>(m, 4, kGemmProbeMaxRows);
+  const std::size_t np = std::clamp<std::size_t>(n, 128, kGemmProbeMaxCols);
+  const std::size_t kp = std::clamp<std::size_t>(k, 4, kGemmProbeMaxK);
+  const Matrix a = random_matrix(mp, kp, 0x7e57a001);
+  const Matrix b = random_matrix(np, kp, 0x7e57a002);
+  Matrix c(mp, np);
+  Entry best;
+  for (const GemmGeometry& geo : gemm_candidates()) {
+    const double s = probe_seconds(
+        [&] { opt::gemm_nt_with(a.view(), b.view(), c.view(), geo); });
+    ++probes_;
+    trace::count("tune/probes");
+    if (best.source.empty() || s * 1000.0 < best.probe_ms) {
+      best.gemm = geo;
+      best.probe_ms = s * 1000.0;
+      best.gflops = 2.0 * static_cast<double>(mp) * static_cast<double>(np) *
+                    static_cast<double>(kp) / (s * 1e9);
+      best.source = "probe";
+    }
+  }
+  best.key = cls;
+  best.kind = "gemm";
+  best.isa = simd::isa_name(simd::active_isa());
+  best.threads = hardware_threads();
+  entries_[last_gemm_key_] = best;
+  trace::meta_set("tune/" + cls, describe(best));
+  if (!cache_path_.empty()) save_cache_locked();
+  return best.gemm;
+}
+
+SyrkGeometry Tuner::syrk(std::size_t m, std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trace::meta_set("tune/enabled", enabled_ ? "1" : "0");
+  trace::count("tune/probes", 0);
+  trace::count("tune/cache_hits", 0);
+  if (!enabled_) return SyrkGeometry{};
+  const std::string cls = syrk_class(m, n);
+  last_syrk_key_ = map_key_locked(cls);
+  if (force_syrk_set_) {
+    Entry e;
+    e.key = cls;
+    e.kind = "syrk";
+    e.syrk = force_syrk_;
+    e.source = "forced";
+    trace::meta_set("tune/" + cls, describe(e));
+    return force_syrk_;
+  }
+  auto it = entries_.find(last_syrk_key_);
+  if (it != entries_.end()) {
+    ++cache_hits_;
+    trace::count("tune/cache_hits");
+    trace::meta_set("tune/" + cls, describe(it->second));
+    return it->second.syrk;
+  }
+
+  const trace::Span span("tune/probe");
+  const std::size_t mp = std::clamp<std::size_t>(m, 8, kSyrkProbeMaxM);
+  const std::size_t np = std::clamp<std::size_t>(n, 192, kSyrkProbeMaxN);
+  const Matrix a = random_matrix(mp, np, 0x7e57a003);
+  Matrix c(mp, mp);
+  Entry best;
+  for (const SyrkGeometry& geo : syrk_candidates()) {
+    const double s =
+        probe_seconds([&] { opt::syrk_with(a.view(), c.view(), geo); });
+    ++probes_;
+    trace::count("tune/probes");
+    if (best.source.empty() || s * 1000.0 < best.probe_ms) {
+      best.syrk = geo;
+      best.probe_ms = s * 1000.0;
+      best.gflops = static_cast<double>(mp) * static_cast<double>(mp) *
+                    static_cast<double>(np) / (s * 1e9);
+      best.source = "probe";
+    }
+  }
+  best.key = cls;
+  best.kind = "syrk";
+  best.isa = simd::isa_name(simd::active_isa());
+  best.threads = hardware_threads();
+  entries_[last_syrk_key_] = best;
+  trace::meta_set("tune/" + cls, describe(best));
+  if (!cache_path_.empty()) save_cache_locked();
+  return best.syrk;
+}
+
+void Tuner::note_roofline(const std::string& kind, double pct_roofline) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_ || pct_roofline <= 0.0) return;
+  const std::string& key = kind == "gemm" ? last_gemm_key_ : last_syrk_key_;
+  if (key.empty()) return;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.pct_roofline > 0.0 &&
+      pct_roofline < kRetuneFraction * e.pct_roofline) {
+    // The chosen variant is measuring far below this class's best-known
+    // roofline fraction (machine changed, cache copied across hosts, noisy
+    // probe): drop it so the next call re-probes instead of trusting it
+    // forever.
+    entries_.erase(it);
+    ++invalidations_;
+    trace::count("tune/invalidations");
+    if (!cache_path_.empty()) save_cache_locked();
+    return;
+  }
+  if (pct_roofline > e.pct_roofline) {
+    e.pct_roofline = pct_roofline;
+    if (!cache_path_.empty()) save_cache_locked();
+  }
+}
+
+std::size_t Tuner::probes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return probes_;
+}
+
+std::size_t Tuner::cache_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_hits_;
+}
+
+std::size_t Tuner::invalidations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
+}
+
+void Tuner::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  last_gemm_key_.clear();
+  last_syrk_key_.clear();
+  probes_ = 0;
+  cache_hits_ = 0;
+  invalidations_ = 0;
+}
+
+std::vector<Entry> Tuner::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) out.push_back(e);
+  return out;
+}
+
+void Tuner::load_cache_locked(const std::string& path) {
+  const json::Value doc = json::parse_file(path);
+  FCMA_CHECK(doc.is_object() && doc.at("schema").as_string() == kSchema,
+             "not an fcma.tune.v1 tuning cache: " + path);
+  FCMA_CHECK(doc.at("entries").is_array(),
+             "tuning cache has no entries array: " + path);
+  for (const json::Value& je : doc.at("entries").elements()) {
+    Entry e;
+    e.key = je.at("key").as_string();
+    e.kind = je.at("kind").as_string();
+    e.isa = je.at("isa").as_string();
+    e.threads = static_cast<unsigned>(je.at("threads").as_number());
+    FCMA_CHECK(!e.key.empty() && (e.kind == "gemm" || e.kind == "syrk") &&
+                   !e.isa.empty() && e.threads > 0,
+               "malformed tuning cache entry in " + path);
+    if (e.kind == "gemm") {
+      e.gemm.panel_cols =
+          static_cast<std::size_t>(je.at("panel_cols").as_number());
+      e.gemm.unroll = static_cast<int>(je.at("unroll").as_number());
+      const auto& grid = gemm_candidates();
+      FCMA_CHECK(std::find(grid.begin(), grid.end(), e.gemm) != grid.end(),
+                 "tuning cache entry names a geometry outside the candidate "
+                 "grid: " +
+                     path);
+    } else {
+      e.syrk.panel_k =
+          static_cast<std::size_t>(je.at("panel_k").as_number());
+      e.syrk.micro_rows =
+          static_cast<std::size_t>(je.at("micro_rows").as_number());
+      const auto& grid = syrk_candidates();
+      FCMA_CHECK(std::find(grid.begin(), grid.end(), e.syrk) != grid.end(),
+                 "tuning cache entry names a geometry outside the candidate "
+                 "grid: " +
+                     path);
+    }
+    e.probe_ms = je.at("probe_ms").as_number();
+    e.gflops = je.at("gflops").as_number();
+    e.pct_roofline = je.at("pct_roofline").as_number();
+    e.source = "cache";
+    entries_[e.key + "|" + e.isa + "|" + std::to_string(e.threads)] = e;
+  }
+}
+
+void Tuner::save_cache_locked() const {
+  std::string out;
+  out += "{\n  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, e] : entries_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"key\": \"" + e.key + "\", \"kind\": \"" + e.kind +
+           "\", \"isa\": \"" + e.isa + "\", \"threads\": " +
+           std::to_string(e.threads) + ",\n     ";
+    if (e.kind == "gemm") {
+      out += "\"panel_cols\": " + std::to_string(e.gemm.panel_cols) +
+             ", \"unroll\": " + std::to_string(e.gemm.unroll);
+    } else {
+      out += "\"panel_k\": " + std::to_string(e.syrk.panel_k) +
+             ", \"micro_rows\": " + std::to_string(e.syrk.micro_rows);
+    }
+    out += ", \"probe_ms\": ";
+    append_double(out, e.probe_ms);
+    out += ", \"gflops\": ";
+    append_double(out, e.gflops);
+    out += ", \"pct_roofline\": ";
+    append_double(out, e.pct_roofline);
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+
+  // tmp + rename: readers never observe a torn file (same idiom as
+  // cluster/checkpoint).
+  const std::string tmp = cache_path_ + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    FCMA_CHECK(f.good(), "cannot open tuning cache for writing: " + tmp);
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    f.flush();
+    FCMA_CHECK(f.good(), "tuning cache write failed: " + tmp);
+  }
+  FCMA_CHECK(std::rename(tmp.c_str(), cache_path_.c_str()) == 0,
+             "tuning cache rename failed: " + cache_path_);
+}
+
+GemmGeometry gemm_plan(std::size_t m, std::size_t n, std::size_t k) {
+  return Tuner::instance().gemm(m, n, k);
+}
+
+SyrkGeometry syrk_plan(std::size_t m, std::size_t n) {
+  return Tuner::instance().syrk(m, n);
+}
+
+}  // namespace fcma::linalg::tune

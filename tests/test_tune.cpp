@@ -1,0 +1,234 @@
+// Tests for the shape-adaptive kernel autotuner (linalg/tune): shape
+// classing, probe bookkeeping, the persistent fcma.tune.v1 cache (round
+// trip, corruption, truncation, out-of-grid geometries), forced geometries,
+// and the roofline invalidation rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "linalg/tune.hpp"
+
+namespace fcma::linalg::tune {
+namespace {
+
+// A scratch path in the build dir; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("tune_test_" + name + ".json") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << text;
+}
+
+// Each test drives a fresh private Tuner, not instance(): the singleton's
+// state (env-seeded, shared with any kernel call in the binary) would bleed
+// between tests.
+class TuneTest : public ::testing::Test {
+ protected:
+  Tuner tuner;
+};
+
+TEST(TuneClass, BucketsDimensionsByLog2) {
+  // Shapes within a factor of two share a class...
+  EXPECT_EQ(gemm_class(100, 35000, 12), gemm_class(70, 34000, 12));
+  EXPECT_EQ(syrk_class(200, 35000), syrk_class(250, 34000));
+  // ...and doubling any dimension moves to a new one.
+  EXPECT_NE(gemm_class(100, 35000, 12), gemm_class(100, 35000, 24));
+  EXPECT_NE(gemm_class(100, 35000, 12), gemm_class(407, 35000, 12));
+  EXPECT_NE(syrk_class(200, 35000), syrk_class(200, 4000));
+  // Kind is part of the class name.
+  EXPECT_NE(gemm_class(8, 8, 8).substr(0, 4), syrk_class(8, 8).substr(0, 4));
+}
+
+TEST(TuneCandidates, GridsMatchTheDocumentedSearchSpace) {
+  EXPECT_EQ(gemm_candidates().size(), 8u);  // {128,256,512,1024} x {2,4}
+  EXPECT_EQ(syrk_candidates().size(), 6u);  // {48,96,192} x {6,9}
+  for (const SyrkGeometry& geo : syrk_candidates()) {
+    EXPECT_EQ(geo.panel_k % 48, 0u) << "panel_k must preserve the numeric "
+                                       "substep";
+  }
+  // The pre-tuner fixed geometries are members of their grids (so a cache
+  // or force naming the defaults always validates).
+  const auto& gg = gemm_candidates();
+  const auto& sg = syrk_candidates();
+  EXPECT_NE(std::find(gg.begin(), gg.end(), GemmGeometry{}), gg.end());
+  EXPECT_NE(std::find(sg.begin(), sg.end(), SyrkGeometry{}), sg.end());
+}
+
+TEST_F(TuneTest, FirstUseProbesThenRemembers) {
+  EXPECT_EQ(tuner.probes(), 0u);
+  const GemmGeometry first = tuner.gemm(100, 35000, 12);
+  EXPECT_EQ(tuner.probes(), gemm_candidates().size());
+  EXPECT_EQ(tuner.cache_hits(), 0u);
+  // Same class: no new probes, same answer.
+  const GemmGeometry again = tuner.gemm(90, 34000, 12);
+  EXPECT_EQ(tuner.probes(), gemm_candidates().size());
+  EXPECT_EQ(tuner.cache_hits(), 1u);
+  EXPECT_TRUE(first == again);
+  // New class probes again.
+  (void)tuner.syrk(200, 4000);
+  EXPECT_EQ(tuner.probes(),
+            gemm_candidates().size() + syrk_candidates().size());
+}
+
+TEST_F(TuneTest, DisabledReturnsFixedDefaultsWithoutProbing) {
+  tuner.set_enabled(false);
+  const GemmGeometry g = tuner.gemm(100, 35000, 12);
+  const SyrkGeometry s = tuner.syrk(200, 35000);
+  EXPECT_TRUE(g == GemmGeometry{});
+  EXPECT_TRUE(s == SyrkGeometry{});
+  EXPECT_EQ(tuner.probes(), 0u);
+}
+
+TEST_F(TuneTest, CacheRoundTripPaysZeroProbes) {
+  TempFile cache("roundtrip");
+  tuner.set_cache_path(cache.path());
+  (void)tuner.gemm(100, 3000, 12);
+  (void)tuner.syrk(64, 3000);
+  const std::size_t probes_paid = tuner.probes();
+  EXPECT_GT(probes_paid, 0u);
+
+  // A second tuner loading the file makes the same decisions for free.
+  Tuner reloaded;
+  reloaded.set_cache_path(cache.path());
+  const GemmGeometry g = reloaded.gemm(100, 3000, 12);
+  const SyrkGeometry s = reloaded.syrk(64, 3000);
+  EXPECT_EQ(reloaded.probes(), 0u);
+  EXPECT_EQ(reloaded.cache_hits(), 2u);
+  bool found_gemm = false;
+  bool found_syrk = false;
+  for (const Entry& e : tuner.entries()) {
+    if (e.kind == "gemm") {
+      EXPECT_TRUE(e.gemm == g);
+      found_gemm = true;
+    } else {
+      EXPECT_TRUE(e.syrk == s);
+      found_syrk = true;
+    }
+  }
+  EXPECT_TRUE(found_gemm);
+  EXPECT_TRUE(found_syrk);
+  for (const Entry& e : reloaded.entries()) {
+    EXPECT_EQ(e.source, "cache");
+  }
+}
+
+TEST_F(TuneTest, CorruptCacheIsRejected) {
+  TempFile cache("corrupt");
+  write_file(cache.path(), "{not json");
+  EXPECT_THROW(tuner.set_cache_path(cache.path()), Error);
+}
+
+TEST_F(TuneTest, WrongSchemaIsRejected) {
+  TempFile cache("schema");
+  write_file(cache.path(),
+             "{\"schema\": \"fcma.ckpt.v1\", \"entries\": []}");
+  EXPECT_THROW(tuner.set_cache_path(cache.path()), Error);
+}
+
+TEST_F(TuneTest, TruncatedCacheIsRejected) {
+  TempFile full("full");
+  TempFile cut("truncated");
+  tuner.set_cache_path(full.path());
+  (void)tuner.gemm(100, 3000, 12);
+  std::ifstream in(full.path(), std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ASSERT_GT(text.size(), 40u);
+  write_file(cut.path(), text.substr(0, text.size() / 2));
+  Tuner fresh;
+  EXPECT_THROW(fresh.set_cache_path(cut.path()), Error);
+}
+
+TEST_F(TuneTest, OutOfGridCacheGeometryIsRejected) {
+  TempFile cache("badgeo");
+  write_file(cache.path(),
+             "{\"schema\": \"fcma.tune.v1\", \"entries\": ["
+             "{\"key\": \"gemm:m7:n12:k4\", \"kind\": \"gemm\", "
+             "\"isa\": \"avx512\", \"threads\": 1, \"panel_cols\": 333, "
+             "\"unroll\": 4, \"probe_ms\": 1.0, \"gflops\": 1.0, "
+             "\"pct_roofline\": 0.0}]}");
+  EXPECT_THROW(tuner.set_cache_path(cache.path()), Error);
+}
+
+TEST_F(TuneTest, ForceIsHonoredWithoutProbes) {
+  tuner.set_force("gemm:256");
+  const GemmGeometry g = tuner.gemm(100, 35000, 12);
+  EXPECT_EQ(g.panel_cols, 256u);
+  EXPECT_EQ(g.unroll, 4);  // unspecified parts keep their defaults
+  EXPECT_EQ(tuner.probes(), 0u);
+
+  tuner.set_force("gemm:128:u2,syrk:48:r6");
+  const GemmGeometry g2 = tuner.gemm(100, 35000, 12);
+  const SyrkGeometry s2 = tuner.syrk(200, 35000);
+  EXPECT_EQ(g2.panel_cols, 128u);
+  EXPECT_EQ(g2.unroll, 2);
+  EXPECT_EQ(s2.panel_k, 48u);
+  EXPECT_EQ(s2.micro_rows, 6u);
+  EXPECT_EQ(tuner.probes(), 0u);
+
+  // Clearing the pin falls back to probing.
+  tuner.set_force("");
+  (void)tuner.gemm(100, 35000, 12);
+  EXPECT_EQ(tuner.probes(), gemm_candidates().size());
+}
+
+TEST_F(TuneTest, BadForceSpecsThrow) {
+  EXPECT_THROW(tuner.set_force("gemm:333"), Error);       // not in grid
+  EXPECT_THROW(tuner.set_force("syrk:50"), Error);        // not a 48-multiple
+  EXPECT_THROW(tuner.set_force("gemm:256:x9"), Error);    // bad suffix
+  EXPECT_THROW(tuner.set_force("lu:256"), Error);         // unknown kind
+  EXPECT_THROW(tuner.set_force("gemm"), Error);           // missing value
+  EXPECT_THROW(tuner.set_force("gemm:abc"), Error);       // not a number
+}
+
+TEST_F(TuneTest, RooflineCollapseInvalidatesAndReprobes) {
+  (void)tuner.gemm(100, 3000, 12);
+  const std::size_t first_probes = tuner.probes();
+  tuner.note_roofline("gemm", 80.0);  // healthy: recorded as best-known
+  (void)tuner.gemm(100, 3000, 12);
+  EXPECT_EQ(tuner.probes(), first_probes);  // still cached
+  EXPECT_EQ(tuner.invalidations(), 0u);
+
+  // A later run measures far below the recorded fraction: entry dropped.
+  (void)tuner.gemm(100, 3000, 12);
+  tuner.note_roofline("gemm", 80.0 * Tuner::kRetuneFraction * 0.5);
+  EXPECT_EQ(tuner.invalidations(), 1u);
+  (void)tuner.gemm(100, 3000, 12);
+  EXPECT_EQ(tuner.probes(), 2 * first_probes);  // re-probed
+}
+
+TEST_F(TuneTest, MildRooflineDipDoesNotInvalidate) {
+  (void)tuner.gemm(100, 3000, 12);
+  tuner.note_roofline("gemm", 80.0);
+  (void)tuner.gemm(100, 3000, 12);
+  tuner.note_roofline("gemm", 80.0 * (Tuner::kRetuneFraction + 0.1));
+  EXPECT_EQ(tuner.invalidations(), 0u);
+}
+
+TEST_F(TuneTest, ResetForgetsDecisionsAndCounters) {
+  (void)tuner.gemm(100, 3000, 12);
+  EXPECT_GT(tuner.probes(), 0u);
+  tuner.reset();
+  EXPECT_EQ(tuner.probes(), 0u);
+  EXPECT_TRUE(tuner.entries().empty());
+  (void)tuner.gemm(100, 3000, 12);
+  EXPECT_EQ(tuner.probes(), gemm_candidates().size());
+}
+
+}  // namespace
+}  // namespace fcma::linalg::tune

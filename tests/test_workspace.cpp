@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/numa.hpp"
 #include "common/workspace.hpp"
 #include "threading/thread_pool.hpp"
 
@@ -114,6 +115,40 @@ TEST(Workspace, ConcurrentCheckoutFromPoolWorkers) {
     }
   });
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(WorkspaceNuma, NodeProbesAreConsistent) {
+  // The syscall wrappers must agree with each other: a node index returned
+  // for the current thread or a first-touched buffer is within
+  // [0, node_count), or -1 where the platform can't say.
+  const int nodes = numa::node_count();
+  EXPECT_GE(nodes, 1);
+  const int here = numa::current_node();
+  EXPECT_GE(here, -1);
+  if (here >= 0) EXPECT_LT(here, nodes);
+  std::vector<float> buf(4096);
+  numa::first_touch(buf.data(), buf.size() * sizeof(float));
+  const int node = numa::node_of(buf.data());
+  EXPECT_GE(node, -1);
+  if (node >= 0) EXPECT_LT(node, nodes);
+}
+
+TEST(WorkspaceNuma, RemoteHitsStayZeroWithinOneThread) {
+  // A buffer first-touched and re-acquired on the same thread can never be
+  // remote (and on a single-node machine nothing ever is).
+  Workspace ws;
+  for (int round = 0; round < 3; ++round) {
+    auto lease = ws.acquire(2048);
+    lease.data()[0] = 1.0f;
+  }
+  EXPECT_GE(ws.pool_hits(), 2u);
+  if (numa::node_count() == 1) {
+    EXPECT_EQ(ws.remote_hits(), 0u);
+  } else {
+    // Multi-node machines may migrate the thread between acquires; the
+    // counter only ever counts pool hits.
+    EXPECT_LE(ws.remote_hits(), ws.pool_hits());
+  }
 }
 
 }  // namespace

@@ -8,8 +8,10 @@ sidecars committed at the repo root) and compares the named spans below.
 A span regresses when it moves in the bad direction by more than
 --max-regress (default 0.10 = 10%) AND by more than the span's absolute
 noise floor — wall-clock smoke numbers are small, so a floor keeps
-millisecond jitter from failing the gate.  Spans missing from either file
-(schema evolution across PRs) are skipped, not failed.
+millisecond jitter from failing the gate.  A span missing from the OLD
+sidecar is skipped (schema grew since that PR); a span present in the old
+sidecar but missing from the NEW one fails loudly by name — losing a
+measurement is a regression of the harness, not noise.
 
 Exit status: 0 = no regression, 1 = at least one, 2 = usage/parse error.
 """
@@ -35,6 +37,12 @@ SPANS = [
     ("benches.cluster_smoke_faulted.recovery_wall_s", "down", 0.10),
     ("benches.cluster_smoke_failover.wall_s", "down", 0.10),
     ("benches.cluster_smoke_failover.recovery_wall_s", "down", 0.15),
+    # Autotuner quality (fcma.bench_smoke.v5+): how much of the fixed-vs-
+    # best geometry gap the tuned pick recovers, clamped per shape to
+    # [-100, 100].  A ratio of small wall-clock gaps swings tens of points
+    # between runs, so the floor is set to catch only a sign-level collapse
+    # (tuner actively mistuning), not jitter.
+    ("benches.tune.recovered_pct_mean", "up", 100.0),
 ]
 
 
@@ -73,10 +81,15 @@ def main(argv):
     old, new = docs
 
     failures = []
+    lost = []
     compared = 0
     for path, direction, floor in SPANS:
         ov, nv = lookup(old, path), lookup(new, path)
-        if ov is None or nv is None:
+        if ov is None:
+            continue  # span postdates the old sidecar's schema
+        if nv is None:
+            lost.append(path)
+            print(f"  {path}: {ov:g} -> MISSING  << LOST SPAN")
             continue
         compared += 1
         delta = nv - ov
@@ -87,10 +100,16 @@ def main(argv):
             failures.append((path, ov, nv, rel))
             flag = "  << REGRESSION"
         print(f"  {path}: {ov:g} -> {nv:g} ({rel:+.1%}){flag}")
-    if compared == 0:
+    if compared == 0 and not lost:
         print("bench_diff: no comparable spans between the two sidecars",
               file=sys.stderr)
         return 2
+    if lost:
+        for path in lost:
+            print(f"bench_diff: span '{path}' exists in {args[0]} but is "
+                  f"missing from {args[1]} — the new sidecar stopped "
+                  "measuring it", file=sys.stderr)
+        return 1
     if failures:
         print(f"bench_diff: {len(failures)} span(s) regressed more than "
               f"{max_regress:.0%} ({args[0]} -> {args[1]})",

@@ -11,14 +11,14 @@
 #
 # Usage: bench_smoke.sh <bench-dir> [output.json] [--pr N]
 #
-# The output defaults to BENCH_pr${BENCH_PR:-6}.json — the per-PR sidecar
+# The output defaults to BENCH_pr${BENCH_PR:-7}.json — the per-PR sidecar
 # committed at the repo root so tools/bench_diff.py can gate later PRs
 # against it.  Pass --pr N (or set BENCH_PR) instead of hardcoding a name.
 set -eu
 
 BENCH_DIR="$1"
 shift
-PR="${BENCH_PR:-6}"
+PR="${BENCH_PR:-7}"
 OUT=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -59,6 +59,11 @@ wall_s() {
 }
 
 echo "bench smoke sweep (scaled-down problem sizes)"
+# The legacy timed sweep runs with the autotuner off so its wall-clock
+# numbers stay comparable with pre-autotuner sidecars (results are
+# bit-identical either way; only first-use probe time would differ).  The
+# dedicated tune runs below re-enable it.
+export FCMA_TUNE=off
 run_bench table5_matmul_gflops "$BENCH_DIR/bench_table5_matmul_gflops" \
   --voxels 2048 --syrk-voxels 512 --epochs 2
 run_bench table7_stage_merging "$BENCH_DIR/bench_table7_stage_merging" \
@@ -87,6 +92,13 @@ run_bench cluster_smoke_failover "$BENCH_DIR/bench_cluster_smoke" \
   --lease-timeout 0.5 --fault-kill-master-after 3
 cp "$BENCH_DIR/bench_cluster_smoke.metrics.json" \
   "$WORK/cluster_failover_metrics.json"
+
+# Autotuner sweep (tuning back on): per-shape winners from the micro-bench
+# probe mode plus the ablation bench's fixed-vs-tuned gap recovery.
+run_bench kernels_micro_tune env FCMA_TUNE=on \
+  "$BENCH_DIR/bench_kernels_micro" --tune
+run_bench ablation_autotune env FCMA_TUNE=on \
+  "$BENCH_DIR/bench_ablation_block_size" --voxels 4096 --rows 32 --repeats 2
 
 # Every table must have produced its metrics sidecar with the dispatched
 # ISA recorded.
@@ -161,6 +173,24 @@ FAILOVER_WALL_S=$(cluster_num "$FAILOVER_METRICS" \
 test "$DIED" = "1"
 test "$FAILOVERS" = "1"
 
+# Autotuner results: each `tune <class> <geometry> src=... gflops=...` line
+# becomes one winners[] string; the ablation summary provides the
+# recovered-gap headline numbers.
+TUNE_PROBES=$(sed -n 's/^tune_done probes=\([0-9]*\).*/\1/p' \
+  "$WORK/kernels_micro_tune.txt")
+TUNE_WINNERS=$(awk '/^tune /{
+  line = $0; sub(/^tune /, "", line);
+  printf "%s\"%s\"", sep, line; sep = ", "
+}' "$WORK/kernels_micro_tune.txt")
+TUNE_REC_MEAN=$(sed -n \
+  's/^autotune_summary.*recovered_pct_mean=\(-\{0,1\}[0-9.]*\).*/\1/p' \
+  "$WORK/ablation_autotune.txt")
+TUNE_REC_MIN=$(sed -n \
+  's/^autotune_summary.*recovered_pct_min=\(-\{0,1\}[0-9.]*\).*/\1/p' \
+  "$WORK/ablation_autotune.txt")
+test -n "$TUNE_PROBES" && test -n "$TUNE_WINNERS"
+test -n "$TUNE_REC_MEAN" && test -n "$TUNE_REC_MIN"
+
 # Every sidecar this sweep consumed must pass the schema check (skipped
 # where python3 is unavailable).
 if command -v python3 >/dev/null 2>&1; then
@@ -172,7 +202,7 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "schema": "fcma.bench_smoke.v4",
+  "schema": "fcma.bench_smoke.v5",
   "simd_isa": "$ISA",
   "benches": {
     "table5_matmul_gflops": {
@@ -212,6 +242,13 @@ cat > "$OUT" <<EOF
       "wall_s": $(wall_s cluster_smoke_failover),
       "failovers": $FAILOVERS,
       "recovery_wall_s": $FAILOVER_WALL_S
+    },
+    "tune": {
+      "wall_s": $(wall_s ablation_autotune),
+      "probes": $TUNE_PROBES,
+      "recovered_pct_mean": $TUNE_REC_MEAN,
+      "recovered_pct_min": $TUNE_REC_MIN,
+      "winners": [$TUNE_WINNERS]
     }
   }
 }

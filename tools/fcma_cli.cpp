@@ -35,6 +35,7 @@
 #include "fmri/presets.hpp"
 #include "fmri/synthetic.hpp"
 #include "linalg/simd.hpp"
+#include "linalg/tune.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace {
@@ -58,6 +59,29 @@ void usage() {
       "              roofline, cluster balance)\n"
       "\n"
       "run `fcma <command> --help` for that command's flags.");
+}
+
+// Autotuner knobs shared by the analysis commands (analyze/cluster/offline).
+// CLI flags override the FCMA_TUNE / FCMA_TUNE_CACHE / FCMA_TUNE_FORCE
+// environment the Tuner read on first use.
+void add_tune_flags(Cli& cli) {
+  cli.add_flag("tune-off", "false",
+               "disable the shape-adaptive kernel autotuner (fixed default "
+               "geometry; results stay bit-identical either way)");
+  cli.add_flag("tune-cache", "",
+               "persistent tuning cache path (fcma.tune.v1 JSON; loaded if "
+               "present, rewritten after new decisions)");
+  cli.add_flag("tune-force", "",
+               "pin kernel geometries, e.g. gemm:256:u2,syrk:48:r6");
+}
+
+void apply_tune_flags(const Cli& cli) {
+  auto& tuner = linalg::tune::Tuner::instance();
+  if (cli.get_bool("tune-off")) tuner.set_enabled(false);
+  if (!cli.get("tune-force").empty()) tuner.set_force(cli.get("tune-force"));
+  if (!cli.get("tune-cache").empty()) {
+    tuner.set_cache_path(cli.get("tune-cache"));
+  }
 }
 
 int cmd_generate(int argc, const char* const* argv) {
@@ -199,7 +223,9 @@ int cmd_analyze(int argc, const char* const* argv) {
   cli.add_flag("trace-timeline", "",
                "write a Chrome-trace timeline of the run to this path "
                "(open in chrome://tracing or ui.perfetto.dev)");
+  add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_tune_flags(cli);
   const std::string sched = cli.get("sched");
   FCMA_CHECK(sched == "steal" || sched == "serial",
              "--sched expects 'steal' or 'serial'");
@@ -338,7 +364,9 @@ int cmd_cluster(int argc, const char* const* argv) {
                "write a JSON span/counter trace of the run to this path");
   cli.add_flag("trace-timeline", "",
                "write a Chrome-trace timeline of the run to this path");
+  add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_tune_flags(cli);
 
   const std::string trace_path = cli.get("trace");
   const std::string timeline_path = cli.get("trace-timeline");
@@ -462,7 +490,9 @@ int cmd_offline(int argc, const char* const* argv) {
                "write a JSON span/counter trace of the run to this path");
   cli.add_flag("trace-timeline", "",
                "write a Chrome-trace timeline of the run to this path");
+  add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_tune_flags(cli);
   const std::string sched = cli.get("sched");
   FCMA_CHECK(sched == "steal" || sched == "serial",
              "--sched expects 'steal' or 'serial'");
