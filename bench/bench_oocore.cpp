@@ -1,0 +1,306 @@
+// Out-of-core data-plane proof (PR 8): runs the same analysis twice over a
+// shard store larger than the memory budget — once fully resident, once
+// streamed through StreamedEpochs under plan_residency — and checks two
+// claims machine-verifiably:
+//
+//   1. the streamed run's peak RSS (VmHWM) stays under --memory-budget,
+//   2. the streamed per-voxel accuracies are byte-identical to resident.
+//
+// VmHWM is a per-process high-water mark, so each phase re-execs this
+// binary (--phase generate|resident|streamed); the parent orchestrates,
+// byte-compares the reports, and publishes oocore/* gauges to the metrics
+// sidecar for bench_smoke.sh.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "fcma/epoch_source.hpp"
+#include "fcma/memory_model.hpp"
+#include "fmri/dataset_view.hpp"
+#include "fmri/shard_store.hpp"
+
+using namespace fcma;
+
+namespace {
+
+// Peak resident set of this process in bytes (VmHWM of /proc/self/status).
+std::size_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(
+                 std::strtoull(line.c_str() + 6, nullptr, 10)) *
+             1024;
+    }
+  }
+  return 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_accuracies(const std::string& path,
+                      const std::vector<double>& accuracy) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(accuracy.data()),
+            static_cast<std::streamsize>(accuracy.size() * sizeof(double)));
+}
+
+// One "key=value" stats line per phase, parsed back by the parent.
+void write_stat(std::ofstream& out, const std::string& key, double value) {
+  out << key << "=" << value << "\n";
+}
+
+double read_stat(const std::string& path, const std::string& key) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key + "=", 0) == 0) {
+      return std::strtod(line.c_str() + key.size() + 1, nullptr);
+    }
+  }
+  return 0.0;
+}
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  FCMA_CHECK(n > 0, "cannot resolve /proc/self/exe");
+  buf[n] = '\0';
+  return buf;
+}
+
+int run_phase(const std::string& exe, const std::string& phase,
+              const std::string& passthrough) {
+  const std::string cmd = exe + " --phase " + phase + " " + passthrough;
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+struct PhaseArgs {
+  std::string dir;
+  std::size_t voxels = 0;
+  std::int32_t subjects = 0;
+  std::size_t task_voxels = 0;
+  std::size_t budget = 0;
+  unsigned threads = 0;
+};
+
+int phase_generate(const PhaseArgs& a) {
+  fmri::DatasetSpec spec = fmri::face_scene_spec();
+  spec = spec.scaled_subjects(a.subjects);
+  spec = spec.scaled_voxels(static_cast<double>(a.voxels) /
+                            static_cast<double>(spec.voxels));
+  const fmri::Dataset d = fmri::generate_synthetic(spec);
+  fmri::write_shard_store(a.dir + "/store", d);
+  const double raw_mb =
+      static_cast<double>(d.voxels() * d.epochs().size() *
+                          static_cast<std::size_t>(d.epochs().front().length) *
+                          sizeof(float)) /
+      (1024.0 * 1024.0);
+  std::ofstream stats(a.dir + "/generate.stats");
+  write_stat(stats, "raw_mb", raw_mb);
+  std::printf("generated %zu voxels x %zu epochs (%.1f MB raw panels)\n",
+              d.voxels(), d.epochs().size(), raw_mb);
+  return 0;
+}
+
+int phase_resident(const PhaseArgs& a) {
+  WallTimer timer;
+  const auto view = fmri::open_shard_store(a.dir + "/store", "store");
+  const fmri::NormalizedEpochs norm = fmri::normalize_epochs(*view);
+  threading::ThreadPool pool(a.threads);
+  core::PipelineConfig config = core::PipelineConfig::optimized();
+  config.pool = &pool;
+  const core::VoxelTask task{0, static_cast<std::uint32_t>(a.task_voxels)};
+  const core::TaskResult result = core::run_task_grouped(norm, task, config,
+                                                         /*group_voxels=*/32);
+  write_accuracies(a.dir + "/resident.acc", result.accuracy);
+  std::ofstream stats(a.dir + "/resident.stats");
+  write_stat(stats, "wall_s", timer.seconds());
+  write_stat(stats, "peak_rss_mb",
+             static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+  return 0;
+}
+
+int phase_streamed(const PhaseArgs& a) {
+  WallTimer timer;
+  trace::set_enabled(true);
+  const auto view = fmri::open_shard_store(a.dir + "/store", "store");
+  const core::BudgetPlan plan = core::plan_residency(
+      view->epochs().size(), view->epochs_per_subject(), view->voxels(),
+      static_cast<std::size_t>(view->epochs().front().length), a.budget);
+  threading::ThreadPool pool(a.threads);
+  core::PipelineConfig config = core::PipelineConfig::optimized();
+  core::StreamedEpochs source(*view,
+                              {plan.panel_cache_bytes, &pool});
+  std::vector<double> accuracy(a.task_voxels, 0.0);
+  // Tasks run serially (the pool only drives prefetch + stage 3), so one
+  // plan-sized correlation buffer is live at a time — the accounting the
+  // residency plan assumes.
+  config.pool = &pool;
+  std::size_t first = 0;
+  while (first < a.task_voxels) {
+    const std::size_t count =
+        std::min(plan.voxels_per_task, a.task_voxels - first);
+    const core::VoxelTask task{static_cast<std::uint32_t>(first),
+                               static_cast<std::uint32_t>(count)};
+    const core::TaskResult part =
+        core::run_task_grouped(source, task, config, plan.group_voxels);
+    std::memcpy(accuracy.data() + first, part.accuracy.data(),
+                count * sizeof(double));
+    first += count;
+  }
+  write_accuracies(a.dir + "/streamed.acc", accuracy);
+
+  trace::flush();
+  const auto& reg = trace::global();
+  const std::size_t peak = peak_rss_bytes();
+  std::ofstream stats(a.dir + "/streamed.stats");
+  write_stat(stats, "wall_s", timer.seconds());
+  write_stat(stats, "peak_rss_mb",
+             static_cast<double>(peak) / (1024.0 * 1024.0));
+  write_stat(stats, "shard_loads",
+             static_cast<double>(reg.counter("io/shard_loads")));
+  write_stat(stats, "bytes_mapped",
+             static_cast<double>(reg.counter("io/bytes_mapped")));
+  write_stat(stats, "prefetch_hits",
+             static_cast<double>(reg.counter("io/prefetch_hits")));
+  write_stat(stats, "stall_s", reg.gauge("io/stall_s"));
+  if (peak > a.budget) {
+    std::fprintf(stderr,
+                 "FAIL: streamed peak RSS %.1f MB exceeds budget %.1f MB\n",
+                 static_cast<double>(peak) / (1024.0 * 1024.0),
+                 static_cast<double>(a.budget) / (1024.0 * 1024.0));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_oocore",
+          "out-of-core proof: streamed run under --memory-budget, "
+          "byte-identical to resident");
+  cli.add_flag("phase", "", "internal: generate|resident|streamed");
+  cli.add_flag("dir", "", "working directory (default: a fresh temp dir)");
+  cli.add_flag("voxels", "16384", "brain size (raw panels must exceed budget)");
+  cli.add_flag("subjects", "10", "subject count");
+  cli.add_flag("task", "96", "voxels to score");
+  cli.add_flag("memory-budget-mb", "80", "streamed-phase budget (MB)");
+  cli.add_flag("threads", "2", "pool threads (prefetch + stage 3)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  PhaseArgs a;
+  a.voxels = static_cast<std::size_t>(cli.get_int("voxels"));
+  a.subjects = static_cast<std::int32_t>(cli.get_int("subjects"));
+  a.task_voxels = static_cast<std::size_t>(cli.get_int("task"));
+  a.budget = static_cast<std::size_t>(cli.get_int("memory-budget-mb")) << 20;
+  a.threads = static_cast<unsigned>(cli.get_int("threads"));
+  a.dir = cli.get("dir");
+
+  const std::string phase = cli.get("phase");
+  if (!phase.empty()) {
+    FCMA_CHECK(!a.dir.empty(), "--phase requires --dir");
+    if (phase == "generate") return phase_generate(a);
+    if (phase == "resident") return phase_resident(a);
+    if (phase == "streamed") return phase_streamed(a);
+    std::fprintf(stderr, "unknown phase: %s\n", phase.c_str());
+    return 2;
+  }
+
+  // Parent: orchestrate the three phases in child processes so each gets
+  // its own VmHWM, then compare and publish.
+  const fcma::bench::MetricsSidecar metrics(argv[0]);
+  bool own_dir = false;
+  if (a.dir.empty()) {
+    a.dir = (std::filesystem::temp_directory_path() /
+             ("fcma_oocore_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::create_directories(a.dir);
+    own_dir = true;
+  }
+  std::ostringstream pass;
+  pass << "--dir " << a.dir << " --voxels " << a.voxels << " --subjects "
+       << a.subjects << " --task " << a.task_voxels << " --memory-budget-mb "
+       << (a.budget >> 20) << " --threads " << a.threads;
+
+  const std::string exe = self_exe();
+  bench::print_preamble(
+      "Out-of-core data plane: streamed vs resident over one shard store");
+  int rc = run_phase(exe, "generate", pass.str());
+  if (rc == 0) {
+    // The claim is only meaningful out of core: the dataset must not fit.
+    const double raw_mb = read_stat(a.dir + "/generate.stats", "raw_mb");
+    FCMA_CHECK(raw_mb * 1024.0 * 1024.0 > static_cast<double>(a.budget),
+               "dataset smaller than the budget -- raise --voxels/--subjects");
+  }
+  if (rc == 0) rc = run_phase(exe, "resident", pass.str());
+  if (rc == 0) rc = run_phase(exe, "streamed", pass.str());
+  FCMA_CHECK(rc == 0, "a bench phase failed (exit " + std::to_string(rc) +
+                          ") -- see stderr above");
+
+  const std::string res = read_file(a.dir + "/resident.acc");
+  const std::string str = read_file(a.dir + "/streamed.acc");
+  const bool identical = !res.empty() && res == str;
+  const double res_wall = read_stat(a.dir + "/resident.stats", "wall_s");
+  const double str_wall = read_stat(a.dir + "/streamed.stats", "wall_s");
+  const double res_rss = read_stat(a.dir + "/resident.stats", "peak_rss_mb");
+  const double str_rss = read_stat(a.dir + "/streamed.stats", "peak_rss_mb");
+  const double budget_mb = static_cast<double>(a.budget) / (1024.0 * 1024.0);
+  const double slowdown = res_wall > 0.0 ? str_wall / res_wall : 0.0;
+
+  Table t("streamed vs resident");
+  t.header({"metric", "resident", "streamed"});
+  t.row({"wall (s)", Table::num(res_wall, 2), Table::num(str_wall, 2)});
+  t.row({"peak RSS (MB)", Table::num(res_rss, 1), Table::num(str_rss, 1)});
+  t.row({"within budget (" + Table::num(budget_mb, 0) + " MB)", "-",
+         str_rss <= budget_mb ? "yes" : "NO"});
+  t.row({"reports identical", "-", identical ? "yes" : "NO"});
+  t.print();
+
+  Table io("streamed-phase io counters");
+  io.header({"counter", "value"});
+  io.row({"io/shard_loads", Table::num(read_stat(a.dir + "/streamed.stats",
+                                                 "shard_loads"), 0)});
+  io.row({"io/bytes_mapped", Table::num(read_stat(a.dir + "/streamed.stats",
+                                                  "bytes_mapped"), 0)});
+  io.row({"io/prefetch_hits", Table::num(read_stat(a.dir + "/streamed.stats",
+                                                   "prefetch_hits"), 0)});
+  io.row({"io/stall_s", Table::num(read_stat(a.dir + "/streamed.stats",
+                                             "stall_s"), 3)});
+  io.print();
+
+  trace::gauge_set("oocore/budget_mb", budget_mb);
+  trace::gauge_set("oocore/streamed_peak_rss_mb", str_rss);
+  trace::gauge_set("oocore/resident_peak_rss_mb", res_rss);
+  trace::gauge_set("oocore/streamed_wall_s", str_wall);
+  trace::gauge_set("oocore/resident_wall_s", res_wall);
+  trace::gauge_set("oocore/streamed_slowdown", slowdown);
+  trace::gauge_set("oocore/within_budget", str_rss <= budget_mb ? 1.0 : 0.0);
+  trace::gauge_set("oocore/reports_identical", identical ? 1.0 : 0.0);
+
+  if (own_dir) std::filesystem::remove_all(a.dir);
+  FCMA_CHECK(identical, "streamed report differs from resident");
+  FCMA_CHECK(str_rss <= budget_mb, "streamed run exceeded the memory budget");
+  std::printf("streamed run stayed under %.0f MB and matched resident "
+              "bit-for-bit (%.1fx wall)\n", budget_mb, slowdown);
+  return 0;
+}

@@ -78,8 +78,7 @@ std::optional<PackedResult> decode_result(
 /// redirects the farm without restarting it.  A `parked` worker (elastic
 /// join) waits for kJoinGo before entering the loop, and the scheduled
 /// leaver sends kLeave and exits after its quota.
-void worker_main(Comm& comm, std::size_t rank,
-                 const fmri::NormalizedEpochs& epochs,
+void worker_main(Comm& comm, std::size_t rank, core::EpochSource& epochs,
                  const DriverOptions& options, std::size_t low_water,
                  double& busy_s, bool parked) {
   // Per-worker span family: count/total/min/max of this rank's task
@@ -721,7 +720,7 @@ void merge_stats(DriverStats& total, const DriverStats& part) {
 
 }  // namespace
 
-core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
+core::Scoreboard run_cluster_analysis(core::EpochSource& epochs,
                                       std::size_t total_voxels,
                                       const DriverOptions& options,
                                       DriverStats* stats) {
@@ -796,7 +795,7 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
   std::thread standby_thread;
   const FarmGuard guard{comm, workers, &standby_thread};
   for (std::size_t w = 1; w <= worker_ranks; ++w) {
-    workers.emplace_back(worker_main, std::ref(comm), w, std::cref(epochs),
+    workers.emplace_back(worker_main, std::ref(comm), w, std::ref(epochs),
                          std::cref(options), low_water,
                          std::ref(totals.worker_busy_s[w - 1]),
                          /*parked=*/w > options.workers);
@@ -852,6 +851,16 @@ core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
   trace::gauge_set("cluster/imbalance_ratio", totals.imbalance_ratio());
   if (stats != nullptr) *stats = totals;
   return board;
+}
+
+core::Scoreboard run_cluster_analysis(const fmri::NormalizedEpochs& epochs,
+                                      std::size_t total_voxels,
+                                      const DriverOptions& options,
+                                      DriverStats* stats) {
+  // Safe to stack-allocate: the farm joins every worker thread before the
+  // primary overload returns.
+  core::ResidentEpochs source(epochs);
+  return run_cluster_analysis(source, total_voxels, options, stats);
 }
 
 }  // namespace fcma::cluster

@@ -178,14 +178,22 @@ struct DriverStats {
   }
 };
 
-/// Runs the task farm over `epochs` (already normalized), scoring every
-/// voxel of the brain.  Returns the populated scoreboard.  The result is a
-/// pure function of (epochs, total_voxels, pipeline, voxels_per_task):
-/// workers/batch/low_water only move tasks between ranks, the scoreboard
-/// stores per-voxel slots, and every recovery path recomputes identical
-/// values — so any configuration, faulted or not, is bit-identical to the
-/// single-node run over the same tasks.  Throws fcma::Error if every worker
-/// dies or a task exhausts max_task_retries.
+/// Runs the task farm over `epochs`, scoring every voxel of the brain.
+/// Returns the populated scoreboard.  The result is a pure function of
+/// (epochs, total_voxels, pipeline, voxels_per_task): workers/batch/
+/// low_water only move tasks between ranks, the scoreboard stores per-voxel
+/// slots, and every recovery path recomputes identical values — so any
+/// configuration, faulted or not, is bit-identical to the single-node run
+/// over the same tasks.  Throws fcma::Error if every worker dies or a task
+/// exhausts max_task_retries.
+///
+/// The EpochSource form is primary: all worker ranks lease panels from the
+/// shared source (both backends are thread-safe), so a streamed source
+/// bounds the farm's panel residency the same way it bounds a single-node
+/// run.  The NormalizedEpochs overload wraps ResidentEpochs.
+[[nodiscard]] core::Scoreboard run_cluster_analysis(
+    core::EpochSource& epochs, std::size_t total_voxels,
+    const DriverOptions& options, DriverStats* stats = nullptr);
 [[nodiscard]] core::Scoreboard run_cluster_analysis(
     const fmri::NormalizedEpochs& epochs, std::size_t total_voxels,
     const DriverOptions& options, DriverStats* stats = nullptr);

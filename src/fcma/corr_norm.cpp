@@ -76,37 +76,46 @@ void normalize_corr_buffer(const std::vector<fmri::Epoch>& meta,
   }
 }
 
-void baseline_correlate_normalize(const fmri::NormalizedEpochs& epochs,
-                                  const VoxelTask& task,
+void baseline_correlate_normalize(EpochSource& epochs, const VoxelTask& task,
                                   linalg::MatrixView out) {
-  const std::size_t m_total = epochs.per_epoch.size();
+  const std::size_t m_total = epochs.meta().size();
   FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
   {
     const trace::Span span("correlation");
     for (std::size_t m = 0; m < m_total; ++m) {
-      linalg::baseline::gemm_nt(task_rows(epochs.per_epoch[m], task),
-                                epochs.per_epoch[m].view(),
+      epochs.prefetch(m + 1, m + 2);
+      const auto lease = epochs.acquire(m, m + 1);
+      const linalg::Matrix& act = lease.epoch(m);
+      linalg::baseline::gemm_nt(task_rows(act, task), act.view(),
                                 epoch_slice(out, task, m_total, m));
     }
   }
-  normalize_corr_buffer(epochs.meta, task, out);
+  normalize_corr_buffer(epochs.meta(), task, out);
 }
 
-void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
-                                   const VoxelTask& task,
+void baseline_correlate_normalize(const fmri::NormalizedEpochs& epochs,
+                                  const VoxelTask& task,
+                                  linalg::MatrixView out) {
+  ResidentEpochs source(epochs);
+  baseline_correlate_normalize(source, task, out);
+}
+
+void optimized_correlate_normalize(EpochSource& epochs, const VoxelTask& task,
                                    linalg::MatrixView out, NormMode mode) {
-  const std::size_t m_total = epochs.per_epoch.size();
+  const std::size_t m_total = epochs.meta().size();
   FCMA_CHECK(out.rows == task.count * m_total, "bad corr buffer shape");
   if (mode == NormMode::kSeparated) {
     {
       const trace::Span span("correlation");
       for (std::size_t m = 0; m < m_total; ++m) {
-        linalg::opt::gemm_nt(task_rows(epochs.per_epoch[m], task),
-                             epochs.per_epoch[m].view(),
+        epochs.prefetch(m + 1, m + 2);
+        const auto lease = epochs.acquire(m, m + 1);
+        const linalg::Matrix& act = lease.epoch(m);
+        linalg::opt::gemm_nt(task_rows(act, task), act.view(),
                              epoch_slice(out, task, m_total, m));
       }
     }
-    normalize_corr_buffer(epochs.meta, task, out);
+    normalize_corr_buffer(epochs.meta(), task, out);
     return;
   }
 
@@ -115,32 +124,39 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
   // while the freshly-written panel is still cache resident.  The two
   // logical stages interleave per panel, so their trace spans are split by
   // accumulating the normalization slices and attributing the rest of the
-  // elapsed time to correlation.
+  // elapsed time to correlation.  The fused sweep needs one subject's
+  // panels live at a time — that run is the streaming granularity, and the
+  // next subject's panels prefetch while this one computes.
   const bool tracing = trace::enabled();
   const WallTimer fused_timer;
   double norm_s = 0.0;
   const std::size_t n = out.cols;
-  const auto runs = subject_runs(epochs.meta);
+  const auto runs = subject_runs(epochs.meta());
   std::size_t max_e = 0;
   for (const SubjectRun& r : runs) max_e = std::max(max_e, r.last - r.first);
-  const std::size_t t_len = epochs.per_epoch.front().cols();
+  const auto t_len = static_cast<std::size_t>(epochs.meta().front().length);
   // One tuning decision covers the whole fused sweep: classify by the
   // per-row-panel shape (task.count rows, n output columns, t_len depth).
   const linalg::tune::GemmGeometry geo =
       linalg::tune::gemm_plan(task.count, n, t_len);
   auto bt = Workspace::local().acquire(max_e * t_len * geo.panel_cols);
-  for (const SubjectRun& run : runs) {
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const SubjectRun& run = runs[r];
+    if (r + 1 < runs.size()) {
+      epochs.prefetch(runs[r + 1].first, runs[r + 1].last);
+    }
+    const auto lease = epochs.acquire(run.first, run.last);
     const std::size_t e_count = run.last - run.first;
     for (std::size_t j0 = 0; j0 < n; j0 += geo.panel_cols) {
       const std::size_t j1 = std::min(n, j0 + geo.panel_cols);
       const std::size_t width = j1 - j0;
       for (std::size_t e = 0; e < e_count; ++e) {
-        linalg::opt::pack_bt_panel(epochs.per_epoch[run.first + e].view(), j0,
-                                   j1, bt.data() + e * t_len * width);
+        linalg::opt::pack_bt_panel(lease.epoch(run.first + e).view(), j0, j1,
+                                   bt.data() + e * t_len * width);
       }
       for (std::size_t v = 0; v < task.count; ++v) {
         for (std::size_t e = 0; e < e_count; ++e) {
-          const linalg::Matrix& act = epochs.per_epoch[run.first + e];
+          const linalg::Matrix& act = lease.epoch(run.first + e);
           linalg::opt::gemm_row_panel(
               act.row(task.first + v), act.cols(),
               bt.data() + e * t_len * width, width,
@@ -162,6 +178,13 @@ void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
     trace::record_span("normalization", norm_s);
     trace::record_span("correlation", fused_timer.seconds() - norm_s);
   }
+}
+
+void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
+                                   const VoxelTask& task,
+                                   linalg::MatrixView out, NormMode mode) {
+  ResidentEpochs source(epochs);
+  optimized_correlate_normalize(source, task, out, mode);
 }
 
 void baseline_correlate_normalize_instrumented(

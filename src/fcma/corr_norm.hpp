@@ -19,6 +19,7 @@
 #pragma once
 
 #include "fmri/dataset.hpp"
+#include "fcma/epoch_source.hpp"
 #include "fcma/task.hpp"
 #include "linalg/matrix.hpp"
 #include "memsim/instrument.hpp"
@@ -36,10 +37,19 @@ enum class NormMode { kSeparated, kMerged };
                                               std::size_t brain_voxels);
 
 /// Baseline stages 1+2 (always separated — the baseline has no fusion).
+/// The EpochSource form is primary: panels are leased one epoch (baseline /
+/// separated) or one subject run (merged) at a time with the next range
+/// prefetched, so a streamed source never needs the full panel stack
+/// resident.  The NormalizedEpochs overloads wrap ResidentEpochs and stay
+/// bit-identical.
+void baseline_correlate_normalize(EpochSource& epochs, const VoxelTask& task,
+                                  linalg::MatrixView out);
 void baseline_correlate_normalize(const fmri::NormalizedEpochs& epochs,
                                   const VoxelTask& task, linalg::MatrixView out);
 
 /// Optimized stages 1+2.
+void optimized_correlate_normalize(EpochSource& epochs, const VoxelTask& task,
+                                   linalg::MatrixView out, NormMode mode);
 void optimized_correlate_normalize(const fmri::NormalizedEpochs& epochs,
                                    const VoxelTask& task,
                                    linalg::MatrixView out, NormMode mode);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace fcma::core {
 
 std::size_t corr_bytes_per_voxel(std::size_t epochs,
@@ -27,6 +29,46 @@ std::size_t optimized_max_voxels(std::size_t epochs, std::size_t brain_voxels,
   if (in_flight >= available_bytes) return 0;
   const std::size_t per_voxel = kernel_bytes_per_voxel(epochs);
   return per_voxel == 0 ? 0 : (available_bytes - in_flight) / per_voxel;
+}
+
+BudgetPlan plan_residency(std::size_t total_epochs,
+                          std::size_t epochs_per_subject,
+                          std::size_t brain_voxels, std::size_t epoch_length,
+                          std::size_t budget_bytes) {
+  FCMA_CHECK(total_epochs > 0 && epochs_per_subject > 0 && brain_voxels > 0 &&
+                 epoch_length > 0,
+             "residency plan needs a non-empty dataset shape");
+  FCMA_CHECK(budget_bytes > 0, "memory budget must be positive");
+
+  const std::size_t panel_bytes = brain_voxels * epoch_length * sizeof(float);
+  const std::size_t all_panels = total_epochs * panel_bytes;
+  // Merged stage 1/2 pins one whole subject run; +1 panel of lookahead.
+  const std::size_t min_cache = (epochs_per_subject + 1) * panel_bytes;
+  const std::size_t corr_voxel = corr_bytes_per_voxel(total_epochs,
+                                                      brain_voxels);
+  const std::size_t kernel_voxel = kernel_bytes_per_voxel(total_epochs);
+
+  // Plan against 5/8 of the budget; see the header for what the remaining
+  // 3/8 of headroom absorbs.
+  const std::size_t usable = budget_bytes * 5 / 8;
+  FCMA_CHECK(min_cache + corr_voxel + kernel_voxel <= usable,
+             "memory budget too small for one subject's panels plus a "
+             "one-voxel working set");
+
+  BudgetPlan plan;
+  plan.budget_bytes = budget_bytes;
+  // Half the usable budget for panels (never more than the whole dataset's
+  // panels, never less than the merged sweep's floor) ...
+  plan.panel_cache_bytes =
+      std::clamp(usable / 2, min_cache, std::max(min_cache, all_panels));
+  // ... and the remainder split evenly between in-flight correlation
+  // blocks (group size) and per-task kernel accumulation (task grain).
+  const std::size_t rest = usable - plan.panel_cache_bytes;
+  plan.group_voxels = std::max<std::size_t>(1, rest / 2 / corr_voxel);
+  plan.voxels_per_task =
+      std::max(plan.group_voxels,
+               std::max<std::size_t>(1, rest / 2 / kernel_voxel));
+  return plan;
 }
 
 }  // namespace fcma::core

@@ -38,4 +38,34 @@ inline constexpr std::size_t kPhiAvailableBytes = 6ull << 30;
                                                std::size_t available_bytes,
                                                std::size_t group = 8);
 
+/// Residency plan for a budget-bounded streamed run (`--memory-budget`).
+///
+/// Splits the budget deterministically between the three big consumers of
+/// a streamed grouped run:
+///   * panel cache — StreamedEpochs' normalized-epoch panels (at least one
+///     full subject run plus one prefetched panel, the floor the merged
+///     stage 1/2 sweep needs);
+///   * correlation — the group's in-flight count x M x N blocks;
+///   * kernels — the per-task accumulated M x M kernel matrices.
+/// Only ~5/8 of the budget is planned; the rest is headroom for code,
+/// transient shard mappings, SVM scratch, and allocator slack so the
+/// *process* peak RSS stays under the user's number, not just the plan.
+struct BudgetPlan {
+  std::size_t budget_bytes = 0;       ///< the user's total budget
+  std::size_t panel_cache_bytes = 0;  ///< StreamedEpochs cache budget
+  std::size_t group_voxels = 0;       ///< grouped-pipeline group size
+  std::size_t voxels_per_task = 0;    ///< task grain (caps kernel buildup)
+};
+
+/// Plans shard/task sizes for `budget_bytes`; throws fcma::Error when the
+/// budget cannot hold even the minimal working set (one subject's panels,
+/// a one-voxel correlation block, one kernel matrix).  Pure function of
+/// its arguments, so resident and streamed runs of the same shape always
+/// pick the same sizes.
+[[nodiscard]] BudgetPlan plan_residency(std::size_t total_epochs,
+                                        std::size_t epochs_per_subject,
+                                        std::size_t brain_voxels,
+                                        std::size_t epoch_length,
+                                        std::size_t budget_bytes);
+
 }  // namespace fcma::core

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <optional>
 
 #include "common/trace.hpp"
 #include "common/workspace.hpp"
+#include "fcma/memory_model.hpp"
 #include "linalg/opt.hpp"
 #include "stats/normalization.hpp"
 
@@ -50,11 +52,10 @@ std::vector<std::uint32_t> OfflineResult::reliable_voxels(
 }
 
 linalg::Matrix selected_correlation_features(
-    const fmri::NormalizedEpochs& epochs,
-    std::span<const std::uint32_t> selected) {
+    EpochSource& epochs, std::span<const std::uint32_t> selected) {
   const std::size_t k = selected.size();
   FCMA_CHECK(k >= 2, "need at least two selected voxels");
-  const std::size_t m = epochs.per_epoch.size();
+  const std::size_t m = epochs.meta().size();
   const std::size_t dim = k * (k - 1) / 2;
   linalg::Matrix features(m, dim);
   // Per epoch: gather the k selected rows into a packed k x T panel and let
@@ -62,12 +63,14 @@ linalg::Matrix selected_correlation_features(
   // triangle, read row-major, is exactly the (i, j>i) pair ordering of the
   // feature vector.  Entries are already Pearson r's (eq. 2/3
   // normalization).
-  const std::size_t t_len = epochs.per_epoch.front().cols();
+  const auto t_len = static_cast<std::size_t>(epochs.meta().front().length);
   auto& workspace = Workspace::local();
   auto packed = workspace.acquire(k * t_len);
   auto gram = workspace.acquire(k * k);
   for (std::size_t e = 0; e < m; ++e) {
-    const linalg::Matrix& act = epochs.per_epoch[e];
+    epochs.prefetch(e + 1, e + 2);
+    const auto lease = epochs.acquire(e, e + 1);
+    const linalg::Matrix& act = lease.epoch(e);
     for (std::size_t i = 0; i < k; ++i) {
       std::memcpy(packed.data() + i * t_len, act.row(selected[i]),
                   t_len * sizeof(float));
@@ -83,6 +86,13 @@ linalg::Matrix selected_correlation_features(
     }
   }
   return features;
+}
+
+linalg::Matrix selected_correlation_features(
+    const fmri::NormalizedEpochs& epochs,
+    std::span<const std::uint32_t> selected) {
+  ResidentEpochs source(epochs);
+  return selected_correlation_features(source, selected);
 }
 
 double train_and_test_classifier(const linalg::Matrix& features,
@@ -112,17 +122,45 @@ double train_and_test_classifier(const linalg::Matrix& features,
                    static_cast<double>(test_idx.size());
 }
 
-OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
+OfflineResult run_offline_analysis(const fmri::DatasetView& dataset,
                                    const OfflineOptions& options) {
   OfflineResult result;
   const std::size_t v_total = dataset.voxels();
-  const std::size_t per_task =
-      options.voxels_per_task == 0 ? v_total : options.voxels_per_task;
+  const bool streamed = options.memory_budget_bytes > 0;
+  threading::ThreadPool* pool = options.pipeline.pool;
+
+  std::size_t per_task = options.voxels_per_task;
+  std::optional<BudgetPlan> plan;
+  if (streamed) {
+    plan = plan_residency(
+        dataset.epochs().size(), dataset.epochs_per_subject(), v_total,
+        static_cast<std::size_t>(dataset.epochs().front().length),
+        options.memory_budget_bytes);
+    if (per_task == 0) {
+      // Concurrent tasks each hold their own correlation buffer, so the
+      // plan's correlation allowance is split across the pool lanes.
+      const std::size_t lanes = pool != nullptr ? pool->size() : 1;
+      per_task = std::max<std::size_t>(1, plan->group_voxels / lanes);
+    }
+  } else if (per_task == 0) {
+    per_task = v_total;
+  }
   const std::vector<VoxelTask> tasks = partition_voxels(v_total, per_task);
 
-  // All-epoch normalization feeds the final per-fold classifier but does
-  // not depend on the fold, so compute it once for the whole analysis.
-  const fmri::NormalizedEpochs all = fmri::normalize_epochs(dataset);
+  // All-epoch panels feed the final per-fold classifier but do not depend
+  // on the fold, so one source (materialized epochs, or a bounded streamed
+  // cache) serves every fold.
+  std::optional<fmri::NormalizedEpochs> all;
+  std::optional<StreamedEpochs> all_streamed;
+  if (streamed) {
+    all_streamed.emplace(dataset,
+                         StreamedEpochs::Options{plan->panel_cache_bytes,
+                                                 pool});
+  } else {
+    all = fmri::normalize_epochs(dataset);
+  }
+  const std::vector<fmri::Epoch>& all_meta =
+      streamed ? all_streamed->meta() : all->meta;
 
   for (std::int32_t fold = 0; fold < dataset.subjects(); ++fold) {
     const trace::Span fold_span("offline_fold");
@@ -132,16 +170,23 @@ OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
     for (std::size_t e = 0; e < dataset.epochs().size(); ++e) {
       if (dataset.epochs()[e].subject != fold) train_epochs.push_back(e);
     }
-    const fmri::NormalizedEpochs training =
-        fmri::normalize_epochs(dataset, train_epochs);
 
     // Voxel selection: full FCMA over the training subjects.  Tasks run
     // through the configured pool; results come back in task order, so the
     // scoreboard fills identically at any thread count.
     Scoreboard board(v_total);
-    for (const TaskResult& tr : run_tasks(training, tasks, options.pipeline)) {
-      board.add(tr);
+    std::vector<TaskResult> fold_results;
+    if (streamed) {
+      StreamedEpochs training(
+          dataset, train_epochs,
+          StreamedEpochs::Options{plan->panel_cache_bytes, pool});
+      fold_results = run_tasks(training, tasks, options.pipeline);
+    } else {
+      const fmri::NormalizedEpochs training =
+          fmri::normalize_epochs(dataset, train_epochs);
+      fold_results = run_tasks(training, tasks, options.pipeline);
     }
+    for (const TaskResult& tr : fold_results) board.add(tr);
     FoldResult fr;
     fr.left_out_subject = fold;
     fr.selected = board.top_voxels(options.top_k);
@@ -155,19 +200,25 @@ OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
     // Final classifier: selected-voxel correlation patterns over *all*
     // epochs; train on the training subjects, test on the held-out one.
     linalg::Matrix features =
-        selected_correlation_features(all, fr.selected);
-    zscore_features_within_subject(features, all.meta);
+        streamed ? selected_correlation_features(*all_streamed, fr.selected)
+                 : selected_correlation_features(*all, fr.selected);
+    zscore_features_within_subject(features, all_meta);
     std::vector<std::size_t> train_idx;
     std::vector<std::size_t> test_idx;
-    for (std::size_t e = 0; e < all.meta.size(); ++e) {
-      (all.meta[e].subject == fold ? test_idx : train_idx).push_back(e);
+    for (std::size_t e = 0; e < all_meta.size(); ++e) {
+      (all_meta[e].subject == fold ? test_idx : train_idx).push_back(e);
     }
     fr.test_accuracy = train_and_test_classifier(
-        features, all.meta, train_idx, test_idx,
+        features, all_meta, train_idx, test_idx,
         options.pipeline.svm_options);
     result.folds.push_back(std::move(fr));
   }
   return result;
+}
+
+OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
+                                   const OfflineOptions& options) {
+  return run_offline_analysis(fmri::InMemoryView(dataset), options);
 }
 
 }  // namespace fcma::core

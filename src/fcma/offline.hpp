@@ -16,6 +16,7 @@
 #include "fcma/pipeline.hpp"
 #include "fcma/scoreboard.hpp"
 #include "fmri/dataset.hpp"
+#include "fmri/dataset_view.hpp"
 
 namespace fcma::core {
 
@@ -23,6 +24,12 @@ namespace fcma::core {
 struct OfflineOptions {
   std::size_t top_k = 64;          ///< voxels selected per fold
   std::size_t voxels_per_task = 0; ///< 0 = one task for all voxels
+  /// Peak-memory budget in bytes.  0 = resident: every fold's normalized
+  /// epochs are materialized up front.  Non-zero = streamed: panels are
+  /// leased from the DatasetView through a budget-bounded StreamedEpochs
+  /// cache and tasks are sized by plan_residency, so the run never needs
+  /// the full dataset in memory.  Results are bit-identical either way.
+  std::size_t memory_budget_bytes = 0;
   PipelineConfig pipeline;
 };
 
@@ -45,14 +52,23 @@ struct OfflineResult {
       std::size_t min_folds, std::size_t total_voxels) const;
 };
 
-/// Runs the full nested LOSO analysis.
+/// Runs the full nested LOSO analysis.  The DatasetView form is primary:
+/// with a memory budget set, epoch panels stream through a bounded cache
+/// instead of being materialized per fold.  The Dataset overload wraps a
+/// borrowing InMemoryView.
+[[nodiscard]] OfflineResult run_offline_analysis(
+    const fmri::DatasetView& dataset, const OfflineOptions& options);
 [[nodiscard]] OfflineResult run_offline_analysis(const fmri::Dataset& dataset,
                                                  const OfflineOptions& options);
 
 /// Builds per-epoch feature vectors over the correlations among `selected`
 /// voxels: row e = upper triangle (i<j) of the selected-voxel correlation
 /// matrix in epoch e, Fisher-transformed and z-scored within subject.
-/// Shared by the offline final classifier and the online protocol.
+/// Shared by the offline final classifier and the online protocol.  The
+/// EpochSource form leases one panel at a time (next one prefetched); the
+/// NormalizedEpochs overload wraps ResidentEpochs and is bit-identical.
+[[nodiscard]] linalg::Matrix selected_correlation_features(
+    EpochSource& epochs, std::span<const std::uint32_t> selected);
 [[nodiscard]] linalg::Matrix selected_correlation_features(
     const fmri::NormalizedEpochs& epochs,
     std::span<const std::uint32_t> selected);

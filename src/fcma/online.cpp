@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/trace.hpp"
+#include "fcma/memory_model.hpp"
 #include "fcma/offline.hpp"
 #include "fcma/scoreboard.hpp"
 #include "linalg/opt.hpp"
@@ -19,7 +21,7 @@ std::vector<std::vector<std::size_t>> kfold_groups(std::size_t n,
   return folds;
 }
 
-OnlineResult run_online_selection(const fmri::Dataset& dataset,
+OnlineResult run_online_selection(const fmri::DatasetView& dataset,
                                   std::int32_t subject,
                                   const OnlineOptions& options) {
   FCMA_CHECK(subject >= 0 && subject < dataset.subjects(),
@@ -27,19 +29,50 @@ OnlineResult run_online_selection(const fmri::Dataset& dataset,
   const trace::Span span("online_selection");
   const std::vector<std::size_t> subject_epochs =
       dataset.epochs_of_subject(subject);
-  const fmri::NormalizedEpochs epochs =
-      fmri::normalize_epochs(dataset, subject_epochs);
-  const auto folds = kfold_groups(epochs.meta.size(), options.k_folds);
+  const bool streamed = options.memory_budget_bytes > 0;
+  const std::size_t v_total = dataset.voxels();
+
+  // One source serves selection and the final classifier.  The budget plan
+  // sees only this subject's epochs — the whole working set of the online
+  // protocol.
+  std::optional<BudgetPlan> plan;
+  std::optional<fmri::NormalizedEpochs> resident;
+  std::optional<StreamedEpochs> source_streamed;
+  EpochSource* source = nullptr;
+  std::optional<ResidentEpochs> source_resident;
+  if (streamed) {
+    plan = plan_residency(
+        subject_epochs.size(), subject_epochs.size(), v_total,
+        static_cast<std::size_t>(dataset.epochs().front().length),
+        options.memory_budget_bytes);
+    source_streamed.emplace(
+        dataset, subject_epochs,
+        StreamedEpochs::Options{plan->panel_cache_bytes,
+                                options.pipeline.pool});
+    source = &*source_streamed;
+  } else {
+    resident = fmri::normalize_epochs(dataset, subject_epochs);
+    source_resident.emplace(*resident);
+    source = &*source_resident;
+  }
+  const auto folds = kfold_groups(source->meta().size(), options.k_folds);
 
   PipelineConfig pipeline = options.pipeline;
   pipeline.cv_folds = &folds;
 
-  const std::size_t v_total = dataset.voxels();
-  const std::size_t per_task =
-      options.voxels_per_task == 0 ? v_total : options.voxels_per_task;
+  std::size_t per_task = options.voxels_per_task;
+  if (per_task == 0) {
+    if (streamed) {
+      const std::size_t lanes =
+          pipeline.pool != nullptr ? pipeline.pool->size() : 1;
+      per_task = std::max<std::size_t>(1, plan->group_voxels / lanes);
+    } else {
+      per_task = v_total;
+    }
+  }
   const std::vector<VoxelTask> tasks = partition_voxels(v_total, per_task);
   Scoreboard board(v_total);
-  for (const TaskResult& tr : run_tasks(epochs, tasks, pipeline)) {
+  for (const TaskResult& tr : run_tasks(*source, tasks, pipeline)) {
     board.add(tr);
   }
 
@@ -57,7 +90,7 @@ OnlineResult run_online_selection(const fmri::Dataset& dataset,
   // Final classifier estimate: k-fold CV over the selected voxels'
   // correlation features within this subject.
   linalg::Matrix features =
-      selected_correlation_features(epochs, result.selected);
+      selected_correlation_features(*source, result.selected);
   stats::fisher_zscore_block(features.row(0), features.rows(),
                              features.cols(), features.ld());
   std::size_t correct = 0;
@@ -70,7 +103,7 @@ OnlineResult run_online_selection(const fmri::Dataset& dataset,
       if (!in_test[t]) train_idx.push_back(t);
     }
     const double acc = train_and_test_classifier(
-        features, epochs.meta, train_idx, test, pipeline.svm_options);
+        features, source->meta(), train_idx, test, pipeline.svm_options);
     correct += static_cast<std::size_t>(
         std::llround(acc * static_cast<double>(test.size())));
     total += test.size();
@@ -79,6 +112,12 @@ OnlineResult run_online_selection(const fmri::Dataset& dataset,
       total == 0 ? 0.0
                  : static_cast<double>(correct) / static_cast<double>(total);
   return result;
+}
+
+OnlineResult run_online_selection(const fmri::Dataset& dataset,
+                                  std::int32_t subject,
+                                  const OnlineOptions& options) {
+  return run_online_selection(fmri::InMemoryView(dataset), subject, options);
 }
 
 }  // namespace fcma::core

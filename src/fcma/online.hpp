@@ -13,6 +13,7 @@
 
 #include "fcma/pipeline.hpp"
 #include "fmri/dataset.hpp"
+#include "fmri/dataset_view.hpp"
 #include "svm/types.hpp"
 
 namespace fcma::core {
@@ -22,6 +23,9 @@ struct OnlineOptions {
   std::size_t top_k = 64;          ///< voxels selected for the classifier
   std::size_t k_folds = 4;         ///< CV folds over the subject's epochs
   std::size_t voxels_per_task = 0; ///< 0 = one task for all voxels
+  /// Peak-memory budget in bytes; 0 = resident.  Same semantics as
+  /// OfflineOptions::memory_budget_bytes, scaled to one subject's epochs.
+  std::size_t memory_budget_bytes = 0;
   PipelineConfig pipeline;
 };
 
@@ -35,6 +39,11 @@ struct OnlineResult {
 };
 
 /// Runs online voxel selection + classifier construction for one subject.
+/// The DatasetView form is primary (panels stream under a budget when one
+/// is set); the Dataset overload wraps a borrowing InMemoryView.
+[[nodiscard]] OnlineResult run_online_selection(
+    const fmri::DatasetView& dataset, std::int32_t subject,
+    const OnlineOptions& options);
 [[nodiscard]] OnlineResult run_online_selection(const fmri::Dataset& dataset,
                                                 std::int32_t subject,
                                                 const OnlineOptions& options);

@@ -40,13 +40,13 @@ void attach_roofline(const memsim::Instrument& ins,
 
 }  // namespace
 
-TaskResult run_task(const fmri::NormalizedEpochs& epochs,
-                    const VoxelTask& task, const PipelineConfig& config) {
-  FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
+TaskResult run_task(EpochSource& epochs, const VoxelTask& task,
+                    const PipelineConfig& config) {
+  FCMA_CHECK(!epochs.meta().empty(), "no epochs to process");
   const trace::Span task_span("task");
   trace::count("pipeline/tasks");
-  const std::size_t m = epochs.per_epoch.size();
-  const std::size_t n = epochs.per_epoch.front().rows();
+  const std::size_t m = epochs.meta().size();
+  const std::size_t n = epochs.voxels();
   // The count*M x N correlation buffer is the single biggest allocation of
   // the pipeline; tasks of equal size reuse it through the worker's arena.
   auto corr_lease =
@@ -61,9 +61,9 @@ TaskResult run_task(const fmri::NormalizedEpochs& epochs,
   }
   const auto folds = config.cv_folds != nullptr
                          ? *config.cv_folds
-                         : epoch_loso_folds(epochs.meta);
+                         : epoch_loso_folds(epochs.meta());
   const SvmStageResult stage3 =
-      svm_stage(corr, epochs.meta, folds, task, config.impl, config.solver,
+      svm_stage(corr, epochs.meta(), folds, task, config.impl, config.solver,
                 config.svm_options, config.pool);
   TaskResult result;
   result.task = task;
@@ -72,7 +72,13 @@ TaskResult run_task(const fmri::NormalizedEpochs& epochs,
   return result;
 }
 
-std::vector<TaskResult> run_tasks(const fmri::NormalizedEpochs& epochs,
+TaskResult run_task(const fmri::NormalizedEpochs& epochs,
+                    const VoxelTask& task, const PipelineConfig& config) {
+  ResidentEpochs source(epochs);
+  return run_task(source, task, config);
+}
+
+std::vector<TaskResult> run_tasks(EpochSource& epochs,
                                   std::span<const VoxelTask> tasks,
                                   const PipelineConfig& config) {
   std::vector<TaskResult> results(tasks.size());
@@ -95,16 +101,22 @@ std::vector<TaskResult> run_tasks(const fmri::NormalizedEpochs& epochs,
   return results;
 }
 
-TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
-                            const VoxelTask& task,
+std::vector<TaskResult> run_tasks(const fmri::NormalizedEpochs& epochs,
+                                  std::span<const VoxelTask> tasks,
+                                  const PipelineConfig& config) {
+  ResidentEpochs source(epochs);
+  return run_tasks(source, tasks, config);
+}
+
+TaskResult run_task_grouped(EpochSource& epochs, const VoxelTask& task,
                             const PipelineConfig& config,
                             std::size_t group_voxels) {
-  FCMA_CHECK(!epochs.per_epoch.empty(), "no epochs to process");
+  FCMA_CHECK(!epochs.meta().empty(), "no epochs to process");
   FCMA_CHECK(group_voxels > 0, "group size must be positive");
   const trace::Span task_span("task");
   trace::count("pipeline/tasks");
-  const std::size_t m = epochs.per_epoch.size();
-  const std::size_t n = epochs.per_epoch.front().rows();
+  const std::size_t m = epochs.meta().size();
+  const std::size_t n = epochs.voxels();
 
   // Phase 1: per group, correlate+normalize into a reusable buffer and
   // reduce each voxel to its kernel matrix.  One group-sized workspace
@@ -139,8 +151,8 @@ TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
   const trace::Span svm_span("svm");
   const auto folds = config.cv_folds != nullptr
                          ? *config.cv_folds
-                         : epoch_loso_folds(epochs.meta);
-  const auto labels = epoch_labels(epochs.meta);
+                         : epoch_loso_folds(epochs.meta());
+  const auto labels = epoch_labels(epochs.meta());
   TaskResult result;
   result.task = task;
   result.accuracy.assign(task.count, 0.0);
@@ -160,6 +172,14 @@ TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
   result.svm_iterations = iterations.load();
   trace::count("svm/cv_iterations", result.svm_iterations);
   return result;
+}
+
+TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
+                            const VoxelTask& task,
+                            const PipelineConfig& config,
+                            std::size_t group_voxels) {
+  ResidentEpochs source(epochs);
+  return run_task_grouped(source, task, config, group_voxels);
 }
 
 InstrumentedTaskResult run_task_instrumented(

@@ -51,6 +51,15 @@ struct TaskResult {
 };
 
 /// Runs the three-stage pipeline for `task`.
+///
+/// The EpochSource form is primary: stages lease epoch panels in the
+/// granularity they need (per epoch, or per subject run when stage 1/2 are
+/// merged), so a streamed source bounds panel residency instead of holding
+/// the whole dataset.  The NormalizedEpochs overloads wrap ResidentEpochs
+/// and are bit-identical.  Sources must be thread-safe when a pool is
+/// configured (both backends are).
+[[nodiscard]] TaskResult run_task(EpochSource& epochs, const VoxelTask& task,
+                                  const PipelineConfig& config);
 [[nodiscard]] TaskResult run_task(const fmri::NormalizedEpochs& epochs,
                                   const VoxelTask& task,
                                   const PipelineConfig& config);
@@ -64,6 +73,9 @@ struct TaskResult {
 /// to the *inner* stage parallelism instead.  Either way the result vector
 /// is ordered by task index, so downstream consumers see an identical
 /// sequence regardless of thread count.
+[[nodiscard]] std::vector<TaskResult> run_tasks(
+    EpochSource& epochs, std::span<const VoxelTask> tasks,
+    const PipelineConfig& config);
 [[nodiscard]] std::vector<TaskResult> run_tasks(
     const fmri::NormalizedEpochs& epochs, std::span<const VoxelTask> tasks,
     const PipelineConfig& config);
@@ -99,6 +111,10 @@ struct InstrumentedTaskResult {
 /// the small kernel matrices accumulate, so a task of 240+ voxels fits the
 /// modeled 6GB — the enabler for full thread occupancy during SVM
 /// cross-validation.  Peak correlation memory: group_voxels * M * N floats.
+[[nodiscard]] TaskResult run_task_grouped(EpochSource& epochs,
+                                          const VoxelTask& task,
+                                          const PipelineConfig& config,
+                                          std::size_t group_voxels);
 [[nodiscard]] TaskResult run_task_grouped(const fmri::NormalizedEpochs& epochs,
                                           const VoxelTask& task,
                                           const PipelineConfig& config,

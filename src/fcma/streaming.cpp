@@ -92,7 +92,11 @@ void StreamingAnalyzer::train() {
   FCMA_CHECK(ones > 0 && ones < m, "both conditions must be present");
 
   const fmri::Dataset data = snapshot_dataset();
-  const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(data);
+  // The buffered localizer is inherently resident, but it flows through the
+  // same DatasetView seam (and the same normalization kernel) as every
+  // other consumer of the data plane.
+  const fmri::InMemoryView view(data);
+  const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(view);
   const auto folds = kfold_groups(m, options_.k_folds);
 
   // Voxel selection over the buffered localizer, fanned out through the

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "fmri/dataset_view.hpp"
 #include "stats/stats.hpp"
 
 namespace fcma::fmri {
@@ -54,24 +55,9 @@ NormalizedEpochs normalize_epochs(const Dataset& dataset) {
 
 NormalizedEpochs normalize_epochs(
     const Dataset& dataset, const std::vector<std::size_t>& epoch_indices) {
-  NormalizedEpochs out;
-  out.per_epoch.reserve(epoch_indices.size());
-  out.meta.reserve(epoch_indices.size());
-  const std::size_t v = dataset.voxels();
-  for (const std::size_t idx : epoch_indices) {
-    FCMA_CHECK(idx < dataset.epochs().size(), "epoch index out of range");
-    const Epoch& e = dataset.epochs()[idx];
-    linalg::Matrix m(v, e.length);
-    for (std::size_t row = 0; row < v; ++row) {
-      const float* src = dataset.data().row(row) + e.start;
-      float* dst = m.row(row);
-      for (std::uint32_t t = 0; t < e.length; ++t) dst[t] = src[t];
-      stats::normalize_epoch({dst, e.length});
-    }
-    out.per_epoch.push_back(std::move(m));
-    out.meta.push_back(e);
-  }
-  return out;
+  // One copy-then-normalize loop serves every backend: route the in-memory
+  // case through the view so it cannot drift from the streamed loaders.
+  return normalize_epochs(InMemoryView(dataset), epoch_indices);
 }
 
 }  // namespace fcma::fmri

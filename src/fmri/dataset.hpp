@@ -37,7 +37,9 @@ class Dataset {
   [[nodiscard]] std::size_t timepoints() const { return data_.cols(); }
   [[nodiscard]] std::int32_t subjects() const { return subjects_; }
   [[nodiscard]] const std::vector<Epoch>& epochs() const { return epochs_; }
+  /// Epochs per subject; 0 for an empty (default-constructed) dataset.
   [[nodiscard]] std::size_t epochs_per_subject() const {
+    if (subjects_ <= 0) return 0;
     return epochs_.size() / static_cast<std::size_t>(subjects_);
   }
 

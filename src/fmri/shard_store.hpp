@@ -1,0 +1,104 @@
+// Subject-sharded on-disk dataset store (fcma.shards.v1).
+//
+// The out-of-core backend of DatasetView: `fcma shard` slices a dataset
+// into one binary file per subject — the subject's [voxels x t_span]
+// activity window as 64-byte-aligned voxel rows behind a checksummed
+// header — plus a small JSON manifest.  ShardStoreView mmaps shard
+// payloads read-only on demand and unmaps them when the last Panel
+// pinning a shard is dropped, so resident bytes track what compute is
+// actually touching instead of the dataset size.
+//
+// On-disk layout for stem `S`:
+//   S.shards       JSON manifest {schema, voxels, timepoints, subjects,
+//                  shards: [{subject, file, t0, t_len, row_stride,
+//                  payload_bytes, checksum(hex)}]}
+//   S.sNNN.shard   header (magic "FCMS", version, subject, geometry,
+//                  FNV-1a payload checksum) + page-aligned float payload
+//   S.epochs       the standard epoch-label text file (io.hpp)
+//
+// All writes are atomic (tmp + rename, like cluster/checkpoint); headers
+// are validated at open and payload checksums on first map, so torn or
+// corrupted shards throw fcma::Error instead of feeding the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fmri/dataset_view.hpp"
+
+namespace fcma::fmri {
+
+/// Writes `dataset` as a subject-sharded store under `stem` (manifest,
+/// per-subject shard files, epoch labels).  Float bits are copied
+/// verbatim, so a round-trip is bit-identical.
+void write_shard_store(const std::string& stem, const Dataset& dataset);
+
+/// True when a shard-store manifest exists at `<stem>.shards`.
+[[nodiscard]] bool shard_store_exists(const std::string& stem);
+
+/// DatasetView over an on-disk shard store.  Thread-safe: panels may be
+/// requested concurrently; each shard is mapped at most once at a time and
+/// shared by every live Panel into it.
+class ShardStoreView final : public DatasetView {
+ public:
+  /// One manifest entry (validated against the shard file's own header).
+  struct Shard {
+    std::string path;                ///< resolved, openable path
+    std::int32_t subject = 0;
+    std::uint64_t t0 = 0;            ///< first timepoint covered
+    std::uint64_t t_len = 0;         ///< timepoints covered
+    std::uint64_t row_stride = 0;    ///< floats between voxel rows
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t checksum = 0;      ///< FNV-1a 64 over the payload
+  };
+
+  ShardStoreView(std::string name, std::size_t voxels,
+                 std::size_t timepoints, std::int32_t subjects,
+                 std::vector<Epoch> epochs, std::vector<Shard> shards);
+  ~ShardStoreView() override;
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::size_t voxels() const override { return voxels_; }
+  [[nodiscard]] std::size_t timepoints() const override {
+    return timepoints_;
+  }
+  [[nodiscard]] std::int32_t subjects() const override { return subjects_; }
+  [[nodiscard]] const std::vector<Epoch>& epochs() const override {
+    return epochs_;
+  }
+  [[nodiscard]] Panel epoch_panel(std::size_t idx) const override;
+
+  [[nodiscard]] const std::vector<Shard>& shards() const { return shards_; }
+  /// Shards currently mapped (for tests asserting unmap-on-release).
+  [[nodiscard]] std::size_t mapped_shards() const;
+
+ private:
+  struct Mapping;
+
+  std::string name_;
+  std::size_t voxels_ = 0;
+  std::size_t timepoints_ = 0;
+  std::int32_t subjects_ = 0;
+  std::vector<Epoch> epochs_;
+  std::vector<Shard> shards_;  // index == subject id
+
+  mutable std::mutex mu_;
+  mutable std::vector<std::weak_ptr<Mapping>> live_;  // per shard
+  mutable std::vector<bool> verified_;  // payload checksum checked once
+};
+
+/// Opens the shard store at `stem`; throws fcma::Error on a missing or
+/// malformed manifest, bad shard headers, or truncated shard files.
+[[nodiscard]] std::unique_ptr<ShardStoreView> open_shard_store(
+    const std::string& stem, const std::string& name);
+
+/// Opens `stem` as whichever backend is present: the shard store when a
+/// `<stem>.shards` manifest exists, otherwise the in-memory FCMB dataset
+/// (io.hpp) wrapped in an owning InMemoryView.
+[[nodiscard]] std::unique_ptr<DatasetView> open_dataset_view(
+    const std::string& stem, const std::string& name);
+
+}  // namespace fcma::fmri

@@ -164,6 +164,24 @@ void Tuner::init_from_env() {
   if (force != nullptr && force[0] != '\0') set_force(force);
   const char* cache = std::getenv("FCMA_TUNE_CACHE");
   if (cache != nullptr && cache[0] != '\0') set_cache_path(cache);
+  const char* real = std::getenv("FCMA_TUNE_REAL_SHAPES");
+  if (real != nullptr && real[0] != '\0') {
+    const std::string_view v(real);
+    FCMA_CHECK(v == "on" || v == "1" || v == "off" || v == "0",
+               "FCMA_TUNE_REAL_SHAPES must be on/off (got \"" +
+                   std::string(real) + "\")");
+    set_real_shapes(v == "on" || v == "1");
+  }
+}
+
+void Tuner::set_real_shapes(bool on) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  real_shapes_ = on;
+}
+
+bool Tuner::real_shapes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return real_shapes_;
 }
 
 void Tuner::set_enabled(bool enabled) {
@@ -284,11 +302,18 @@ GemmGeometry Tuner::gemm(std::size_t m, std::size_t n, std::size_t k) {
     return it->second.gemm;
   }
 
-  // Probe sweep on a clamped synthetic shape.
+  // Probe sweep: a clamped synthetic shape by default, or the real call
+  // shape (lower clamps only) under FCMA_TUNE_REAL_SHAPES.
   const trace::Span span("tune/probe");
-  const std::size_t mp = std::clamp<std::size_t>(m, 4, kGemmProbeMaxRows);
-  const std::size_t np = std::clamp<std::size_t>(n, 128, kGemmProbeMaxCols);
-  const std::size_t kp = std::clamp<std::size_t>(k, 4, kGemmProbeMaxK);
+  const std::size_t mp =
+      real_shapes_ ? std::max<std::size_t>(m, 4)
+                   : std::clamp<std::size_t>(m, 4, kGemmProbeMaxRows);
+  const std::size_t np =
+      real_shapes_ ? std::max<std::size_t>(n, 128)
+                   : std::clamp<std::size_t>(n, 128, kGemmProbeMaxCols);
+  const std::size_t kp =
+      real_shapes_ ? std::max<std::size_t>(k, 4)
+                   : std::clamp<std::size_t>(k, 4, kGemmProbeMaxK);
   const Matrix a = random_matrix(mp, kp, 0x7e57a001);
   const Matrix b = random_matrix(np, kp, 0x7e57a002);
   Matrix c(mp, np);
@@ -310,6 +335,9 @@ GemmGeometry Tuner::gemm(std::size_t m, std::size_t n, std::size_t k) {
   best.kind = "gemm";
   best.isa = simd::isa_name(simd::active_isa());
   best.threads = hardware_threads();
+  best.probe_m = mp;
+  best.probe_n = np;
+  best.probe_k = kp;
   entries_[last_gemm_key_] = best;
   trace::meta_set("tune/" + cls, describe(best));
   if (!cache_path_.empty()) save_cache_locked();
@@ -342,8 +370,12 @@ SyrkGeometry Tuner::syrk(std::size_t m, std::size_t n) {
   }
 
   const trace::Span span("tune/probe");
-  const std::size_t mp = std::clamp<std::size_t>(m, 8, kSyrkProbeMaxM);
-  const std::size_t np = std::clamp<std::size_t>(n, 192, kSyrkProbeMaxN);
+  const std::size_t mp =
+      real_shapes_ ? std::max<std::size_t>(m, 8)
+                   : std::clamp<std::size_t>(m, 8, kSyrkProbeMaxM);
+  const std::size_t np =
+      real_shapes_ ? std::max<std::size_t>(n, 192)
+                   : std::clamp<std::size_t>(n, 192, kSyrkProbeMaxN);
   const Matrix a = random_matrix(mp, np, 0x7e57a003);
   Matrix c(mp, mp);
   Entry best;
@@ -364,6 +396,8 @@ SyrkGeometry Tuner::syrk(std::size_t m, std::size_t n) {
   best.kind = "syrk";
   best.isa = simd::isa_name(simd::active_isa());
   best.threads = hardware_threads();
+  best.probe_m = mp;
+  best.probe_n = np;
   entries_[last_syrk_key_] = best;
   trace::meta_set("tune/" + cls, describe(best));
   if (!cache_path_.empty()) save_cache_locked();

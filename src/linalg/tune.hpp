@@ -30,7 +30,10 @@
 //
 // Environment: FCMA_TUNE=off disables (fixed default geometry),
 // FCMA_TUNE_CACHE=PATH persists, FCMA_TUNE_FORCE="gemm:256[:u2],syrk:48[:r6]"
-// pins geometries without probing.
+// pins geometries without probing.  FCMA_TUNE_REAL_SHAPES=1 probes the
+// actual call shape instead of the clamped synthetic one — slower first-use
+// sweeps, but the winner is measured on exactly the production shape
+// (lower clamps still apply so degenerate shapes stay probeable).
 #pragma once
 
 #include <cstddef>
@@ -88,6 +91,11 @@ struct Entry {
   double gflops = 0.0;        ///< winner's probe throughput
   double pct_roofline = 0.0;  ///< best live %-of-roofline seen (0 = none yet)
   std::string source;         ///< "probe", "cache", or "forced"
+  /// Shape the probe sweep actually timed (0 for cache/forced entries).
+  /// Diagnostic only — not persisted to the tuning cache.
+  std::size_t probe_m = 0;
+  std::size_t probe_n = 0;
+  std::size_t probe_k = 0;
 };
 
 class Tuner {
@@ -114,6 +122,12 @@ class Tuner {
   /// "syrk:48:r6", comma/semicolon-separated.  Values outside the candidate
   /// grid throw.  An empty spec clears the pins.
   void set_force(const std::string& spec);
+
+  /// Probe the real call shape instead of the clamped synthetic one
+  /// (FCMA_TUNE_REAL_SHAPES).  Only the upper clamps are lifted; tiny
+  /// shapes are still padded up to the probeable floor.
+  void set_real_shapes(bool on);
+  [[nodiscard]] bool real_shapes() const;
 
   /// The geometry to use for a gemm_nt of shape (m x k) * (n x k)^T /
   /// a syrk of shape (m x n) * T.  Probes on a class's first use.
@@ -152,6 +166,7 @@ class Tuner {
 
   mutable std::mutex mutex_;
   bool enabled_ = true;
+  bool real_shapes_ = false;
   std::string cache_path_;
   bool force_gemm_set_ = false;
   bool force_syrk_set_ = false;

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <set>
 
+#include "common/error.hpp"
 #include "fmri/dataset.hpp"
 #include "fmri/io.hpp"
 #include "fmri/presets.hpp"
@@ -32,6 +33,17 @@ class TempDir {
  private:
   std::filesystem::path path_;
 };
+
+TEST(Dataset, EpochsPerSubjectOfEmptyDatasetIsZero) {
+  // Regression: used to divide by subjects_ == 0.
+  const Dataset d;
+  EXPECT_EQ(d.epochs_per_subject(), 0u);
+}
+
+TEST(Dataset, ValidateRejectsEmptyDataset) {
+  const Dataset d;
+  EXPECT_THROW(d.validate(), Error);
+}
 
 TEST(Presets, FaceSceneMatchesTable2) {
   const DatasetSpec s = face_scene_spec();

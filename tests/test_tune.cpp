@@ -85,6 +85,31 @@ TEST_F(TuneTest, FirstUseProbesThenRemembers) {
             gemm_candidates().size() + syrk_candidates().size());
 }
 
+TEST_F(TuneTest, RealShapesProbeTheActualCallShape) {
+  // Default: probe shapes are clamped down to the synthetic ceiling.
+  (void)tuner.gemm(100, 35000, 12);
+  ASSERT_EQ(tuner.entries().size(), 1u);
+  EXPECT_LT(tuner.entries()[0].probe_n, 35000u);
+
+  tuner.reset();
+  tuner.set_real_shapes(true);
+  EXPECT_TRUE(tuner.real_shapes());
+  (void)tuner.gemm(40, 3000, 12);
+  ASSERT_EQ(tuner.entries().size(), 1u);
+  const Entry e = tuner.entries()[0];
+  EXPECT_EQ(e.probe_m, 40u);
+  EXPECT_EQ(e.probe_n, 3000u);
+  EXPECT_EQ(e.probe_k, 12u);
+  // Lower clamps survive: a degenerate shape is padded up, not probed raw.
+  (void)tuner.syrk(2, 50);
+  const auto entries = tuner.entries();
+  for (const Entry& se : entries) {
+    if (se.kind != "syrk") continue;
+    EXPECT_GE(se.probe_m, 8u);
+    EXPECT_GE(se.probe_n, 192u);
+  }
+}
+
 TEST_F(TuneTest, DisabledReturnsFixedDefaultsWithoutProbing) {
   tuner.set_enabled(false);
   const GemmGeometry g = tuner.gemm(100, 35000, 12);

@@ -11,14 +11,14 @@
 #
 # Usage: bench_smoke.sh <bench-dir> [output.json] [--pr N]
 #
-# The output defaults to BENCH_pr${BENCH_PR:-7}.json — the per-PR sidecar
+# The output defaults to BENCH_pr${BENCH_PR:-8}.json — the per-PR sidecar
 # committed at the repo root so tools/bench_diff.py can gate later PRs
 # against it.  Pass --pr N (or set BENCH_PR) instead of hardcoding a name.
 set -eu
 
 BENCH_DIR="$1"
 shift
-PR="${BENCH_PR:-7}"
+PR="${BENCH_PR:-8}"
 OUT=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -92,6 +92,12 @@ run_bench cluster_smoke_failover "$BENCH_DIR/bench_cluster_smoke" \
   --lease-timeout 0.5 --fault-kill-master-after 3
 cp "$BENCH_DIR/bench_cluster_smoke.metrics.json" \
   "$WORK/cluster_failover_metrics.json"
+
+# Out-of-core proof: streamed analysis of a shard store larger than the
+# memory budget must stay under budget (VmHWM, asserted inside the bench)
+# and match the resident run bit-for-bit; the sidecar records the cost.
+run_bench oocore "$BENCH_DIR/bench_oocore" --task 64
+cp "$BENCH_DIR/bench_oocore.metrics.json" "$WORK/oocore_metrics.json"
 
 # Autotuner sweep (tuning back on): per-shape winners from the micro-bench
 # probe mode plus the ablation bench's fixed-vs-tuned gap recovery.
@@ -173,6 +179,17 @@ FAILOVER_WALL_S=$(cluster_num "$FAILOVER_METRICS" \
 test "$DIED" = "1"
 test "$FAILOVERS" = "1"
 
+# Out-of-core gauges from the bench_oocore sidecar; the budget and identity
+# assertions already ran inside the bench, re-check the published verdicts.
+OOCORE_METRICS="$WORK/oocore_metrics.json"
+OOC_BUDGET_MB=$(cluster_num "$OOCORE_METRICS" "oocore\\/budget_mb")
+OOC_RSS_MB=$(cluster_num "$OOCORE_METRICS" "oocore\\/streamed_peak_rss_mb")
+OOC_SLOWDOWN=$(cluster_num "$OOCORE_METRICS" "oocore\\/streamed_slowdown")
+OOC_WITHIN=$(cluster_num "$OOCORE_METRICS" "oocore\\/within_budget")
+OOC_IDENTICAL=$(cluster_num "$OOCORE_METRICS" "oocore\\/reports_identical")
+test "$OOC_WITHIN" = "1"
+test "$OOC_IDENTICAL" = "1"
+
 # Autotuner results: each `tune <class> <geometry> src=... gflops=...` line
 # becomes one winners[] string; the ablation summary provides the
 # recovered-gap headline numbers.
@@ -202,7 +219,7 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "schema": "fcma.bench_smoke.v5",
+  "schema": "fcma.bench_smoke.v6",
   "simd_isa": "$ISA",
   "benches": {
     "table5_matmul_gflops": {
@@ -243,6 +260,14 @@ cat > "$OUT" <<EOF
       "failovers": $FAILOVERS,
       "recovery_wall_s": $FAILOVER_WALL_S
     },
+    "oocore": {
+      "wall_s": $(wall_s oocore),
+      "budget_mb": $OOC_BUDGET_MB,
+      "streamed_peak_rss_mb": $OOC_RSS_MB,
+      "streamed_slowdown": $OOC_SLOWDOWN,
+      "within_budget": $OOC_WITHIN,
+      "reports_identical": $OOC_IDENTICAL
+    },
     "tune": {
       "wall_s": $(wall_s ablation_autotune),
       "probes": $TUNE_PROBES,
@@ -254,3 +279,12 @@ cat > "$OUT" <<EOF
 }
 EOF
 echo "bench smoke results written to $OUT (isa: $ISA)"
+
+# Regenerate the cross-PR trajectory table from the committed sidecars so
+# BENCH_TRAJECTORY.md never drifts from the data (skipped without python3).
+REPO_ROOT=$(cd "$TOOLS_DIR/.." && pwd)
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$TOOLS_DIR/bench_trajectory.py" "$REPO_ROOT"
+else
+  echo "bench smoke: python3 not found, skipping bench_trajectory.py" >&2
+fi

@@ -14,6 +14,7 @@
 // analysis report then includes ROI clusters.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -25,6 +26,7 @@
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "memsim/instrument.hpp"
+#include "fcma/memory_model.hpp"
 #include "fcma/offline.hpp"
 #include "fcma/pipeline.hpp"
 #include "fcma/report.hpp"
@@ -33,6 +35,7 @@
 #include "fmri/io.hpp"
 #include "fmri/preprocess.hpp"
 #include "fmri/presets.hpp"
+#include "fmri/shard_store.hpp"
 #include "fmri/synthetic.hpp"
 #include "linalg/simd.hpp"
 #include "linalg/tune.hpp"
@@ -51,6 +54,8 @@ void usage() {
       "  info        summarize a dataset\n"
       "  preprocess  detrend + censor motion spikes (+ smooth if a mask "
       "exists)\n"
+      "  shard       convert a dataset into a subject-sharded on-disk store\n"
+      "              (fcma.shards.v1) for out-of-core analysis\n"
       "  analyze     run the FCMA pipeline and write a report\n"
       "  cluster     run the fault-tolerant master-worker farm (in-process\n"
       "              ranks; --fault-* injection, --checkpoint/--resume)\n"
@@ -82,6 +87,41 @@ void apply_tune_flags(const Cli& cli) {
   if (!cli.get("tune-cache").empty()) {
     tuner.set_cache_path(cli.get("tune-cache"));
   }
+}
+
+// Out-of-core knob shared by the analysis commands.
+void add_budget_flag(Cli& cli) {
+  cli.add_flag("memory-budget", "",
+               "peak-memory budget, e.g. 512M or 2G (bytes; K/M/G "
+               "suffixes).  Streams epoch panels through a bounded cache "
+               "and sizes tasks to fit, instead of materializing the whole "
+               "normalized dataset; reports stay byte-identical");
+}
+
+// "512M"/"2G"/"1048576" byte sizes for --memory-budget.
+std::size_t parse_bytes(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  FCMA_CHECK(end != s.c_str() && value >= 0.0, "bad byte size: " + s);
+  std::size_t scale = 1;
+  if (*end != '\0') {
+    FCMA_CHECK(end[1] == '\0', "bad byte-size suffix: " + s);
+    switch (*end) {
+      case 'k': case 'K': scale = 1ull << 10; break;
+      case 'm': case 'M': scale = 1ull << 20; break;
+      case 'g': case 'G': scale = 1ull << 30; break;
+      default: fcma::raise("bad byte-size suffix: " + s);
+    }
+  }
+  return static_cast<std::size_t>(value * static_cast<double>(scale));
+}
+
+core::BudgetPlan budget_plan_for(const fmri::DatasetView& view,
+                                 std::size_t budget_bytes) {
+  return core::plan_residency(
+      view.epochs().size(), view.epochs_per_subject(), view.voxels(),
+      static_cast<std::size_t>(view.epochs().front().length), budget_bytes);
 }
 
 int cmd_generate(int argc, const char* const* argv) {
@@ -142,19 +182,46 @@ int cmd_info(int argc, const char* const* argv) {
   Cli cli("fcma info", "summarize a dataset");
   cli.add_flag("in", "study", "dataset stem");
   if (!cli.parse(argc, argv)) return 0;
-  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
-  std::printf("dataset %s\n", d.name().c_str());
-  std::printf("  voxels:      %zu\n", d.voxels());
-  std::printf("  time points: %zu\n", d.timepoints());
-  std::printf("  subjects:    %d\n", d.subjects());
+  // Works on either backend: a shard store is summarized from its manifest
+  // and epoch labels without touching the activity payloads.
+  const auto view = fmri::open_dataset_view(cli.get("in"), cli.get("in"));
+  std::printf("dataset %s (%s)\n", view->name().c_str(),
+              fmri::shard_store_exists(cli.get("in")) ? "sharded" : "fcmb");
+  std::printf("  voxels:      %zu\n", view->voxels());
+  std::printf("  time points: %zu\n", view->timepoints());
+  std::printf("  subjects:    %d\n", view->subjects());
   std::printf("  epochs:      %zu (%zu per subject, length %u)\n",
-              d.epochs().size(), d.epochs_per_subject(),
-              d.epochs().front().length);
+              view->epochs().size(), view->epochs_per_subject(),
+              view->epochs().front().length);
   std::size_t ones = 0;
-  for (const auto& e : d.epochs()) ones += (e.label == 1);
+  for (const auto& e : view->epochs()) ones += (e.label == 1);
   std::printf("  label balance: %.2f\n",
               static_cast<double>(ones) /
-                  static_cast<double>(d.epochs().size()));
+                  static_cast<double>(view->epochs().size()));
+  return 0;
+}
+
+int cmd_shard(int argc, const char* const* argv) {
+  Cli cli("fcma shard",
+          "convert a dataset into a subject-sharded store (fcma.shards.v1)");
+  cli.add_flag("in", "study", "input dataset stem (<stem>.fcmb/.epochs)");
+  cli.add_flag("out", "", "output stem (defaults to --in)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string in = cli.get("in");
+  const std::string out = cli.get("out").empty() ? in : cli.get("out");
+  const fmri::Dataset d = fmri::load_dataset(in, in);
+  fmri::write_shard_store(out, d);
+  // Carry the brain mask along so analyses on the store still cluster ROIs.
+  if (out != in) {
+    try {
+      fmri::save_mask(out + ".fcmm", fmri::load_mask(in + ".fcmm"));
+    } catch (const Error&) {
+      // No mask alongside the input; nothing to copy.
+    }
+  }
+  std::printf("wrote %s.shards + %d subject shard(s): %zu voxels, %zu "
+              "epochs\n",
+              out.c_str(), d.subjects(), d.voxels(), d.epochs().size());
   return 0;
 }
 
@@ -223,6 +290,7 @@ int cmd_analyze(int argc, const char* const* argv) {
   cli.add_flag("trace-timeline", "",
                "write a Chrome-trace timeline of the run to this path "
                "(open in chrome://tracing or ui.perfetto.dev)");
+  add_budget_flag(cli);
   add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   apply_tune_flags(cli);
@@ -244,8 +312,8 @@ int cmd_analyze(int argc, const char* const* argv) {
                     linalg::simd::isa_name(linalg::simd::active_isa()));
   }
 
-  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
-  const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(d);
+  const auto view = fmri::open_dataset_view(cli.get("in"), cli.get("in"));
+  const std::size_t budget = parse_bytes(cli.get("memory-budget"));
   core::PipelineConfig config = cli.get_bool("baseline")
                                     ? core::PipelineConfig::baseline()
                                     : core::PipelineConfig::optimized();
@@ -255,33 +323,56 @@ int cmd_analyze(int argc, const char* const* argv) {
     config.pool = &*pool;
   }
   WallTimer timer;
-  core::Scoreboard board(d.voxels());
-  board.add(core::run_task_grouped(
-      epochs, core::VoxelTask{0, static_cast<std::uint32_t>(d.voxels())},
-      config, static_cast<std::size_t>(cli.get_int("grouped"))));
-  std::printf("scored %zu voxels in %.1f s\n", d.voxels(), timer.seconds());
+  core::Scoreboard board(view->voxels());
+  std::optional<fmri::NormalizedEpochs> epochs;  // resident path only
+  if (budget > 0) {
+    // Out-of-core run: panels stream through a budget-bounded cache, the
+    // task grain caps kernel accumulation, and the group size caps the
+    // in-flight correlation block — peak residency follows the plan, not
+    // the dataset size.  Per-voxel results are independent of the task
+    // partition, so the report is byte-identical to the resident run.
+    const core::BudgetPlan plan = budget_plan_for(*view, budget);
+    core::StreamedEpochs source(
+        *view,
+        core::StreamedEpochs::Options{plan.panel_cache_bytes, config.pool});
+    for (const core::VoxelTask& task :
+         core::partition_voxels(view->voxels(), plan.voxels_per_task)) {
+      board.add(core::run_task_grouped(source, task, config,
+                                       plan.group_voxels));
+    }
+  } else {
+    epochs = fmri::normalize_epochs(*view);
+    board.add(core::run_task_grouped(
+        *epochs,
+        core::VoxelTask{0, static_cast<std::uint32_t>(view->voxels())},
+        config, static_cast<std::size_t>(cli.get_int("grouped"))));
+  }
+  std::printf("scored %zu voxels in %.1f s\n", view->voxels(),
+              timer.seconds());
 
-  if (tracing) {
+  if (tracing && epochs.has_value()) {
     // Roofline calibration: a small serial instrumented run whose memsim
     // event counts attach modeled-time / arithmetic-intensity / %-roofline
     // attribution to the gemm/syrk/svm span labels in the exported trace.
+    // Resident runs only — it needs the materialized epochs, and a
+    // budgeted run must not allocate them.
     memsim::Instrument ins(memsim::Machine::kPhi5110P);
     core::PipelineConfig calib = config;
     calib.pool = nullptr;
     const auto calib_voxels = static_cast<std::uint32_t>(
-        std::min<std::size_t>(8, d.voxels()));
+        std::min<std::size_t>(8, view->voxels()));
     (void)core::run_task_instrumented(
-        epochs, core::VoxelTask{0, calib_voxels}, calib, ins);
+        *epochs, core::VoxelTask{0, calib_voxels}, calib, ins);
   }
 
   const auto selected = core::significant_voxels(
-      board, epochs.meta.size(), cli.get_double("fdr"),
+      board, view->epochs().size(), cli.get_double("fdr"),
       core::Correction::kFdr);
   std::printf("FDR (q = %.3g) selected %zu voxels\n",
               cli.get_double("fdr"), selected.size());
 
   core::ReportOptions opts;
-  opts.cv_total = epochs.meta.size();
+  opts.cv_total = view->epochs().size();
   opts.top_voxels = static_cast<std::size_t>(cli.get_int("top-k"));
   std::string report;
   // Use the mask for ROI clustering when one exists alongside the data.
@@ -364,6 +455,7 @@ int cmd_cluster(int argc, const char* const* argv) {
                "write a JSON span/counter trace of the run to this path");
   cli.add_flag("trace-timeline", "",
                "write a Chrome-trace timeline of the run to this path");
+  add_budget_flag(cli);
   add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   apply_tune_flags(cli);
@@ -380,8 +472,8 @@ int cmd_cluster(int argc, const char* const* argv) {
                     linalg::simd::isa_name(linalg::simd::active_isa()));
   }
 
-  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
-  const fmri::NormalizedEpochs epochs = fmri::normalize_epochs(d);
+  const auto view = fmri::open_dataset_view(cli.get("in"), cli.get("in"));
+  const std::size_t budget = parse_bytes(cli.get("memory-budget"));
 
   cluster::DriverOptions opts;
   opts.workers = static_cast<std::size_t>(cli.get_int("workers"));
@@ -417,19 +509,41 @@ int cmd_cluster(int argc, const char* const* argv) {
       static_cast<std::size_t>(cli.get_int("checkpoint-every"));
   std::optional<core::Scoreboard> resumed;
   if (!cli.get("resume").empty()) {
-    resumed = cluster::load_checkpoint(cli.get("resume"), d.voxels());
+    resumed = cluster::load_checkpoint(cli.get("resume"), view->voxels());
     opts.resume = &*resumed;
     std::printf("resuming from %s: %zu of %zu voxels already scored\n",
-                cli.get("resume").c_str(), resumed->scored(), d.voxels());
+                cli.get("resume").c_str(), resumed->scored(),
+                view->voxels());
   }
 
   WallTimer timer;
   cluster::DriverStats stats;
+  std::optional<fmri::NormalizedEpochs> epochs;
+  std::optional<core::ResidentEpochs> resident;
+  std::optional<core::StreamedEpochs> streamed;
+  core::EpochSource* source = nullptr;
+  if (budget > 0) {
+    const core::BudgetPlan plan = budget_plan_for(*view, budget);
+    if (opts.voxels_per_task == 0) {
+      // Every worker rank holds one task's correlation buffer at a time,
+      // so the plan's correlation allowance is split across the ranks.
+      opts.voxels_per_task =
+          std::max<std::size_t>(1, plan.group_voxels / opts.workers);
+    }
+    streamed.emplace(
+        *view, core::StreamedEpochs::Options{plan.panel_cache_bytes,
+                                             nullptr});
+    source = &*streamed;
+  } else {
+    epochs = fmri::normalize_epochs(*view);
+    resident.emplace(*epochs);
+    source = &*resident;
+  }
   const core::Scoreboard board =
-      cluster::run_cluster_analysis(epochs, d.voxels(), opts, &stats);
+      cluster::run_cluster_analysis(*source, view->voxels(), opts, &stats);
   std::printf("scored %zu voxels on %zu workers in %.1f s "
               "(%zu tasks in %zu batches, %zu work requests)\n",
-              d.voxels(), opts.workers, timer.seconds(),
+              view->voxels(), opts.workers, timer.seconds(),
               stats.tasks_dispatched, stats.batches, stats.work_requests);
   std::printf("recovery: deaths=%zu requeued=%zu retries=%zu "
               "heartbeat_misses=%zu corrupt=%zu wall=%.2fs\n",
@@ -446,12 +560,12 @@ int cmd_cluster(int argc, const char* const* argv) {
   }
 
   const auto selected = core::significant_voxels(
-      board, epochs.meta.size(), cli.get_double("fdr"),
+      board, view->epochs().size(), cli.get_double("fdr"),
       core::Correction::kFdr);
   std::printf("FDR (q = %.3g) selected %zu voxels\n", cli.get_double("fdr"),
               selected.size());
   core::ReportOptions ropts;
-  ropts.cv_total = epochs.meta.size();
+  ropts.cv_total = view->epochs().size();
   ropts.top_voxels = static_cast<std::size_t>(cli.get_int("top-k"));
   std::string report;
   try {
@@ -490,6 +604,7 @@ int cmd_offline(int argc, const char* const* argv) {
                "write a JSON span/counter trace of the run to this path");
   cli.add_flag("trace-timeline", "",
                "write a Chrome-trace timeline of the run to this path");
+  add_budget_flag(cli);
   add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   apply_tune_flags(cli);
@@ -509,28 +624,29 @@ int cmd_offline(int argc, const char* const* argv) {
                     linalg::simd::isa_name(linalg::simd::active_isa()));
   }
 
-  const fmri::Dataset d = fmri::load_dataset(cli.get("in"), cli.get("in"));
+  const auto view = fmri::open_dataset_view(cli.get("in"), cli.get("in"));
   core::OfflineOptions opts;
   opts.top_k = static_cast<std::size_t>(cli.get_int("top-k"));
   opts.voxels_per_task =
       static_cast<std::size_t>(cli.get_int("voxels-per-task"));
+  opts.memory_budget_bytes = parse_bytes(cli.get("memory-budget"));
   std::optional<threading::ThreadPool> pool;
   if (sched == "steal") {
     pool.emplace(static_cast<std::size_t>(cli.get_int("threads")));
     opts.pipeline.pool = &*pool;
   }
   WallTimer timer;
-  const core::OfflineResult result = core::run_offline_analysis(d, opts);
+  const core::OfflineResult result = core::run_offline_analysis(*view, opts);
   std::printf("%zu folds in %.1f s; mean held-out accuracy %.3f\n",
               result.folds.size(), timer.seconds(),
               result.mean_test_accuracy());
   std::string report;
   try {
     const fmri::BrainMask mask = fmri::load_mask(cli.get("in") + ".fcmm");
-    report = core::render_offline_report(result, d.voxels(), &mask,
+    report = core::render_offline_report(result, view->voxels(), &mask,
                                          core::ReportOptions{});
   } catch (const Error&) {
-    report = core::render_offline_report(result, d.voxels(), nullptr,
+    report = core::render_offline_report(result, view->voxels(), nullptr,
                                          core::ReportOptions{});
   }
   core::write_report(cli.get("report"), report);
@@ -630,6 +746,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(sub_argc, sub_argv);
     if (command == "info") return cmd_info(sub_argc, sub_argv);
     if (command == "preprocess") return cmd_preprocess(sub_argc, sub_argv);
+    if (command == "shard") return cmd_shard(sub_argc, sub_argv);
     if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
     if (command == "cluster") return cmd_cluster(sub_argc, sub_argv);
     if (command == "offline") return cmd_offline(sub_argc, sub_argv);

@@ -136,6 +136,37 @@ fi
 grep -q "per-fold results" offline.txt
 grep -q "mean held-out accuracy" offline.txt
 
+# Out-of-core data plane: shard the dataset (subject-sharded fcma.shards.v1
+# store), then run analyze/offline streamed under a memory budget from both
+# backends.  Streaming only changes *where* panels live, never their bytes,
+# so every report must be byte-identical to the resident run; the streamed
+# trace must carry the full io/* counter set (enforced by trace_check.py).
+"$FCMA" shard --in clean --out sharded | grep -q "shards"
+test -f sharded.shards && test -f sharded.epochs
+"$FCMA" info --in sharded | grep -q "(sharded)"
+"$FCMA" analyze --in sharded --report sharded_resident.txt --top-k 6
+cmp traced.txt sharded_resident.txt
+"$FCMA" analyze --in clean --report budgeted.txt --top-k 6 \
+    --memory-budget 16M
+cmp traced.txt budgeted.txt
+"$FCMA" analyze --in sharded --report streamed.txt --top-k 6 \
+    --memory-budget 16M --trace streamed.json
+cmp traced.txt streamed.txt
+grep -q 'io/shard_loads' streamed.json
+grep -q 'io/bytes_mapped' streamed.json
+grep -q 'io/prefetch_hits' streamed.json
+grep -q 'io/stall_s' streamed.json
+trace_check streamed.json
+"$FCMA" offline --in sharded --report offline_streamed.txt --top-k 12 \
+    --threads 2 --voxels-per-task 100 --memory-budget 16M
+cmp offline.txt offline_streamed.txt
+# A budget too small for even one subject's panels fails loudly.
+if "$FCMA" analyze --in sharded --report tiny.txt --memory-budget 64K \
+    2>/dev/null; then
+  echo "expected failure for an impossible memory budget" >&2
+  exit 1
+fi
+
 # Cluster driver: a clean 3-worker run, then a crash-injected run (worker 2
 # killed after its first task, short lease so detection is fast).  The
 # recovery protocol is bit-deterministic, so the two reports must be
@@ -150,6 +181,15 @@ grep -q 'cluster/tasks_dispatched' cluster_clean.json
 grep -q 'cluster/retries' cluster_clean.json
 grep -q 'cluster/reassignments' cluster_clean.json
 trace_check cluster_clean.json
+
+# Streamed farm: all worker ranks lease panels from one budgeted shard-
+# backed source; any worker count must render the resident report verbatim.
+"$FCMA" cluster --in sharded --report cluster_streamed.txt --workers 3 \
+    --voxels-per-task 40 --top-k 6 --memory-budget 16M
+cmp cluster_clean.txt cluster_streamed.txt
+"$FCMA" cluster --in sharded --report cluster_streamed2.txt --workers 2 \
+    --voxels-per-task 40 --top-k 6 --memory-budget 16M
+cmp cluster_clean.txt cluster_streamed2.txt
 
 "$FCMA" cluster --in clean --report cluster_faulted.txt --workers 3 \
     --voxels-per-task 40 --top-k 6 --lease-timeout 0.5 \
