@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/timeline.hpp"
 #include "common/trace.hpp"
 
 namespace fcma::cluster {
@@ -30,10 +31,27 @@ Comm::Comm(std::size_t ranks) {
   for (std::size_t r = 0; r < ranks; ++r) {
     inboxes_.push_back(std::make_unique<Inbox>());
   }
+  ctx_edge_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      ranks * ranks);
+  for (std::size_t i = 0; i < ranks * ranks; ++i) {
+    ctx_edge_seq_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Message::SpanContext Comm::make_context(std::size_t from, std::size_t to) {
+  Message::SpanContext ctx;
+  if (!trace::enabled()) return ctx;
+  ctx.trace_id = trace::run_id();
+  ctx.parent_span = trace::current_span();
+  ctx.edge_seq = ctx_edge_seq_[from * size() + to].fetch_add(
+      1, std::memory_order_relaxed);
+  ctx.sent_ns = trace::Timeline::global().now_ns();
+  return ctx;
 }
 
 void Comm::enqueue(std::size_t from, std::size_t to, Tag tag,
-                   std::vector<std::uint8_t> payload, std::uint64_t checksum) {
+                   std::vector<std::uint8_t> payload, std::uint64_t checksum,
+                   Message::SpanContext ctx) {
   FCMA_CHECK(from < size() && to < size(), "rank out of range");
   if (closed()) return;  // poisoned: deliveries are dropped
   if (trace::enabled()) {
@@ -43,7 +61,8 @@ void Comm::enqueue(std::size_t from, std::size_t to, Tag tag,
   Inbox& inbox = *inboxes_[to];
   {
     const std::lock_guard<std::mutex> lock(inbox.mutex);
-    inbox.queue.push_back(Message{from, tag, std::move(payload), checksum});
+    inbox.queue.push_back(
+        Message{from, tag, std::move(payload), checksum, ctx});
   }
   inbox.cv.notify_one();
 }
@@ -51,7 +70,8 @@ void Comm::enqueue(std::size_t from, std::size_t to, Tag tag,
 void Comm::send(std::size_t from, std::size_t to, Tag tag,
                 std::vector<std::uint8_t> payload) {
   const std::uint64_t checksum = payload_checksum(payload);
-  enqueue(from, to, tag, std::move(payload), checksum);
+  enqueue(from, to, tag, std::move(payload), checksum,
+          make_context(from, to));
 }
 
 Message Comm::recv(std::size_t rank) {

@@ -7,6 +7,15 @@
 // real protocol over it; the virtual-time simulator (sim.hpp) models its
 // timing at scale.
 //
+// Trace correlation (PR 9).  Every message also carries a SpanContext —
+// the run's trace id, the sender's current span id, a per-(from,to) edge
+// sequence number, and the send instant — stamped by send() at the moment
+// the sender still holds its span open.  The receiver adopts the context's
+// parent span (trace::ScopedParent), which is what stitches a worker's
+// task spans causally under the master's dispatch spans in the merged
+// cross-rank timeline.  With tracing off the context is all-zero and costs
+// one branch.
+//
 // Fault-tolerance surface (PR 5).  Every message carries an FNV-1a payload
 // checksum computed at send time (Message::checksum_ok() re-verifies it, so
 // a FaultyComm-corrupted payload is detectable at the receiver).  recv_for()
@@ -57,6 +66,16 @@ enum class Tag : std::int32_t {
 
 /// One delivered message.
 struct Message {
+  /// Piggybacked span context: stamped at send time, all-zero when tracing
+  /// is off.  `sent_ns` is timeline-epoch ns (ranks share one process
+  /// epoch, so the receiver can time the flight directly).
+  struct SpanContext {
+    std::uint64_t trace_id = 0;     ///< run trace id (trace::run_id())
+    std::uint64_t parent_span = 0;  ///< sender's open span at send()
+    std::uint64_t edge_seq = 0;     ///< per-(from,to) logical sequence
+    std::uint64_t sent_ns = 0;      ///< send instant (0 = no context)
+  };
+
   std::size_t source = 0;
   Tag tag = Tag::kUser;
   std::vector<std::uint8_t> payload;
@@ -64,6 +83,7 @@ struct Message {
   /// were corrupted in flight (fault injection, or a real transport in a
   /// future out-of-process port).
   std::uint64_t checksum = 0;
+  SpanContext ctx;
 
   [[nodiscard]] bool checksum_ok() const;
 };
@@ -129,9 +149,17 @@ class Comm {
 
  protected:
   /// Delivery primitive used by send() and by FaultyComm: enqueues with an
-  /// explicit (possibly stale) checksum.
+  /// explicit (possibly stale) checksum and the send-time span context.
   void enqueue(std::size_t from, std::size_t to, Tag tag,
-               std::vector<std::uint8_t> payload, std::uint64_t checksum);
+               std::vector<std::uint8_t> payload, std::uint64_t checksum,
+               Message::SpanContext ctx);
+
+  /// Stamps the span context for a message leaving `from` toward `to` NOW,
+  /// on the sending thread (FaultyComm must call this before deferring a
+  /// delayed message — the delivering thread's span is the wrong parent).
+  /// All-zero while tracing is off.
+  [[nodiscard]] Message::SpanContext make_context(std::size_t from,
+                                                  std::size_t to);
 
  private:
   struct Inbox {
@@ -140,10 +168,13 @@ class Comm {
     std::deque<Message> queue;
   };
   [[nodiscard]] static Message closed_message(std::size_t rank) {
-    return Message{rank, Tag::kShutdown, {}, payload_checksum({})};
+    return Message{rank, Tag::kShutdown, {}, payload_checksum({}), {}};
   }
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::atomic<bool> closed_{false};
+  /// Per-(from,to) logical edge sequence counters for SpanContext (distinct
+  /// from FaultyComm's fault-decision sequencing).  Flat ranks*ranks array.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> ctx_edge_seq_;
 };
 
 /// MPI-style collectives over a Comm.  Every rank (0..size-1) must call the

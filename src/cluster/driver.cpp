@@ -105,7 +105,16 @@ void worker_main(Comm& comm, std::size_t rank, core::EpochSource& epochs,
       // Anything else is stale traffic; stay parked.
     }
   }
-  std::deque<std::pair<std::uint64_t, core::VoxelTask>> local;
+  // Local queue entries remember their causal origin: the master's dispatch
+  // span (from the assignment's piggybacked context) parents everything the
+  // task records, and the arrival instant feeds the queue-wait attribution.
+  struct LocalTask {
+    std::uint64_t batch_id = 0;
+    core::VoxelTask task;
+    std::uint64_t parent_span = 0;
+    std::uint64_t recv_ns = 0;
+  };
+  std::deque<LocalTask> local;
   bool requested = false;
   std::size_t completed = 0;
   const double base_poll = options.worker_poll_s;
@@ -149,8 +158,17 @@ void worker_main(Comm& comm, std::size_t rank, core::EpochSource& epochs,
         std::memcpy(&batch_id, m->payload.data(), sizeof(batch_id));
         const std::vector<std::uint8_t> rest(
             m->payload.begin() + sizeof(batch_id), m->payload.end());
+        const std::uint64_t recv_ns = trace::now_ns();
+        if (trace::enabled() && m->ctx.sent_ns != 0) {
+          // Assignment flight time, parented to the master's dispatch span
+          // (both endpoints are on the shared process timeline epoch).
+          const trace::ScopedParent parent(m->ctx.parent_span);
+          trace::record_interval_ns("cluster/comm/assign", m->ctx.sent_ns,
+                                    recv_ns);
+        }
         for (const auto& task : decode_vector<core::VoxelTask>(rest)) {
-          local.emplace_back(batch_id, task);
+          local.push_back(LocalTask{batch_id, task, m->ctx.parent_span,
+                                    recv_ns});
         }
         requested = false;
         poll = base_poll;
@@ -162,8 +180,14 @@ void worker_main(Comm& comm, std::size_t rank, core::EpochSource& epochs,
       comm.send(rank, master, Tag::kWorkRequest, {kRequestRefill});
       requested = true;
     }
-    const auto [batch_id, task] = local.front();
+    const LocalTask entry = local.front();
+    const auto batch_id = entry.batch_id;
+    const auto task = entry.task;
     local.pop_front();
+    // Adopt the dispatching master's span for the whole task scope: the
+    // queue wait, the task span, and the result send's context all parent
+    // to it — the cross-rank stitch.
+    const trace::ScopedParent dispatch_parent(entry.parent_span);
     comm.send(rank, master, Tag::kHeartbeat, {});  // renews our lease
     if (options.faults.stalls(rank)) {
       // Scheduled straggler: the lease ages while we sleep, but the
@@ -171,6 +195,11 @@ void worker_main(Comm& comm, std::size_t rank, core::EpochSource& epochs,
       // death trigger.
       std::this_thread::sleep_for(
           std::chrono::duration<double>(options.faults.stall_s));
+    }
+    if (trace::enabled() && entry.recv_ns != 0) {
+      // Queue wait: assignment arrival to compute start.
+      trace::record_interval_ns("cluster/queue", entry.recv_ns,
+                                trace::now_ns());
     }
     const auto task_begin = Clock::now();
     {
@@ -350,7 +379,13 @@ MasterExit run_master_loop(const ControlContext& ctx, std::size_t self,
     pending.erase(pending.begin(),
                   pending.begin() + static_cast<std::ptrdiff_t>(count));
     const std::uint64_t batch_id = next_batch_id++;
-    comm.send(self, w, Tag::kTaskAssign, assign_payload(batch_id, batch));
+    {
+      // The dispatch span is the causal root of everything this batch does
+      // on its worker: send() stamps it into the assignment's context while
+      // the span is still open.
+      const trace::Span dispatch_span("cluster/dispatch");
+      comm.send(self, w, Tag::kTaskAssign, assign_payload(batch_id, batch));
+    }
     leases[batch_id] = Lease{w, std::move(batch), Clock::now(), false};
     stats.tasks_dispatched += count;
     ++stats.batches;
@@ -405,6 +440,8 @@ MasterExit run_master_loop(const ControlContext& ctx, std::size_t self,
         first_death = now;
       }
       reassigned_death += requeue_worker(w);
+      // Recovery window for this death: last sign of life to requeue done.
+      trace::record_interval("cluster/recovery", last_activity[w], now);
     }
     if (options.speculate) {
       // A lease older than speculation_factor * lease_timeout_s on a live
@@ -437,8 +474,11 @@ MasterExit run_master_loop(const ControlContext& ctx, std::size_t self,
         }
         if (copy.empty()) continue;
         const std::uint64_t replica_id = next_batch_id++;
-        comm.send(self, idle, Tag::kTaskAssign,
-                  assign_payload(replica_id, copy));
+        {
+          const trace::Span dispatch_span("cluster/dispatch");
+          comm.send(self, idle, Tag::kTaskAssign,
+                    assign_payload(replica_id, copy));
+        }
         stats.tasks_dispatched += copy.size();
         ++stats.batches;
         ++stats.messages;
@@ -572,6 +612,12 @@ MasterExit run_master_loop(const ControlContext& ctx, std::size_t self,
         break;
       }
       case Tag::kTaskResult: {
+        if (trace::enabled() && m.ctx.sent_ns != 0) {
+          // Result flight time, parented to the worker's task span.
+          const trace::ScopedParent parent(m.ctx.parent_span);
+          trace::record_interval_ns("cluster/comm/result", m.ctx.sent_ns,
+                                    trace::now_ns());
+        }
         if (!m.checksum_ok()) {
           // Corrupted result: drop it.  The worker moves on; the lease (or
           // its idle retry) re-runs the task eventually.
@@ -684,6 +730,9 @@ void standby_main(const ControlContext& ctx, core::Scoreboard board,
       }
       ctx.comm.send(ctx.standby_rank, 0, Tag::kTakeover, {});
       ++out.stats.messages;
+      // Takeover window: last sign of the primary to promotion complete.
+      trace::record_interval("cluster/recovery/takeover", last_master,
+                             Clock::now());
       const MasterExit exit =
           run_master_loop(ctx, ctx.standby_rank, /*is_failover=*/true, board,
                           out.stats, out.reassigned_death);

@@ -64,6 +64,9 @@ void FaultyComm::send(std::size_t from, std::size_t to, Tag tag,
   // Honest checksum first: a corrupted payload must travel with the stale
   // checksum so the receiver's checksum_ok() catches it.
   const std::uint64_t checksum = payload_checksum(payload);
+  // Span context too: stamped now, on the sending thread, so a delayed
+  // message still names the sender's span as parent when it finally lands.
+  const Message::SpanContext ctx = make_context(from, to);
 
   FaultPlan::Decision d;
   std::uint64_t release_at = 0;
@@ -93,7 +96,7 @@ void FaultyComm::send(std::size_t from, std::size_t to, Tag tag,
       ++stats_.delayed;
       release_at = dest_sends_[to] + plan_.delay_messages;
       deferred_[to].push_back(
-          Deferred{release_at, from, tag, std::move(payload), checksum});
+          Deferred{release_at, from, tag, std::move(payload), checksum, ctx});
       flush_matured(to);
       return;
     }
@@ -102,16 +105,17 @@ void FaultyComm::send(std::size_t from, std::size_t to, Tag tag,
   }
   // Deliver outside the fault lock (enqueue takes the inbox lock).
   if (d.duplicate) {
-    enqueue(from, to, tag, payload, checksum);
+    enqueue(from, to, tag, payload, checksum, ctx);
   }
-  enqueue(from, to, tag, std::move(payload), checksum);
+  enqueue(from, to, tag, std::move(payload), checksum, ctx);
 }
 
 void FaultyComm::flush_matured(std::size_t to) {
   auto& q = deferred_[to];
   for (auto it = q.begin(); it != q.end();) {
     if (dest_sends_[to] >= it->release_at) {
-      enqueue(it->from, to, it->tag, std::move(it->payload), it->checksum);
+      enqueue(it->from, to, it->tag, std::move(it->payload), it->checksum,
+              it->ctx);
       it = q.erase(it);
     } else {
       ++it;
@@ -124,7 +128,7 @@ void FaultyComm::close() {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t to = 0; to < deferred_.size(); ++to) {
       for (auto& d : deferred_[to]) {
-        enqueue(d.from, to, d.tag, std::move(d.payload), d.checksum);
+        enqueue(d.from, to, d.tag, std::move(d.payload), d.checksum, d.ctx);
       }
       deferred_[to].clear();
     }

@@ -148,6 +148,9 @@ class FaultyComm final : public Comm {
     Tag tag;
     std::vector<std::uint8_t> payload;
     std::uint64_t checksum;
+    /// Span context stamped at the original send — the flushing thread's
+    /// own span would be the wrong causal parent.
+    Message::SpanContext ctx;
   };
 
   FaultPlan plan_;

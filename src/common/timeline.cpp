@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace fcma::trace {
 
@@ -60,26 +63,78 @@ std::string json_us(std::uint64_t ns) {
 }  // namespace
 
 void ThreadSink::record(std::uint32_t label, std::uint64_t start_ns,
-                        std::uint64_t end_ns, bool event) {
+                        std::uint64_t end_ns, bool event, std::uint64_t span,
+                        std::uint64_t parent) {
+  // One uncontended per-thread lock covers the aggregate fold AND the ring
+  // publish: spill must be able to recycle ring slots, so readers snapshot
+  // rings under this mutex too — the release/acquire pair on published_
+  // still lets the TSan stress test's lock-free counter reads stay exact.
+  const std::lock_guard<std::mutex> lock(agg_mutex_);
   {
-    const std::lock_guard<std::mutex> lock(agg_mutex_);
     LabelAggregate& agg = aggs_[label];
     const std::uint64_t dur_ns = end_ns - start_ns;
     agg.stats.record(static_cast<double>(dur_ns) * 1e-9);
     agg.hist.record_ns(dur_ns);
   }
   if (!event) return;
-  // Single-writer publish: slot n is written before the release store of
-  // n+1, so any reader that acquires published_ >= n+1 sees a complete
-  // event.  Published entries are never rewritten (a full ring drops the
-  // newest events and counts them instead).
-  const std::uint64_t n = published_.load(std::memory_order_relaxed);
-  if (n >= ring_.size()) {
+  if (ring_.empty()) {
+    // Event capture was off when this sink was created: nowhere to put the
+    // event, visibly counted.
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ring_[n] = TimelineEvent{start_ns, end_ns, label};
+  std::uint64_t n = published_.load(std::memory_order_relaxed);
+  if (n >= ring_.size()) {
+    // Full ring: spill to the stream (events keep flowing, dropped stays
+    // 0), or — with no stream armed — drop the newest event, counted.
+    if (spill_locked()) n = published_.load(std::memory_order_relaxed);
+    if (n >= ring_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  ring_[n] = TimelineEvent{start_ns, end_ns, span, parent, label};
   published_.store(n + 1, std::memory_order_release);
+}
+
+bool ThreadSink::spill_locked(bool force) {
+  const auto stream = owner_->stream_state();
+  if (stream == nullptr || stream->config.dir.empty()) return false;
+  if (!force && stream->finalized.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const std::uint64_t n = published_.load(std::memory_order_relaxed);
+  if (n == 0) return true;  // nothing to spill: don't even open a lane
+  if (writer_ == nullptr) {
+    writer_ = std::make_unique<tlstream::SegmentWriter>(
+        stream->config, stream->used_bytes, lane_,
+        name_.empty() ? "thread" + std::to_string(lane_) : name_, run_id());
+  }
+  const std::vector<std::string> labels = owner_->label_names();
+  bool ok = true;
+  for (std::uint64_t i = 0; i < n && i < ring_.size(); ++i) {
+    const TimelineEvent& ev = ring_[i];
+    tlstream::EventRecord rec;
+    rec.label = ev.label < labels.size() ? std::string_view(labels[ev.label])
+                                         : std::string_view("<unknown>");
+    rec.start_ns = ev.start_ns;
+    rec.end_ns = ev.end_ns;
+    rec.span = ev.span;
+    rec.parent = ev.parent;
+    if (writer_->append(rec)) {
+      spilled_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Disk budget exhausted (or I/O failure): the event is gone, and the
+      // dropped counter says so — never a silent truncation.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      ok = false;
+    }
+  }
+  // Batch flush: concurrent --follow readers see whole lines, once per
+  // spill rather than per event.
+  writer_->flush();
+  published_.store(0, std::memory_order_release);
+  return ok;
 }
 
 Timeline& Timeline::global() {
@@ -94,12 +149,72 @@ void Timeline::set_ring_capacity(std::size_t events) {
   ring_capacity_ = std::max<std::size_t>(events, 16);
 }
 
+void Timeline::set_stream(tlstream::StreamConfig config) {
+  if (!config.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.dir, ec);
+    FCMA_CHECK(!ec, "cannot create stream directory " + config.dir + ": " +
+                        ec.message());
+  }
+  const std::lock_guard<std::mutex> lock(stream_mutex_);
+  if (config.dir.empty()) {
+    stream_.reset();
+    return;
+  }
+  stream_ = std::make_shared<StreamState>();
+  stream_->config = std::move(config);
+}
+
+bool Timeline::streaming() const {
+  const std::lock_guard<std::mutex> lock(stream_mutex_);
+  return stream_ != nullptr;
+}
+
+std::shared_ptr<Timeline::StreamState> Timeline::stream_state() const {
+  const std::lock_guard<std::mutex> lock(stream_mutex_);
+  return stream_;
+}
+
+std::vector<std::string> Timeline::label_names() const {
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
+  return names_;
+}
+
+void Timeline::finalize_stream() {
+  const auto stream = stream_state();
+  if (stream == nullptr) return;
+  if (stream->finalized.exchange(true, std::memory_order_acq_rel)) return;
+  std::vector<std::shared_ptr<ThreadSink>> sinks;
+  {
+    const std::lock_guard<std::mutex> lock(sinks_mutex_);
+    sinks = sinks_;
+  }
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  std::size_t lanes = 0;
+  for (const auto& sink : sinks) {
+    const std::lock_guard<std::mutex> lock(sink->agg_mutex_);
+    // Force: the finalized flag is already up (it exists to fence off
+    // *later* spills from stale counts), but this last flush must land.
+    (void)sink->spill_locked(/*force=*/true);
+    if (sink->writer_ != nullptr) {
+      sink->writer_->finalize();
+      ++lanes;
+    }
+    events += sink->spilled_.load(std::memory_order_relaxed);
+    dropped += sink->dropped_.load(std::memory_order_relaxed);
+  }
+  tlstream::write_done_manifest(stream->config.dir, run_id(), events, dropped,
+                                lanes);
+}
+
 ThreadSink& Timeline::local() {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   if (t_local.sink == nullptr || t_local.generation != gen) {
     const std::lock_guard<std::mutex> lock(sinks_mutex_);
     const bool collect = collect_.load(std::memory_order_relaxed);
-    t_local.sink = std::make_shared<ThreadSink>(collect ? ring_capacity_ : 0);
+    t_local.sink = std::make_shared<ThreadSink>(collect ? ring_capacity_ : 0,
+                                                this, next_lane_++);
     t_local.generation = gen;
     sinks_.push_back(t_local.sink);
   }
@@ -163,34 +278,6 @@ std::string Timeline::chrome_json() const {
     const std::lock_guard<std::mutex> lock(sinks_mutex_);
     sinks = sinks_;
   }
-  struct Row {
-    TimelineEvent ev;
-    std::size_t tid;
-  };
-  std::vector<Row> rows;
-  std::vector<std::string> lane_names(sinks.size());
-  std::uint64_t dropped = 0;
-  for (std::size_t t = 0; t < sinks.size(); ++t) {
-    ThreadSink& sink = *sinks[t];
-    {
-      const std::lock_guard<std::mutex> lock(sink.agg_mutex_);
-      lane_names[t] = sink.name_.empty()
-                          ? "thread" + std::to_string(t)
-                          : sink.name_;
-    }
-    const std::uint64_t n = sink.published_.load(std::memory_order_acquire);
-    dropped += sink.dropped();
-    for (std::uint64_t i = 0; i < n && i < sink.ring_.size(); ++i) {
-      rows.push_back(Row{sink.ring_[i], t});
-    }
-  }
-  // Chrome/Perfetto tolerate any order, but a time-sorted stream is what
-  // tools/trace_check.py asserts (monotonic timestamps) and what makes the
-  // file diffable.
-  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return a.ev.start_ns < b.ev.start_ns;
-  });
-
   std::vector<std::string> labels;
   {
     const std::lock_guard<std::mutex> lock(intern_mutex_);
@@ -200,12 +287,70 @@ std::string Timeline::chrome_json() const {
     return id < labels.size() ? labels[id] : "<unknown>";
   };
 
+  struct Row {
+    std::string label;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;
+    std::size_t tid = 0;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> lane_names(sinks.size());
+  std::unordered_map<std::size_t, std::size_t> lane_to_tid;  // stream lane id
+  std::uint64_t dropped = 0;
+  const auto stream = stream_state();
+  for (std::size_t t = 0; t < sinks.size(); ++t) {
+    ThreadSink& sink = *sinks[t];
+    const std::lock_guard<std::mutex> lock(sink.agg_mutex_);
+    lane_names[t] =
+        sink.name_.empty() ? "thread" + std::to_string(t) : sink.name_;
+    lane_to_tid.emplace(sink.lane_, t);
+    dropped += sink.dropped();
+    // Ring snapshot under the sink mutex: spill recycles slots, so the
+    // acquire-only protocol from PR 4 is no longer enough when streaming.
+    const std::uint64_t n = sink.published_.load(std::memory_order_acquire);
+    for (std::uint64_t i = 0; i < n && i < sink.ring_.size(); ++i) {
+      const TimelineEvent& ev = sink.ring_[i];
+      rows.push_back(Row{label_of(ev.label), ev.start_ns, ev.end_ns, ev.span,
+                         ev.parent, t});
+    }
+    // Make every spilled line visible to the disk read below.
+    if (sink.writer_ != nullptr) sink.writer_->flush();
+  }
+
+  // Merge back the spilled half.  Ring and segments are disjoint: a spill
+  // moves events out of the ring, so no dedup is needed.
+  if (stream != nullptr && !stream->config.dir.empty()) {
+    const tlstream::StreamRead disk =
+        tlstream::read_stream_dir(stream->config.dir);
+    for (const tlstream::StreamEvent& ev : disk.events) {
+      auto it = lane_to_tid.find(ev.lane_id);
+      if (it == lane_to_tid.end()) {
+        // A lane from a detached generation (or another run's leftovers in
+        // the same dir): give it a fresh tid so nothing is silently merged.
+        const std::size_t tid = lane_names.size();
+        lane_names.push_back(ev.lane);
+        it = lane_to_tid.emplace(ev.lane_id, tid).first;
+      }
+      rows.push_back(Row{ev.label, ev.start_ns, ev.end_ns, ev.span, ev.parent,
+                         it->second});
+    }
+  }
+
+  // Chrome/Perfetto tolerate any order, but a time-sorted stream is what
+  // tools/trace_check.py asserts (monotonic timestamps) and what makes the
+  // file diffable.
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.start_ns < b.start_ns;
+  });
+
   std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": "
                     "{\"schema\": \"fcma.timeline.v1\", \"dropped_events\": " +
                     std::to_string(dropped) + "},\n\"traceEvents\": [\n";
   out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
          "\"process_name\", \"args\": {\"name\": \"fcma\"}}";
-  for (std::size_t t = 0; t < sinks.size(); ++t) {
+  for (std::size_t t = 0; t < lane_names.size(); ++t) {
     out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(t) +
            ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
            json_escape(lane_names[t]) + "\"}}";
@@ -213,9 +358,13 @@ std::string Timeline::chrome_json() const {
   for (const Row& row : rows) {
     out += ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
            std::to_string(row.tid) + ", \"name\": \"" +
-           json_escape(label_of(row.ev.label)) + "\", \"ts\": " +
-           json_us(row.ev.start_ns) + ", \"dur\": " +
-           json_us(row.ev.end_ns - row.ev.start_ns) + "}";
+           json_escape(row.label) + "\", \"ts\": " + json_us(row.start_ns) +
+           ", \"dur\": " + json_us(row.end_ns - row.start_ns);
+    if (row.span != 0) {
+      out += ", \"args\": {\"span\": \"" + tlstream::trace_hex(row.span) +
+             "\", \"parent\": \"" + tlstream::trace_hex(row.parent) + "\"}";
+    }
+    out += "}";
   }
   out += "\n]\n}\n";
   return out;
@@ -235,6 +384,7 @@ std::uint64_t Timeline::events_published() const {
   std::uint64_t total = 0;
   for (const auto& sink : sinks_) {
     total += sink->published_.load(std::memory_order_acquire);
+    total += sink->spilled_.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -250,6 +400,11 @@ void Timeline::reset() {
   {
     const std::lock_guard<std::mutex> lock(sinks_mutex_);
     sinks_.clear();
+    next_lane_ = 0;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stream_mutex_);
+    stream_.reset();
   }
   {
     const std::lock_guard<std::mutex> lock(intern_mutex_);

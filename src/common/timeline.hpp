@@ -32,6 +32,18 @@
 // time-sorted timeline in Chrome-trace / Perfetto JSON ("chrome://tracing",
 // https://ui.perfetto.dev), one lane per recording thread, named via
 // set_thread_name() (scheduler workers, cluster ranks).
+//
+// Continuous profiling (PR 9).  set_stream() arms incremental spill: a ring
+// that fills no longer drops its newest events — the owning thread spills
+// the ring to its per-lane fcma.tlstream.v1 segment files (tlstream.hpp)
+// and keeps recording, so `dropped_events` stays 0 for as long as the disk
+// budget holds.  Ring publish moves inside the sink's (per-thread,
+// uncontended) mutex so spill can recycle ring slots without tearing a
+// reader's snapshot; chrome_json() merges the on-disk segments back with
+// whatever is still in the rings.  finalize_stream() flushes every ring
+// tail to disk and publishes the stream.done manifest — it runs from the
+// crash-safe exit dump too, so a fault-killed rank's spans still reach the
+// merged report.
 #pragma once
 
 #include <atomic>
@@ -46,14 +58,19 @@
 
 #include "common/histogram.hpp"
 #include "common/metrics.hpp"
+#include "common/tlstream.hpp"
 
 namespace fcma::trace {
 
 /// One completed span occurrence: [start_ns, end_ns) since the collector's
-/// process epoch, with its interned label.
+/// process epoch, with its interned label and span-context ids (0 = none):
+/// `span` identifies this occurrence, `parent` the span it ran under —
+/// possibly on another rank, via the comm-piggybacked context.
 struct TimelineEvent {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
   std::uint32_t label = 0;
 };
 
@@ -63,17 +80,26 @@ struct LabelAggregate {
   LatencyHistogram hist;
 };
 
+class Timeline;
+
 /// One thread's shard: written only by the owning thread.
 class ThreadSink {
  public:
   /// `ring_capacity` of 0 disables event storage for this sink (aggregates
-  /// still collect; attempted events count as dropped).
-  explicit ThreadSink(std::size_t ring_capacity) { ring_.resize(ring_capacity); }
+  /// still collect; attempted events count as dropped).  `lane` is the
+  /// sink's stable stream-lane id; `owner` resolves labels and stream
+  /// configuration at spill time.
+  ThreadSink(std::size_t ring_capacity, Timeline* owner, std::size_t lane)
+      : owner_(owner), lane_(lane) {
+    ring_.resize(ring_capacity);
+  }
 
   /// Records one span occurrence: always folds the duration into the
   /// aggregate shard; appends a timeline event only when `event` is set.
+  /// A full ring spills to the stream (when armed) or counts a drop.
   void record(std::uint32_t label, std::uint64_t start_ns,
-              std::uint64_t end_ns, bool event);
+              std::uint64_t end_ns, bool event, std::uint64_t span = 0,
+              std::uint64_t parent = 0);
 
   [[nodiscard]] std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
@@ -82,14 +108,24 @@ class ThreadSink {
  private:
   friend class Timeline;
 
+  /// Spills every published ring event to this lane's segment files and
+  /// recycles the ring.  Caller holds agg_mutex_.  False when streaming is
+  /// not armed (or already finalized, unless `force`) or the disk budget
+  /// refused the events.
+  bool spill_locked(bool force = false);
+
+  Timeline* owner_ = nullptr;
+  std::size_t lane_ = 0;
   std::vector<TimelineEvent> ring_;
   std::atomic<std::uint64_t> published_{0};  // events visible to readers
+  std::atomic<std::uint64_t> spilled_{0};    // events moved to segment files
   std::atomic<std::uint64_t> dropped_{0};    // events lost to a full ring
   std::atomic<std::int32_t> worker_{-1};     // scheduler worker id, if any
 
-  std::mutex agg_mutex_;  // guards aggs_ and name_
+  std::mutex agg_mutex_;  // guards aggs_, name_, writer_, and ring recycling
   std::unordered_map<std::uint32_t, LabelAggregate> aggs_;
   std::string name_;
+  std::unique_ptr<tlstream::SegmentWriter> writer_;
 };
 
 /// Process-wide sink registry, label interner, and timeline exporter.
@@ -109,6 +145,18 @@ class Timeline {
 
   /// Ring capacity (events per thread) for sinks created afterwards.
   void set_ring_capacity(std::size_t events);
+
+  /// Arms incremental spill: full rings stream to per-lane segment files
+  /// under `config.dir` instead of dropping events.  Arm before the
+  /// recording threads start; an empty dir disarms (new spills drop again).
+  void set_stream(tlstream::StreamConfig config);
+  [[nodiscard]] bool streaming() const;
+
+  /// Flushes every sink's remaining ring events to its segment files,
+  /// finalizes the active segments, and publishes the stream.done manifest.
+  /// Idempotent per run; no-op when streaming is not armed.  Runs from the
+  /// crash-safe exit dump, so a killed worker's partial lane still lands.
+  void finalize_stream();
 
   /// The calling thread's sink (registered on first use, re-registered
   /// after reset()).
@@ -144,7 +192,8 @@ class Timeline {
   /// Writes chrome_json() to `path` (throws fcma::Error on I/O failure).
   void write_chrome_json(const std::string& path) const;
 
-  /// Total events published / dropped across every sink.
+  /// Total events captured (still in rings + spilled to segments) /
+  /// dropped across every sink.
   [[nodiscard]] std::uint64_t events_published() const;
   [[nodiscard]] std::uint64_t events_dropped() const;
 
@@ -153,15 +202,38 @@ class Timeline {
   void reset();
 
  private:
+  friend class ThreadSink;
+
+  /// Stream-wide spill state shared by every lane writer.
+  struct StreamState {
+    tlstream::StreamConfig config;
+    std::shared_ptr<std::atomic<std::uint64_t>> used_bytes =
+        std::make_shared<std::atomic<std::uint64_t>>(0);
+    /// Set once the done manifest is out: later spills drop (counted) so
+    /// the manifest's event total stays the truth about the segments.
+    std::atomic<bool> finalized{false};
+  };
+
   Timeline() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Snapshot of the stream state (null when not armed).  Lock-ordering
+  /// leaf: stream_mutex_ is never held while taking another mutex.
+  [[nodiscard]] std::shared_ptr<StreamState> stream_state() const;
+
+  /// Copy of the intern table, for spill-time label resolution.
+  [[nodiscard]] std::vector<std::string> label_names() const;
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> collect_{false};
   std::atomic<std::uint64_t> generation_{0};
 
-  mutable std::mutex sinks_mutex_;  // guards sinks_ and ring_capacity_
+  mutable std::mutex sinks_mutex_;  // guards sinks_, ring_capacity_, lanes_
   std::vector<std::shared_ptr<ThreadSink>> sinks_;
   std::size_t ring_capacity_ = 1u << 16;
+  std::size_t next_lane_ = 0;
+
+  mutable std::mutex stream_mutex_;  // guards stream_
+  std::shared_ptr<StreamState> stream_;
 
   mutable std::mutex intern_mutex_;  // guards ids_ and names_
   std::unordered_map<std::string, std::uint32_t> ids_;

@@ -1,0 +1,394 @@
+#include "common/tlstream.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace fcma::trace::tlstream {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string u64(std::uint64_t v) {
+  return std::to_string(static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+std::string trace_hex(std::uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+SegmentWriter::SegmentWriter(
+    StreamConfig config, std::shared_ptr<std::atomic<std::uint64_t>> used_bytes,
+    std::size_t lane_id, std::string lane_name, std::uint64_t trace_id)
+    : config_(std::move(config)),
+      used_bytes_(std::move(used_bytes)),
+      lane_id_(lane_id),
+      lane_name_(std::move(lane_name)),
+      trace_id_(trace_id) {}
+
+SegmentWriter::~SegmentWriter() { finalize(); }
+
+bool SegmentWriter::open_segment() {
+  const std::string stem = config_.dir + "/lane" + std::to_string(lane_id_) +
+                           "-" + std::to_string(seq_) + ".tls";
+  part_path_ = stem + ".part";
+  final_path_ = stem;
+  file_ = std::fopen(part_path_.c_str(), "w");
+  if (file_ == nullptr) {
+    failed_ = true;
+    return false;
+  }
+  segment_bytes_ = 0;
+  const std::string header =
+      std::string("{\"schema\": \"") + std::string(kSchema) +
+      "\", \"lane\": \"" + json_escape(lane_name_) +
+      "\", \"lane_id\": " + std::to_string(lane_id_) +
+      ", \"seq\": " + u64(seq_) + ", \"trace\": \"" + trace_hex(trace_id_) +
+      "\"}\n";
+  return write_line(header);
+}
+
+bool SegmentWriter::write_line(const std::string& line) {
+  // Budget check first: a refused line leaves the shared accounting and the
+  // file untouched, so the caller's dropped counter stays exact.
+  const std::uint64_t before =
+      used_bytes_->fetch_add(line.size(), std::memory_order_relaxed);
+  if (before + line.size() > config_.budget_bytes) {
+    used_bytes_->fetch_sub(line.size(), std::memory_order_relaxed);
+    failed_ = true;
+    return false;
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    used_bytes_->fetch_sub(line.size(), std::memory_order_relaxed);
+    failed_ = true;
+    return false;
+  }
+  segment_bytes_ += line.size();
+  return true;
+}
+
+bool SegmentWriter::append(const EventRecord& ev) {
+  if (failed_) return false;
+  if (file_ == nullptr && !open_segment()) return false;
+  std::string line;
+  line.reserve(96 + ev.label.size());
+  line += "{\"ts\": ";
+  line += u64(ev.start_ns);
+  line += ", \"dur\": ";
+  line += u64(ev.end_ns - ev.start_ns);
+  line += ", \"label\": \"";
+  line += json_escape(ev.label);
+  line += "\", \"span\": ";
+  line += u64(ev.span);
+  line += ", \"parent\": ";
+  line += u64(ev.parent);
+  line += ", \"trace\": \"";
+  line += trace_hex(trace_id_);
+  line += "\"}\n";
+  if (!write_line(line)) return false;
+  ++events_;
+  if (segment_bytes_ >= config_.rotate_bytes) finalize();
+  return true;
+}
+
+void SegmentWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void SegmentWriter::finalize() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  // Same-directory rename: the segment appears under its final name with
+  // every line intact or not at all — readers never see a renamed torn file.
+  if (std::rename(part_path_.c_str(), final_path_.c_str()) != 0) {
+    // The .part stays readable in place; rotation just didn't promote it.
+    failed_ = failed_ || false;
+  }
+  ++seq_;
+}
+
+void write_done_manifest(const std::string& dir, std::uint64_t trace_id,
+                         std::uint64_t events, std::uint64_t dropped,
+                         std::size_t lanes) {
+  const std::string tmp = dir + "/" + std::string(kDoneFile) + ".part";
+  const std::string final_path = dir + "/" + std::string(kDoneFile);
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  FCMA_CHECK(f != nullptr, "cannot write stream manifest " + tmp);
+  const std::string body =
+      std::string("{\"schema\": \"") + std::string(kSchema) +
+      "\", \"done\": true, \"trace\": \"" + trace_hex(trace_id) +
+      "\", \"events\": " + u64(events) + ", \"dropped\": " + u64(dropped) +
+      ", \"lanes\": " + std::to_string(lanes) + "}\n";
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  FCMA_CHECK(written == body.size(), "short write to stream manifest " + tmp);
+  FCMA_CHECK(std::rename(tmp.c_str(), final_path.c_str()) == 0,
+             "cannot publish stream manifest " + final_path);
+}
+
+namespace {
+
+std::uint64_t parse_hex(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+struct SegmentFile {
+  fs::path path;
+  bool partial = false;
+};
+
+/// Parses one segment into `out.events`; returns false (with a warning) when
+/// the header is unusable.  Torn or malformed event lines are skipped: a
+/// final line without '\n' is an in-flight append, anything else malformed
+/// gets a warning so validators can distinguish corruption from a tail.
+bool read_segment(const fs::path& path, StreamRead& out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) {
+    out.warnings.push_back("unreadable segment " + path.string());
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    text.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  std::fclose(f);
+
+  std::string lane;
+  std::size_t lane_id = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t trace_id = 0;
+  bool have_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: an in-flight append
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    json::Value v;
+    try {
+      v = json::parse(line);
+    } catch (const Error&) {
+      out.warnings.push_back("malformed line in " + path.string());
+      continue;
+    }
+    if (!have_header) {
+      if (v.at("schema").as_string() != kSchema) {
+        out.warnings.push_back("bad segment header in " + path.string());
+        return false;
+      }
+      lane = v.at("lane").as_string();
+      lane_id = static_cast<std::size_t>(v.at("lane_id").as_number());
+      seq = static_cast<std::uint64_t>(v.at("seq").as_number());
+      trace_id = parse_hex(v.at("trace").as_string());
+      if (out.trace_id == 0) out.trace_id = trace_id;
+      have_header = true;
+      continue;
+    }
+    StreamEvent ev;
+    ev.lane = lane;
+    ev.lane_id = lane_id;
+    ev.seq = seq;
+    ev.label = v.at("label").as_string();
+    ev.start_ns = static_cast<std::uint64_t>(v.at("ts").as_number());
+    ev.end_ns = ev.start_ns + static_cast<std::uint64_t>(
+                                  v.at("dur").as_number());
+    ev.span = static_cast<std::uint64_t>(v.at("span").as_number());
+    ev.parent = static_cast<std::uint64_t>(v.at("parent").as_number());
+    ev.trace_id = parse_hex(v.at("trace").as_string());
+    out.events.push_back(std::move(ev));
+  }
+  if (!have_header) {
+    out.warnings.push_back("segment without header " + path.string());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamRead read_stream_dir(const std::string& dir) {
+  StreamRead out;
+  std::error_code ec;
+  FCMA_CHECK(fs::is_directory(dir, ec), "not a stream directory: " + dir);
+  std::vector<SegmentFile> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("lane", 0) != 0) continue;
+    if (name.size() >= 4 && name.substr(name.size() - 4) == ".tls") {
+      files.push_back(SegmentFile{entry.path(), false});
+    } else if (name.size() >= 9 &&
+               name.substr(name.size() - 9) == ".tls.part") {
+      files.push_back(SegmentFile{entry.path(), true});
+    }
+  }
+  // Lexicographic path order is a stable pre-sort; the authoritative order
+  // is (lane_id, seq) from the headers, applied after parsing.
+  std::sort(files.begin(), files.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.path.string() < b.path.string();
+            });
+  for (const SegmentFile& file : files) {
+    if (read_segment(file.path, out)) ++out.segments;
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     if (a.lane_id != b.lane_id) return a.lane_id < b.lane_id;
+                     return a.seq < b.seq;
+                   });
+
+  const fs::path done = fs::path(dir) / std::string(kDoneFile);
+  if (fs::exists(done, ec)) {
+    try {
+      const json::Value v = json::parse_file(done.string());
+      if (v.at("schema").as_string() == kSchema) {
+        out.done = true;
+        out.done_events =
+            static_cast<std::uint64_t>(v.at("events").as_number());
+        out.done_dropped =
+            static_cast<std::uint64_t>(v.at("dropped").as_number());
+        if (out.trace_id == 0) {
+          out.trace_id = parse_hex(v.at("trace").as_string());
+        }
+      }
+    } catch (const Error&) {
+      out.warnings.push_back("unreadable stream.done manifest");
+    }
+  }
+  return out;
+}
+
+std::string span_class_of(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  std::size_t pos = 0;
+  while (pos <= label.size()) {
+    const std::size_t slash = label.find('/', pos);
+    const std::string_view seg =
+        label.substr(pos, slash == std::string_view::npos ? std::string_view::npos
+                                                          : slash - pos);
+    bool folded = false;
+    if (seg.size() > 6 && seg.substr(0, 6) == "worker") {
+      folded = true;
+      for (const char c : seg.substr(6)) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+          folded = false;
+          break;
+        }
+      }
+    }
+    if (!out.empty()) out += '/';
+    out += folded ? std::string_view("worker") : seg;
+    if (slash == std::string_view::npos) break;
+    pos = slash + 1;
+  }
+  return out;
+}
+
+std::vector<SloRule> parse_slo_rules(std::string_view spec) {
+  std::vector<SloRule> rules;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view raw = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (raw.empty()) continue;
+    const std::size_t colon = raw.rfind(':');
+    FCMA_CHECK(colon != std::string_view::npos && colon > 0,
+               "SLO rule needs '<class>:p<q><<limit>': " + std::string(raw));
+    SloRule rule;
+    rule.raw = std::string(raw);
+    rule.span_class = std::string(raw.substr(0, colon));
+    std::string_view rest = raw.substr(colon + 1);
+    FCMA_CHECK(!rest.empty() && rest[0] == 'p',
+               "SLO rule quantile must be p50/p95/p99: " + std::string(raw));
+    const std::size_t lt = rest.find('<');
+    FCMA_CHECK(lt != std::string_view::npos,
+               "SLO rule needs '<' before its limit: " + std::string(raw));
+    const std::string q(rest.substr(1, lt - 1));
+    if (q == "50") {
+      rule.quantile = 0.50;
+    } else if (q == "95") {
+      rule.quantile = 0.95;
+    } else if (q == "99") {
+      rule.quantile = 0.99;
+    } else {
+      raise("SLO rule quantile must be p50/p95/p99: " + std::string(raw));
+    }
+    const std::string limit(rest.substr(lt + 1));
+    char* end = nullptr;
+    const double value = std::strtod(limit.c_str(), &end);
+    FCMA_CHECK(end != limit.c_str() && value >= 0.0,
+               "bad SLO limit: " + std::string(raw));
+    const std::string unit(end);
+    double scale = 0.0;
+    if (unit == "s") {
+      scale = 1.0;
+    } else if (unit == "ms") {
+      scale = 1e-3;
+    } else if (unit == "us") {
+      scale = 1e-6;
+    } else if (unit == "ns") {
+      scale = 1e-9;
+    } else {
+      raise("SLO limit unit must be ns/us/ms/s: " + std::string(raw));
+    }
+    rule.limit_s = value * scale;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+bool rule_matches(const SloRule& rule, std::string_view span_class) {
+  if (span_class == rule.span_class) return true;
+  // Path-suffix match: "task:p99<1s" governs "cluster/task".
+  if (span_class.size() > rule.span_class.size() + 1 &&
+      span_class.substr(span_class.size() - rule.span_class.size()) ==
+          rule.span_class &&
+      span_class[span_class.size() - rule.span_class.size() - 1] == '/') {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fcma::trace::tlstream

@@ -1,0 +1,172 @@
+// Timeline stream segments: continuous-profiling spill format + reader.
+//
+// PR 4's event rings are bounded, so a long run used to drop its newest
+// events once a ring filled.  This module gives the timeline collector a
+// disk lane instead: each recording thread spills its ring to per-lane
+// segment files under one stream directory, and exporters (plus the live
+// `fcma report --follow` tail) merge the segments back into one cross-rank
+// timeline.
+//
+// Format (`fcma.tlstream.v1`).  A stream directory holds
+//
+//   lane<id>-<seq>.tls       finalized segments (rotated atomically)
+//   lane<id>-<seq>.tls.part  the segment currently being appended
+//   stream.done              end-of-run manifest (written via rename)
+//
+// Every segment is JSON-lines: one header object (schema, lane name,
+// lane id, segment seq, run trace id) followed by one object per event
+// (`ts`/`dur` in timeline-epoch ns, label, span id, parent span id, trace
+// id).  The crash-safety argument is structural: lines are appended and
+// fflush()ed in batch, a segment becomes immutable at rotation through a
+// same-directory rename, and the reader treats a torn final line (a crash
+// or a mid-write tail) as absent rather than as corruption — so a killed
+// rank's partial `.part` segment still yields every complete line it ever
+// flushed, and a reader polling mid-run can never observe a half-written
+// event.  stream.done exists only after a clean finalize; its event count
+// lets validators (tools/trace_check.py) prove the merge lost nothing.
+//
+// The writer half runs under the owning ThreadSink's mutex (timeline.cpp);
+// the reader half and the SLO rule grammar are shared by the CLI report
+// path and the tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcma::trace::tlstream {
+
+inline constexpr std::string_view kSchema = "fcma.tlstream.v1";
+inline constexpr std::string_view kDoneFile = "stream.done";
+
+/// Stream-wide configuration, shared by every lane's writer.
+struct StreamConfig {
+  std::string dir;                            ///< segment directory
+  std::uint64_t rotate_bytes = 1ull << 20;    ///< segment rotation threshold
+  std::uint64_t budget_bytes = 256ull << 20;  ///< total on-disk budget
+};
+
+/// One event to append (the writer resolves nothing; callers pass strings).
+struct EventRecord {
+  std::string_view label;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+};
+
+/// Appends one lane's events to rotating segment files.  Not thread-safe:
+/// the owning ThreadSink serializes calls under its own mutex.
+class SegmentWriter {
+ public:
+  /// `used_bytes` is the stream-wide disk accounting shared across lanes;
+  /// appends that would exceed `config.budget_bytes` are refused (false),
+  /// which the caller must count as a dropped event.
+  SegmentWriter(StreamConfig config,
+                std::shared_ptr<std::atomic<std::uint64_t>> used_bytes,
+                std::size_t lane_id, std::string lane_name,
+                std::uint64_t trace_id);
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Appends one event line; false when the disk budget is exhausted or the
+  /// segment file cannot be written (the event is lost and must be counted).
+  [[nodiscard]] bool append(const EventRecord& ev);
+
+  /// Flushes the active segment so concurrent readers see every appended
+  /// line.  Called once per spill batch, not per event.
+  void flush();
+
+  /// Flushes and atomically promotes the active `.part` segment to its
+  /// final name.  The next append opens a fresh segment.
+  void finalize();
+
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ private:
+  bool open_segment();
+  bool write_line(const std::string& line);
+
+  StreamConfig config_;
+  std::shared_ptr<std::atomic<std::uint64_t>> used_bytes_;
+  std::size_t lane_id_ = 0;
+  std::string lane_name_;
+  std::uint64_t trace_id_ = 0;
+  std::FILE* file_ = nullptr;
+  std::string part_path_;
+  std::string final_path_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t segment_bytes_ = 0;
+  std::uint64_t events_ = 0;
+  bool failed_ = false;  // budget exhausted or I/O error; appends refused
+};
+
+/// Writes the stream.done manifest (event totals per the writers) through a
+/// temp-file + rename so a reader either sees a complete manifest or none.
+void write_done_manifest(const std::string& dir, std::uint64_t trace_id,
+                         std::uint64_t events, std::uint64_t dropped,
+                         std::size_t lanes);
+
+/// One event read back from a segment.
+struct StreamEvent {
+  std::string lane;
+  std::size_t lane_id = 0;
+  std::uint64_t seq = 0;  ///< segment sequence within the lane
+  std::string label;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t trace_id = 0;
+};
+
+/// A merged read of a stream directory.  The reader is deliberately
+/// tolerant — torn tails are skipped, unreadable segments become warnings —
+/// because it must work mid-run against files being appended; strict
+/// validation lives in tools/trace_check.py.
+struct StreamRead {
+  std::vector<StreamEvent> events;  ///< ordered by (lane_id, seq, file order)
+  bool done = false;                ///< stream.done manifest present
+  std::uint64_t done_events = 0;    ///< manifest totals (when done)
+  std::uint64_t done_dropped = 0;
+  std::uint64_t trace_id = 0;  ///< from the first header seen
+  std::size_t segments = 0;
+  std::vector<std::string> warnings;
+};
+
+/// Reads every segment (final and partial) under `dir`.  Throws fcma::Error
+/// only when `dir` itself cannot be listed.
+[[nodiscard]] StreamRead read_stream_dir(const std::string& dir);
+
+/// 16-digit lowercase hex of a trace id (the on-disk spelling).
+[[nodiscard]] std::string trace_hex(std::uint64_t trace_id);
+
+/// Folds per-rank span labels into rank-independent classes for the SLO /
+/// percentile tables: any "worker<N>" path segment collapses to "worker",
+/// so "cluster/worker3/task" and "cluster/worker7/task" share one class.
+[[nodiscard]] std::string span_class_of(std::string_view label);
+
+/// One declarative SLO rule: `<class>:p<50|95|99><<limit><ns|us|ms|s>`,
+/// e.g. "cluster/task:p99<250ms".  `span_class` matches a class exactly or
+/// as a trailing path suffix ("task:p99<1s" matches "cluster/task").
+struct SloRule {
+  std::string span_class;
+  double quantile = 0.99;  ///< 0.50 / 0.95 / 0.99
+  double limit_s = 0.0;
+  std::string raw;  ///< original spelling, for reporting
+};
+
+/// Parses a comma-separated rule list; throws fcma::Error on bad syntax.
+[[nodiscard]] std::vector<SloRule> parse_slo_rules(std::string_view spec);
+
+/// True when `rule` governs `span_class` (exact match or path suffix).
+[[nodiscard]] bool rule_matches(const SloRule& rule,
+                                std::string_view span_class);
+
+}  // namespace fcma::trace::tlstream

@@ -2,10 +2,12 @@
 
 #ifndef FCMA_TRACE_DISABLED
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <random>
 #include <utility>
 
 #include "common/error.hpp"
@@ -20,6 +22,24 @@ std::atomic<bool> g_enabled{false};
 // Per-thread span nesting path; spans push "<label>" segments separated by
 // '/' on construction and pop them on destruction.
 thread_local std::string t_path;
+
+// The span id currently active on this thread (0 outside spans).  Span
+// ctors/dtors and ScopedParent maintain it; comm send-paths read it.
+thread_local std::uint64_t t_current_span = 0;
+
+// Span ids are process-unique and never 0 (0 means "no span").
+std::atomic<std::uint64_t> g_next_span{1};
+
+// Run trace id: drawn lazily, nonzero, replaceable for test isolation.
+std::atomic<std::uint64_t> g_run_id{0};
+
+std::uint64_t draw_run_id() {
+  std::random_device rd;
+  std::uint64_t id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  id ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return id != 0 ? id : 1;
+}
 
 const std::string& thread_path() { return t_path; }
 
@@ -43,10 +63,12 @@ bool g_dump_done = false;
 bool g_atexit_registered = false;
 
 void record_to_sink(const std::string& label, std::uint64_t start_ns,
-                    std::uint64_t end_ns, bool want_event) {
+                    std::uint64_t end_ns, bool want_event,
+                    std::uint64_t span = 0, std::uint64_t parent = 0) {
   Timeline& tl = Timeline::global();
   const std::uint32_t id = tl.intern(label);
-  tl.local().record(id, start_ns, end_ns, want_event && tl.collect_events());
+  tl.local().record(id, start_ns, end_ns, want_event && tl.collect_events(),
+                    span, parent);
 }
 
 }  // namespace
@@ -59,6 +81,43 @@ void set_timeline_enabled(bool on) {
 
 bool timeline_enabled() { return Timeline::global().collect_events(); }
 
+std::uint64_t run_id() {
+  std::uint64_t id = detail::g_run_id.load(std::memory_order_acquire);
+  if (id != 0) return id;
+  std::uint64_t fresh = detail::draw_run_id();
+  if (detail::g_run_id.compare_exchange_strong(id, fresh,
+                                               std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  return id;  // another thread won the race
+}
+
+void new_run_id() {
+  detail::g_run_id.store(detail::draw_run_id(), std::memory_order_release);
+}
+
+std::uint64_t current_span() { return detail::t_current_span; }
+
+std::uint64_t now_ns() { return Timeline::global().now_ns(); }
+
+ScopedParent::ScopedParent(std::uint64_t parent_span)
+    : saved_(detail::t_current_span) {
+  detail::t_current_span = parent_span;
+}
+
+ScopedParent::~ScopedParent() { detail::t_current_span = saved_; }
+
+void set_stream_dir(const std::string& dir, std::uint64_t budget_bytes,
+                    std::uint64_t rotate_bytes) {
+  tlstream::StreamConfig config;
+  config.dir = dir;
+  if (budget_bytes != 0) config.budget_bytes = budget_bytes;
+  if (rotate_bytes != 0) config.rotate_bytes = rotate_bytes;
+  Timeline::global().set_stream(std::move(config));
+}
+
+bool streaming() { return Timeline::global().streaming(); }
+
 Span::Span(std::string_view label, Registry* registry) {
   if (!enabled()) return;
   active_ = true;
@@ -68,6 +127,11 @@ Span::Span(std::string_view label, Registry* registry) {
   if (!path.empty()) path += '/';
   path += label;
   label_ = path;
+  // Become the thread's current span for the scope, so nested spans — and
+  // comm messages sent from inside it — record this span as their parent.
+  id_ = detail::g_next_span.fetch_add(1, std::memory_order_relaxed);
+  saved_parent_ = detail::t_current_span;
+  detail::t_current_span = id_;
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -75,6 +139,7 @@ Span::~Span() {
   if (!active_) return;
   const auto end = std::chrono::steady_clock::now();
   detail::t_path.resize(parent_len_);
+  detail::t_current_span = saved_parent_;
   if (registry_ != nullptr) {
     registry_->record_span(label_,
                            std::chrono::duration<double>(end - start_).count());
@@ -82,7 +147,8 @@ Span::~Span() {
   }
   Timeline& tl = Timeline::global();
   detail::record_to_sink(label_, tl.since_epoch_ns(start_),
-                         tl.since_epoch_ns(end), /*want_event=*/true);
+                         tl.since_epoch_ns(end), /*want_event=*/true, id_,
+                         saved_parent_);
 }
 
 void record_span(std::string_view label, double seconds) {
@@ -104,8 +170,21 @@ void record_interval(std::string_view label,
   if (!enabled()) return;
   if (end < start) end = start;
   Timeline& tl = Timeline::global();
-  detail::record_to_sink(detail::qualified(label), tl.since_epoch_ns(start),
-                         tl.since_epoch_ns(end), /*want_event=*/true);
+  detail::record_to_sink(
+      detail::qualified(label), tl.since_epoch_ns(start),
+      tl.since_epoch_ns(end), /*want_event=*/true,
+      detail::g_next_span.fetch_add(1, std::memory_order_relaxed),
+      detail::t_current_span);
+}
+
+void record_interval_ns(std::string_view label, std::uint64_t start_ns,
+                        std::uint64_t end_ns) {
+  if (!enabled()) return;
+  if (end_ns < start_ns) end_ns = start_ns;
+  detail::record_to_sink(
+      detail::qualified(label), start_ns, end_ns, /*want_event=*/true,
+      detail::g_next_span.fetch_add(1, std::memory_order_relaxed),
+      detail::t_current_span);
 }
 
 void set_thread_name(std::string_view name, int worker) {
@@ -140,13 +219,17 @@ void dump_now() {
     trace_path = detail::g_dump_trace_path;
     timeline_path = detail::g_dump_timeline_path;
   }
-  if (trace_path.empty() && timeline_path.empty()) return;
+  const bool stream_armed = streaming();
+  if (trace_path.empty() && timeline_path.empty() && !stream_armed) return;
   // May run from atexit, where an escaping exception aborts the process:
   // report write failures instead of throwing.
   try {
     flush();
     if (!trace_path.empty()) global().write_json(trace_path);
     if (!timeline_path.empty()) write_timeline_json(timeline_path);
+    // A killed rank's ring tail must still land on disk: finalize the
+    // stream so the master-side merged report accounts its spans.
+    if (stream_armed) Timeline::global().finalize_stream();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fcma: trace exit dump failed: %s\n", e.what());
   }

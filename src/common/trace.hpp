@@ -35,6 +35,17 @@
 // (the blocked kernels run millions of times in benches) pay nothing
 // measurable.  Compile time: configure with -DFCMA_TRACE=OFF (defines
 // FCMA_TRACE_DISABLED) and every helper collapses to an inline no-op.
+//
+// Distributed correlation (PR 9).  Every process run carries one trace id
+// (run_id()) and every Span an id unique within the process; the span
+// active on the calling thread is current_span().  Cluster comm stamps
+// {run_id, current_span} onto each outgoing message, and the receiver
+// adopts the sender's span as parent via ScopedParent — so a worker's task
+// spans stitch causally under the master's dispatch spans in the merged
+// timeline, across ranks.  set_stream_dir() arms continuous profiling
+// (timeline rings spill to fcma.tlstream.v1 segments instead of dropping);
+// dump_now() finalizes the stream too, so a fault-killed rank's partial
+// lane still reaches the master-side merged report.
 #pragma once
 
 #include <atomic>
@@ -72,6 +83,46 @@ inline void set_enabled(bool on) {
 void set_timeline_enabled(bool on);
 [[nodiscard]] bool timeline_enabled();
 
+/// The process run's trace id: one nonzero 64-bit id per run, lazily drawn,
+/// shared by every rank (ranks are threads) and stamped on every stream
+/// segment and comm message.
+[[nodiscard]] std::uint64_t run_id();
+
+/// Draws a fresh run id (test isolation; a new CLI invocation gets a fresh
+/// id automatically by being a new process).
+void new_run_id();
+
+/// The span id currently active on the calling thread (0 outside spans and
+/// while tracing is disabled).  This is what comm send-paths capture as the
+/// remote parent.
+[[nodiscard]] std::uint64_t current_span();
+
+/// Nanoseconds since the timeline epoch (one epoch per process, so ranks'
+/// timestamps compare directly).  0 when tracing is compiled out.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Adopts `parent_span` (typically a remote rank's span id, from a comm
+/// message) as the calling thread's current span for this scope: spans and
+/// intervals recorded inside parent to it, stitching the cross-rank edge.
+class ScopedParent {
+ public:
+  explicit ScopedParent(std::uint64_t parent_span);
+  ~ScopedParent();
+
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  std::uint64_t saved_ = 0;
+};
+
+/// Arms continuous profiling: timeline rings spill to fcma.tlstream.v1
+/// segment files under `dir` (empty disarms).  0 keeps a default budget /
+/// rotation threshold.  Arm before recording threads start.
+void set_stream_dir(const std::string& dir, std::uint64_t budget_bytes = 0,
+                    std::uint64_t rotate_bytes = 0);
+[[nodiscard]] bool streaming();
+
 /// RAII span: times its scope and folds the duration into the registry
 /// under the nesting-qualified label.  No-op while tracing is disabled.
 class Span {
@@ -85,11 +136,18 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's process-unique id (0 when tracing was off at
+  /// construction).  Valid for the span's whole lifetime — comm send-paths
+  /// read it through current_span() while the span is open.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
  private:
   Registry* registry_ = nullptr;  // non-null = explicit-registry direct path
   bool active_ = false;           // false = disabled at construction
   std::size_t parent_len_ = 0;
-  std::string label_;  // full nesting-qualified label
+  std::uint64_t id_ = 0;
+  std::uint64_t saved_parent_ = 0;  // current_span() to restore at close
+  std::string label_;               // full nesting-qualified label
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -106,6 +164,12 @@ void record_span(std::string_view label, double seconds);
 void record_interval(std::string_view label,
                      std::chrono::steady_clock::time_point start,
                      std::chrono::steady_clock::time_point end);
+
+/// record_interval() with timeline-epoch endpoints the caller already holds
+/// in ns — e.g. a comm flight time [ctx.sent_ns, recv now_ns()], whose
+/// start was stamped on another rank.
+void record_interval_ns(std::string_view label, std::uint64_t start_ns,
+                        std::uint64_t end_ns);
 
 /// Names the calling thread's timeline lane (e.g. "sched/worker3") and
 /// optionally tags its scheduler-worker id.  No-op while tracing is
@@ -146,18 +210,36 @@ inline void set_enabled(bool) {}
 [[nodiscard]] constexpr bool enabled() { return false; }
 inline void set_timeline_enabled(bool) {}
 [[nodiscard]] constexpr bool timeline_enabled() { return false; }
+[[nodiscard]] constexpr std::uint64_t run_id() { return 0; }
+inline void new_run_id() {}
+[[nodiscard]] constexpr std::uint64_t current_span() { return 0; }
+[[nodiscard]] constexpr std::uint64_t now_ns() { return 0; }
+
+class ScopedParent {
+ public:
+  explicit ScopedParent(std::uint64_t) {}
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+};
+
+inline void set_stream_dir(const std::string&, std::uint64_t = 0,
+                           std::uint64_t = 0) {}
+[[nodiscard]] constexpr bool streaming() { return false; }
 
 class Span {
  public:
   explicit Span(std::string_view, Registry* = nullptr) {}
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+  [[nodiscard]] constexpr std::uint64_t id() const { return 0; }
 };
 
 inline void record_span(std::string_view, double) {}
 inline void record_interval(std::string_view,
                             std::chrono::steady_clock::time_point,
                             std::chrono::steady_clock::time_point) {}
+inline void record_interval_ns(std::string_view, std::uint64_t,
+                               std::uint64_t) {}
 inline void set_thread_name(std::string_view, int = -1) {}
 inline void flush() {}
 inline void write_timeline_json(const std::string&) {}

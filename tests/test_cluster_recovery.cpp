@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +19,9 @@
 #include "cluster/driver.hpp"
 #include "cluster/fault.hpp"
 #include "common/error.hpp"
+#include "common/timeline.hpp"
+#include "common/tlstream.hpp"
+#include "common/trace.hpp"
 #include "fcma/pipeline.hpp"
 #include "fcma/scoreboard.hpp"
 #include "fcma/task.hpp"
@@ -682,6 +686,69 @@ TEST(ControlPlane, GracefulLeaveRequeuesWithoutCountingADeath) {
   EXPECT_EQ(stats.workers_died, 0u);
   expect_bit_identical(single_node_reference(w, 8), board);
 }
+
+// ---------------------------------------------------------------------------
+// Crash-safe stream flush: a dead rank's spans reach the merged timeline
+// ---------------------------------------------------------------------------
+
+#ifndef FCMA_TRACE_DISABLED
+
+// The satellite-6 regression: with continuous profiling armed, a rank that
+// the fault plan kills mid-run must still contribute its completed spans to
+// the merged cross-rank stream — finalize flushes the dead lane's ring tail
+// alongside the survivors', so the report accounts the lost rank's work.
+TEST(DeadRankStreaming, KilledWorkerLaneReachesTheMergedStream) {
+  namespace tls = trace::tlstream;
+  const std::string dir = ::testing::TempDir() + "fcma_deadrank_stream";
+  std::filesystem::remove_all(dir);
+  trace::global().reset();
+  trace::Timeline::global().reset();
+  trace::Timeline::global().set_ring_capacity(64);  // force mid-run spills
+  trace::new_run_id();
+  trace::set_enabled(true);
+  trace::set_timeline_enabled(true);
+  trace::set_stream_dir(dir);
+
+  const Workload w = tiny_workload(64);
+  DriverOptions opts;
+  opts.workers = 3;
+  opts.voxels_per_task = 8;
+  opts.lease_timeout_s = 0.5;
+  opts.faults.kill_rank = 2;
+  opts.faults.kill_after_tasks = 1;  // dies with exactly one task recorded
+  DriverStats stats;
+  const core::Scoreboard board =
+      run_cluster_analysis(w.epochs, w.dataset.voxels(), opts, &stats);
+  trace::Timeline::global().finalize_stream();
+  const std::uint64_t run = trace::run_id();
+  const tls::StreamRead read = tls::read_stream_dir(dir);
+
+  // Restore the traceless regime before asserting (other suites in this
+  // binary expect tracing off).
+  trace::set_stream_dir("");
+  trace::set_enabled(false);
+  trace::set_timeline_enabled(false);
+  trace::global().reset();
+  trace::Timeline::global().reset();
+  trace::Timeline::global().set_ring_capacity(1u << 16);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  EXPECT_TRUE(board.complete());
+  EXPECT_EQ(stats.workers_died, 1u);
+  EXPECT_TRUE(read.done);
+  EXPECT_EQ(read.done_dropped, 0u);  // streaming: the death dropped nothing
+  std::size_t dead_rank_tasks = 0;
+  for (const auto& ev : read.events) {
+    EXPECT_EQ(ev.trace_id, run);
+    if (ev.label == "cluster/worker2/task") ++dead_rank_tasks;
+  }
+  // The killed rank completed one task before dying; its span must have
+  // been flushed out of its (now ownerless) ring by the finalize.
+  EXPECT_GE(dead_rank_tasks, 1u);
+}
+
+#endif  // FCMA_TRACE_DISABLED
 
 TEST(ControlPlane, SpeculationFactorOutOfRangeIsAClearError) {
   const Workload w = tiny_workload(32);

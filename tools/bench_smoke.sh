@@ -6,19 +6,20 @@
 # variants.  Each bench runs at a fraction of its default problem size so
 # the whole sweep finishes in seconds, and the results land in one JSON
 # file: per-bench wall-clock, the Table 5 per-kernel GFLOPS, p95 span
-# latencies of the pipeline stages, the cluster load-imbalance ratio, and
-# the recovery/failover costs.
+# latencies of the pipeline stages, the cluster load-imbalance ratio, the
+# recovery/failover costs, and the cost of always-on streaming tracing
+# (interleaved untraced vs streamed pipeline pairs, asserted < 3%).
 #
 # Usage: bench_smoke.sh <bench-dir> [output.json] [--pr N]
 #
-# The output defaults to BENCH_pr${BENCH_PR:-8}.json — the per-PR sidecar
+# The output defaults to BENCH_pr${BENCH_PR:-9}.json — the per-PR sidecar
 # committed at the repo root so tools/bench_diff.py can gate later PRs
 # against it.  Pass --pr N (or set BENCH_PR) instead of hardcoding a name.
 set -eu
 
 BENCH_DIR="$1"
 shift
-PR="${BENCH_PR:-8}"
+PR="${BENCH_PR:-9}"
 OUT=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -105,6 +106,31 @@ run_bench kernels_micro_tune env FCMA_TUNE=on \
   "$BENCH_DIR/bench_kernels_micro" --tune
 run_bench ablation_autotune env FCMA_TUNE=on \
   "$BENCH_DIR/bench_ablation_block_size" --voxels 4096 --rows 32 --repeats 2
+
+# Tracing overhead: the serial pipeline sweep with tracing fully off vs
+# streaming every span to tlstream segments, run as interleaved A/B pairs
+# inside one process (see bench_trace_overhead.cpp for why process-level
+# timing cannot resolve a small delta on shared hardware).  The
+# continuous-profiling contract is that always-on streaming costs < 3%.
+run_bench trace_overhead "$BENCH_DIR/bench_trace_overhead" \
+  --voxels 256 --reps 5
+OVH_LINE=$(grep '^trace_overhead ' "$WORK/trace_overhead.txt")
+OVH_PCT=$(echo "$OVH_LINE" \
+  | sed -n 's/.*pct=\(-\{0,1\}[0-9.]*\).*/\1/p')
+OVH_OFF_S=$(echo "$OVH_LINE" \
+  | sed -n 's/.*baseline_s=\([0-9.]*\).*/\1/p')
+OVH_ON_S=$(echo "$OVH_LINE" \
+  | sed -n 's/.*streaming_s=\([0-9.]*\).*/\1/p')
+OVH_EVENTS=$(echo "$OVH_LINE" | sed -n 's/.*events=\([0-9]*\).*/\1/p')
+test -n "$OVH_PCT" && test -n "$OVH_OFF_S" && test -n "$OVH_ON_S"
+# The streamed legs must have been real ones: zero drops, spans on disk.
+echo "$OVH_LINE" | grep -q 'dropped=0'
+test "$OVH_EVENTS" -gt 0
+echo "  tracing overhead: ${OVH_PCT}% (${OVH_EVENTS} events streamed)"
+awk -v pct="$OVH_PCT" 'BEGIN {exit !(pct < 3.0)}' || {
+  echo "bench smoke: tracing overhead ${OVH_PCT}% breaches the 3% budget" >&2
+  exit 1
+}
 
 # Every table must have produced its metrics sidecar with the dispatched
 # ISA recorded.
@@ -219,7 +245,7 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "schema": "fcma.bench_smoke.v6",
+  "schema": "fcma.bench_smoke.v7",
   "simd_isa": "$ISA",
   "benches": {
     "table5_matmul_gflops": {
@@ -274,6 +300,15 @@ cat > "$OUT" <<EOF
       "recovered_pct_mean": $TUNE_REC_MEAN,
       "recovered_pct_min": $TUNE_REC_MIN,
       "winners": [$TUNE_WINNERS]
+    },
+    "tracing_overhead": {
+      "baseline_wall_s": $OVH_OFF_S,
+      "streaming_wall_s": $OVH_ON_S,
+      "overhead_pct": $OVH_PCT,
+      "overhead_budget_pct": 3.0,
+      "streamed_events": $OVH_EVENTS,
+      "estimator": "median of per-pair streamed/untraced wall ratios",
+      "reps": 5
     }
   }
 }

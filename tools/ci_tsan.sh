@@ -47,7 +47,7 @@ cmake -S "$SRC" -B "$BUILD" \
 JOBS=$(nproc 2>/dev/null || echo 4)
 cmake --build "$BUILD" \
   --target test_sched test_sched_stress test_threading test_trace \
-          test_timeline test_cluster test_cluster_recovery \
+          test_timeline test_tlstream test_cluster test_cluster_recovery \
   -j "$JOBS" > /dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -61,6 +61,10 @@ echo "ci_tsan: running test_trace under TSan"
 "$BUILD/tests/test_trace"
 echo "ci_tsan: running test_timeline under TSan"
 "$BUILD/tests/test_timeline"
+# Stream spill + the follow-reader-vs-writers race: readers poll segment
+# files while every ring overflow spills concurrently.
+echo "ci_tsan: running test_tlstream under TSan"
+"$BUILD/tests/test_tlstream"
 # The cluster driver + fault-injection suites exercise the comm shutdown
 # race, lease expiry, and worker-death requeue paths across real threads.
 echo "ci_tsan: running test_cluster under TSan"

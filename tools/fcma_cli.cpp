@@ -13,17 +13,23 @@
 // `generate --grid X,Y,Z` additionally writes an FCMM brain mask and the
 // analysis report then includes ROI clusters.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "cluster/checkpoint.hpp"
 #include "cluster/driver.hpp"
 #include "common/cli.hpp"
+#include "common/histogram.hpp"
 #include "common/json.hpp"
+#include "common/timeline.hpp"
 #include "common/timer.hpp"
+#include "common/tlstream.hpp"
 #include "common/trace.hpp"
 #include "memsim/instrument.hpp"
 #include "fcma/memory_model.hpp"
@@ -86,6 +92,77 @@ void apply_tune_flags(const Cli& cli) {
   if (!cli.get("tune-force").empty()) tuner.set_force(cli.get("tune-force"));
   if (!cli.get("tune-cache").empty()) {
     tuner.set_cache_path(cli.get("tune-cache"));
+  }
+}
+
+// Tracing knobs shared by the analysis commands (analyze/cluster/offline).
+void add_trace_flags(Cli& cli) {
+  cli.add_flag("trace", "",
+               "write a JSON span/counter trace of the run to this path");
+  cli.add_flag("trace-timeline", "",
+               "write a Chrome-trace timeline of the run to this path "
+               "(open in chrome://tracing or ui.perfetto.dev)");
+  cli.add_flag("trace-stream", "",
+               "continuously stream the timeline to fcma.tlstream.v1 "
+               "segment files in this directory (full rings spill instead "
+               "of dropping; tail live with `fcma report --stream-in <dir> "
+               "--follow`)");
+}
+
+/// What setup_tracing() armed, for the end-of-run prints and exit dump.
+struct TraceSetup {
+  std::string trace_path;
+  std::string timeline_path;
+  std::string stream_dir;
+  bool tracing = false;
+};
+
+TraceSetup setup_tracing(const Cli& cli) {
+  TraceSetup t;
+  t.trace_path = cli.get("trace");
+  t.timeline_path = cli.get("trace-timeline");
+  t.stream_dir = cli.get("trace-stream");
+  t.tracing = !t.trace_path.empty() || !t.timeline_path.empty() ||
+              !t.stream_dir.empty();
+  if (!t.tracing) return t;
+  trace::set_enabled(true);
+  // FCMA_TL_RING shrinks the per-thread event rings (tests force tiny
+  // rings to exercise the spill path mid-run).
+  if (const char* ring = std::getenv("FCMA_TL_RING")) {
+    const long n = std::strtol(ring, nullptr, 10);
+    if (n > 0) {
+      trace::Timeline::global().set_ring_capacity(
+          static_cast<std::size_t>(n));
+    }
+  }
+  // Event capture must be live before the recording threads register their
+  // sinks (rings are sized at sink creation); streaming implies events.
+  if (!t.timeline_path.empty() || !t.stream_dir.empty()) {
+    trace::set_timeline_enabled(true);
+  }
+  if (!t.stream_dir.empty()) trace::set_stream_dir(t.stream_dir);
+  trace::set_thread_name("main");
+  trace::set_exit_dump(t.trace_path, t.timeline_path);
+  trace::meta_set("simd/isa",
+                  linalg::simd::isa_name(linalg::simd::active_isa()));
+  trace::meta_set("trace/run_id",
+                  trace::tlstream::trace_hex(trace::run_id()));
+  return t;
+}
+
+void finish_tracing(const TraceSetup& t) {
+  if (!t.tracing) return;
+  trace::dump_now();
+  if (!t.trace_path.empty()) {
+    std::printf("trace written to %s\n", t.trace_path.c_str());
+  }
+  if (!t.timeline_path.empty()) {
+    std::printf("timeline written to %s\n", t.timeline_path.c_str());
+  }
+  if (!t.stream_dir.empty()) {
+    std::printf("timeline stream written to %s (trace %s)\n",
+                t.stream_dir.c_str(),
+                trace::tlstream::trace_hex(trace::run_id()).c_str());
   }
 }
 
@@ -285,11 +362,7 @@ int cmd_analyze(int argc, const char* const* argv) {
                "worker threads for stage 3 (0 = hardware concurrency)");
   cli.add_flag("sched", "steal",
                "task scheduler: steal (work-stealing pool) or serial");
-  cli.add_flag("trace", "",
-               "write a JSON span/counter trace of the run to this path");
-  cli.add_flag("trace-timeline", "",
-               "write a Chrome-trace timeline of the run to this path "
-               "(open in chrome://tracing or ui.perfetto.dev)");
+  add_trace_flags(cli);
   add_budget_flag(cli);
   add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -298,19 +371,8 @@ int cmd_analyze(int argc, const char* const* argv) {
   FCMA_CHECK(sched == "steal" || sched == "serial",
              "--sched expects 'steal' or 'serial'");
 
-  const std::string trace_path = cli.get("trace");
-  const std::string timeline_path = cli.get("trace-timeline");
-  const bool tracing = !trace_path.empty() || !timeline_path.empty();
-  if (tracing) {
-    trace::set_enabled(true);
-    // Event capture must be live before the pool's workers register their
-    // sinks (rings are sized at sink creation).
-    if (!timeline_path.empty()) trace::set_timeline_enabled(true);
-    trace::set_thread_name("main");
-    trace::set_exit_dump(trace_path, timeline_path);
-    trace::meta_set("simd/isa",
-                    linalg::simd::isa_name(linalg::simd::active_isa()));
-  }
+  const TraceSetup tracing_setup = setup_tracing(cli);
+  const bool tracing = tracing_setup.tracing;
 
   const auto view = fmri::open_dataset_view(cli.get("in"), cli.get("in"));
   const std::size_t budget = parse_bytes(cli.get("memory-budget"));
@@ -384,15 +446,7 @@ int cmd_analyze(int argc, const char* const* argv) {
   }
   core::write_report(cli.get("report"), report);
   std::printf("report written to %s\n", cli.get("report").c_str());
-  if (tracing) {
-    trace::dump_now();
-    if (!trace_path.empty()) {
-      std::printf("trace written to %s\n", trace_path.c_str());
-    }
-    if (!timeline_path.empty()) {
-      std::printf("timeline written to %s\n", timeline_path.c_str());
-    }
-  }
+  finish_tracing(tracing_setup);
   return 0;
 }
 
@@ -451,26 +505,13 @@ int cmd_cluster(int argc, const char* const* argv) {
                "task results between periodic checkpoints (0 = final only)");
   cli.add_flag("resume", "",
                "resume from a checkpoint, skipping scored voxel ranges");
-  cli.add_flag("trace", "",
-               "write a JSON span/counter trace of the run to this path");
-  cli.add_flag("trace-timeline", "",
-               "write a Chrome-trace timeline of the run to this path");
+  add_trace_flags(cli);
   add_budget_flag(cli);
   add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   apply_tune_flags(cli);
 
-  const std::string trace_path = cli.get("trace");
-  const std::string timeline_path = cli.get("trace-timeline");
-  const bool tracing = !trace_path.empty() || !timeline_path.empty();
-  if (tracing) {
-    trace::set_enabled(true);
-    if (!timeline_path.empty()) trace::set_timeline_enabled(true);
-    trace::set_thread_name("main");
-    trace::set_exit_dump(trace_path, timeline_path);
-    trace::meta_set("simd/isa",
-                    linalg::simd::isa_name(linalg::simd::active_isa()));
-  }
+  const TraceSetup tracing_setup = setup_tracing(cli);
 
   const auto view = fmri::open_dataset_view(cli.get("in"), cli.get("in"));
   const std::size_t budget = parse_bytes(cli.get("memory-budget"));
@@ -576,15 +617,7 @@ int cmd_cluster(int argc, const char* const* argv) {
   }
   core::write_report(cli.get("report"), report);
   std::printf("report written to %s\n", cli.get("report").c_str());
-  if (tracing) {
-    trace::dump_now();
-    if (!trace_path.empty()) {
-      std::printf("trace written to %s\n", trace_path.c_str());
-    }
-    if (!timeline_path.empty()) {
-      std::printf("timeline written to %s\n", timeline_path.c_str());
-    }
-  }
+  finish_tracing(tracing_setup);
   return 0;
 }
 
@@ -600,10 +633,7 @@ int cmd_offline(int argc, const char* const* argv) {
                "voxels per pipeline task (0 = the whole brain in one task)");
   cli.add_flag("sched", "steal",
                "task scheduler: steal (work-stealing pool) or serial");
-  cli.add_flag("trace", "",
-               "write a JSON span/counter trace of the run to this path");
-  cli.add_flag("trace-timeline", "",
-               "write a Chrome-trace timeline of the run to this path");
+  add_trace_flags(cli);
   add_budget_flag(cli);
   add_tune_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -612,17 +642,7 @@ int cmd_offline(int argc, const char* const* argv) {
   FCMA_CHECK(sched == "steal" || sched == "serial",
              "--sched expects 'steal' or 'serial'");
 
-  const std::string trace_path = cli.get("trace");
-  const std::string timeline_path = cli.get("trace-timeline");
-  const bool tracing = !trace_path.empty() || !timeline_path.empty();
-  if (tracing) {
-    trace::set_enabled(true);
-    if (!timeline_path.empty()) trace::set_timeline_enabled(true);
-    trace::set_thread_name("main");
-    trace::set_exit_dump(trace_path, timeline_path);
-    trace::meta_set("simd/isa",
-                    linalg::simd::isa_name(linalg::simd::active_isa()));
-  }
+  const TraceSetup tracing_setup = setup_tracing(cli);
 
   const auto view = fmri::open_dataset_view(cli.get("in"), cli.get("in"));
   core::OfflineOptions opts;
@@ -651,25 +671,216 @@ int cmd_offline(int argc, const char* const* argv) {
   }
   core::write_report(cli.get("report"), report);
   std::printf("report written to %s\n", cli.get("report").c_str());
-  if (tracing) {
-    trace::dump_now();
-    if (!trace_path.empty()) {
-      std::printf("trace written to %s\n", trace_path.c_str());
-    }
-    if (!timeline_path.empty()) {
-      std::printf("timeline written to %s\n", timeline_path.c_str());
-    }
-  }
+  finish_tracing(tracing_setup);
   return 0;
 }
 
+/// Per-span-class rollup of one stream read: counts, total time, and a
+/// log-bucketed histogram for the percentile columns and the SLO rules.
+struct ClassStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  trace::LatencyHistogram hist;
+};
+
+std::map<std::string, ClassStats> fold_classes(
+    const trace::tlstream::StreamRead& read) {
+  std::map<std::string, ClassStats> classes;
+  for (const auto& ev : read.events) {
+    ClassStats& c = classes[trace::tlstream::span_class_of(ev.label)];
+    const std::uint64_t dur_ns =
+        ev.end_ns >= ev.start_ns ? ev.end_ns - ev.start_ns : 0;
+    ++c.count;
+    c.total_s += static_cast<double>(dur_ns) * 1e-9;
+    c.hist.record_ns(dur_ns);
+  }
+  return classes;
+}
+
+/// Evaluates `rules` against the class rollup; prints one row per rule and
+/// returns the violation count.  A rule matching no class is a violation
+/// too — a silently-absent span class must not read as "SLO met".
+std::size_t evaluate_slo(const std::vector<trace::tlstream::SloRule>& rules,
+                         const std::map<std::string, ClassStats>& classes) {
+  if (rules.empty()) return 0;
+  std::size_t violations = 0;
+  std::printf("\n%-44s %10s %12s %12s  %s\n", "slo rule", "count",
+              "observed_s", "limit_s", "verdict");
+  for (const auto& rule : rules) {
+    trace::LatencyHistogram merged;
+    std::uint64_t count = 0;
+    for (const auto& [name, c] : classes) {
+      if (!trace::tlstream::rule_matches(rule, name)) continue;
+      merged.merge(c.hist);
+      count += c.count;
+    }
+    double observed = 0.0;
+    bool violated = false;
+    if (count == 0) {
+      violated = true;  // no matching spans: cannot claim the SLO held
+    } else {
+      observed = merged.quantile(rule.quantile);
+      violated = observed >= rule.limit_s;
+    }
+    if (violated) ++violations;
+    std::printf("%-44s %10llu %12.4g %12.4g  %s\n", rule.raw.c_str(),
+                static_cast<unsigned long long>(count), observed,
+                rule.limit_s,
+                violated ? "VIOLATED" : (count == 0 ? "NO-DATA" : "OK"));
+  }
+  std::printf("slo/violations %zu\n", violations);
+  return violations;
+}
+
+/// Critical-path attribution: where each dispatched task's wall time went,
+/// bucketed by span class family across the whole merged timeline.
+void print_attribution(const std::map<std::string, ClassStats>& classes) {
+  struct Bucket {
+    const char* name;
+    const char* suffix_a;
+    const char* suffix_b;
+  };
+  // Folded classes: worker<N> segments collapse to "worker".
+  const Bucket buckets[] = {
+      {"dispatch", "cluster/dispatch", nullptr},
+      {"comm", "cluster/comm/assign", "cluster/comm/result"},
+      {"queue wait", "cluster/queue", nullptr},
+      {"compute", "cluster/worker/task", nullptr},
+      {"recovery", "cluster/recovery", "cluster/recovery/takeover"},
+  };
+  double bucket_s[5] = {};
+  std::uint64_t bucket_n[5] = {};
+  bool any = false;
+  for (const auto& [name, c] : classes) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      const bool match =
+          name == buckets[b].suffix_a ||
+          (buckets[b].suffix_b != nullptr && name == buckets[b].suffix_b) ||
+          name.rfind(std::string(buckets[b].suffix_a) + "/", 0) == 0;
+      if (match) {
+        bucket_s[b] += c.total_s;
+        bucket_n[b] += c.count;
+        any = true;
+        break;
+      }
+    }
+  }
+  if (!any) return;
+  double total = 0.0;
+  for (const double s : bucket_s) total += s;
+  std::printf("\ncritical-path attribution (all ranks, merged):\n");
+  for (std::size_t b = 0; b < 5; ++b) {
+    if (bucket_n[b] == 0) continue;
+    std::printf("  %-12s %10llu spans %12.4g s  %5.1f%%\n", buckets[b].name,
+                static_cast<unsigned long long>(bucket_n[b]), bucket_s[b],
+                total > 0.0 ? 100.0 * bucket_s[b] / total : 0.0);
+  }
+}
+
+/// Stream-mode report: merge (and optionally tail) an fcma.tlstream.v1
+/// directory, render per-class percentiles + critical-path attribution, and
+/// evaluate SLO rules.  Returns 2 when any rule is violated.
+int report_stream(const Cli& cli) {
+  const std::string dir = cli.get("stream-in");
+  const bool follow = cli.get_bool("follow");
+  const double follow_timeout = cli.get_double("follow-timeout");
+  const double poll_s = cli.get_double("poll");
+  const std::vector<trace::tlstream::SloRule> rules =
+      trace::tlstream::parse_slo_rules(cli.get("slo"));
+
+  trace::tlstream::StreamRead read;
+  const auto started = std::chrono::steady_clock::now();
+  bool timed_out = false;
+  for (;;) {
+    read = trace::tlstream::read_stream_dir(dir);
+    if (!follow || read.done) break;
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (waited >= follow_timeout) {
+      timed_out = true;
+      break;
+    }
+    // Live tail: one rolling line per poll so an operator (and the smoke
+    // test) can watch the run converge before the final report.
+    const auto classes = fold_classes(read);
+    double worst_p99 = 0.0;
+    std::string worst;
+    for (const auto& [name, c] : classes) {
+      const double p99 = c.hist.quantile(0.99);
+      if (p99 > worst_p99) {
+        worst_p99 = p99;
+        worst = name;
+      }
+    }
+    std::printf("follow: %zu events in %zu segment(s), %zu class(es)%s\n",
+                read.events.size(), read.segments, classes.size(),
+                worst.empty()
+                    ? ""
+                    : ("; worst p99 " + worst + " = " +
+                       std::to_string(worst_p99) + " s")
+                          .c_str());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+  }
+
+  std::printf("stream %s (%s)\n", dir.c_str(),
+              std::string(trace::tlstream::kSchema).c_str());
+  std::printf("  trace id:  %s\n",
+              trace::tlstream::trace_hex(read.trace_id).c_str());
+  std::printf("  events:    %zu in %zu segment(s)\n", read.events.size(),
+              read.segments);
+  if (read.done) {
+    std::printf("  finalized: yes (%llu events, %llu dropped)\n",
+                static_cast<unsigned long long>(read.done_events),
+                static_cast<unsigned long long>(read.done_dropped));
+  } else {
+    std::printf("  finalized: no%s\n",
+                timed_out ? " (--follow timed out)" : " (partial stream)");
+  }
+  for (const auto& w : read.warnings) {
+    std::printf("  warning: %s\n", w.c_str());
+  }
+
+  const auto classes = fold_classes(read);
+  std::printf("\n%-36s %10s %12s %12s %12s %12s\n", "span class", "count",
+              "total_s", "p50_s", "p95_s", "p99_s");
+  for (const auto& [name, c] : classes) {
+    std::printf("%-36s %10llu %12.4g %12.4g %12.4g %12.4g\n", name.c_str(),
+                static_cast<unsigned long long>(c.count), c.total_s,
+                c.hist.quantile(0.50), c.hist.quantile(0.95),
+                c.hist.quantile(0.99));
+  }
+  print_attribution(classes);
+
+  const std::size_t violations = evaluate_slo(rules, classes);
+  return violations > 0 ? 2 : 0;
+}
+
 int cmd_report(int argc, const char* const* argv) {
-  Cli cli("fcma report", "summarize a --trace JSON file");
+  Cli cli("fcma report",
+          "summarize a --trace JSON file or an fcma.tlstream.v1 stream");
   cli.add_flag("trace-in", "", "fcma.trace.v1/v2 JSON file to summarize");
   cli.add_flag("top", "12", "span rows shown (by total time)");
+  cli.add_flag("stream-in", "",
+               "fcma.tlstream.v1 stream directory to merge and summarize "
+               "(per-class percentiles, critical-path attribution)");
+  cli.add_flag("follow", "false",
+               "tail a live stream: poll until its stream.done manifest "
+               "appears (or --follow-timeout elapses), then report");
+  cli.add_flag("follow-timeout", "30",
+               "seconds --follow waits for the run to finalize");
+  cli.add_flag("poll", "0.2", "seconds between --follow polls");
+  cli.add_flag("slo", "",
+               "comma-separated SLO rules, e.g. "
+               "'cluster/worker/task:p99<250ms,cluster/queue:p95<50ms'; any "
+               "violation makes the exit code 2");
   if (!cli.parse(argc, argv)) return 0;
+  if (!cli.get("stream-in").empty()) return report_stream(cli);
   const std::string path = cli.get("trace-in");
-  FCMA_CHECK(!path.empty(), "report requires --trace-in <trace.json>");
+  FCMA_CHECK(!path.empty(),
+             "report requires --trace-in <trace.json> or --stream-in <dir>");
   const json::Value doc = json::parse_file(path);
   FCMA_CHECK(doc.is_object(), "trace file is not a JSON object");
   std::printf("trace %s (%s)\n", path.c_str(),

@@ -240,6 +240,77 @@ if "$FCMA" cluster --in clean --resume /nonexistent 2>/dev/null; then
   exit 1
 fi
 
+# Distributed trace correlation + continuous profiling: a streaming cluster
+# run with a deliberately tiny event ring (FCMA_TL_RING=32) must spill every
+# ring overflow to fcma.tlstream.v1 segments instead of dropping, survive a
+# worker kill AND a master failover, and still merge into one finalized
+# cross-rank timeline — zero dropped events, every span stamped with the
+# run's trace id, no orphan parent references (all enforced by
+# trace_check.py's stream mode).
+env FCMA_TL_RING=32 "$FCMA" cluster --in clean --report cluster_stream.txt \
+    --workers 3 --voxels-per-task 40 --top-k 6 --lease-timeout 0.5 \
+    --fault-kill-rank 2 --fault-kill-after 1 --fault-kill-master-after 2 \
+    --trace-stream stream_dir > cluster_stream.log
+grep -q 'deaths=1' cluster_stream.log
+grep -q 'failovers=1' cluster_stream.log
+cmp cluster_clean.txt cluster_stream.txt
+test -f stream_dir/stream.done
+grep -q '"dropped": 0' stream_dir/stream.done
+trace_check stream_dir
+
+# The merged report stitches all ranks into one causal timeline: per-class
+# percentiles (worker ranks folded into one class), critical-path
+# attribution including the kill's recovery window, and the run's trace id.
+"$FCMA" report --stream-in stream_dir > stream_report.txt
+grep -q 'finalized: yes' stream_report.txt
+grep -q '0 dropped' stream_report.txt
+grep -q 'cluster/worker/task' stream_report.txt
+grep -q 'cluster/comm/assign' stream_report.txt
+grep -q 'critical-path attribution' stream_report.txt
+grep -q 'recovery' stream_report.txt
+
+# Declarative SLOs: an impossible rule must be reported VIOLATED and turn
+# the exit code non-zero; a generous rule passes the same stream.
+if "$FCMA" report --stream-in stream_dir \
+    --slo 'cluster/worker/task:p99<1ns' > slo_report.txt; then
+  echo "expected a violated SLO to exit non-zero" >&2
+  exit 1
+fi
+grep -q 'VIOLATED' slo_report.txt
+grep -q 'slo/violations 1' slo_report.txt
+"$FCMA" report --stream-in stream_dir \
+    --slo 'cluster/worker/task:p99<100s' > slo_ok.txt
+grep -q 'slo/violations 0' slo_ok.txt
+
+# Live SLO surface: --follow tails the stream of a *running* job and only
+# reports once the stream finalizes; the violation still exits non-zero.
+mkdir stream_live
+env FCMA_TL_RING=32 "$FCMA" cluster --in clean --report cluster_live.txt \
+    --workers 3 --voxels-per-task 40 --top-k 6 --trace-stream stream_live \
+    > cluster_live.log &
+CLUSTER_PID=$!
+if "$FCMA" report --stream-in stream_live --follow --follow-timeout 60 \
+    --slo 'cluster/worker/task:p99<1ns' > follow_report.txt; then
+  echo "expected the followed stream's violated SLO to exit non-zero" >&2
+  exit 1
+fi
+wait "$CLUSTER_PID"
+grep -q 'follow:' follow_report.txt
+grep -q 'finalized: yes' follow_report.txt
+grep -q 'slo/violations 1' follow_report.txt
+cmp cluster_clean.txt cluster_live.txt
+
+# A corrupted segment must fail validation loudly, not parse quietly.
+if command -v python3 >/dev/null 2>&1; then
+  cp -r stream_dir stream_corrupt
+  corrupt_seg=$(ls stream_corrupt/lane*.tls | head -n 1)
+  printf 'this is not an event line\n' >> "$corrupt_seg"
+  if trace_check stream_corrupt 2>/dev/null; then
+    echo "expected trace_check to reject a corrupt segment" >&2
+    exit 1
+  fi
+fi
+
 # Bench sidecar drift gate: the per-PR BENCH_pr*.json files committed at
 # the repo root were produced on one machine in one sitting, so comparing
 # the two most recent is deterministic — tools/bench_diff.py fails on >10%

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validator for fcma trace artifacts.
 
-Accepts either artifact the CLI / benches emit and sniffs which one it got:
+Accepts any artifact the CLI / benches emit and sniffs which one it got:
 
 * a metrics dump (``fcma.trace.v2``): the aggregate span/counter/gauge
   registry written by ``--trace`` and the bench sidecars.  Checks the schema
@@ -14,14 +14,24 @@ Accepts either artifact the CLI / benches emit and sniffs which one it got:
   globally time-sorted with non-negative durations, that every event's
   lane (tid) has exactly one thread_name metadata record, and that named
   scheduler-worker lanes are distinct (one lane per worker).
+* a stream directory (``fcma.tlstream.v1``): the continuous-profiling
+  segments written by ``--trace-stream`` (pass the directory itself).
+  Checks every segment's header against its filename, that every event
+  line carries the full span-context field set with the run's trace id,
+  that event end times are monotonic per lane, and — once the stream.done
+  manifest is present — that the manifest's event total equals the merged
+  parse (nothing was lost), that no torn tail survived the finalize, and
+  that every non-zero parent span id resolves somewhere in the merge (no
+  orphan cross-rank references).
 
-Exit status 0 means the file validated; 1 means a check failed (each
-failure is printed); 2 means the file could not be read or parsed.
+Exit status 0 means the artifact validated; 1 means a check failed (each
+failure is printed); 2 means it could not be read or parsed.
 
-Usage: trace_check.py <trace.json> [more.json ...]
+Usage: trace_check.py <trace.json|stream-dir> [more ...]
 """
 
 import json
+import os
 import re
 import sys
 
@@ -204,7 +214,161 @@ def check_timeline(c, doc):
         len(complete), len(lane_names), len(workers))
 
 
+SEGMENT_RE = re.compile(r"^lane(\d+)-(\d+)\.tls(\.part)?$")
+TRACE_HEX_RE = re.compile(r"^[0-9a-f]{16}$")
+STREAM_EVENT_FIELDS = ("ts", "dur", "label", "span", "parent", "trace")
+
+
+def parse_stream_segment(c, path, lane_id, seq, state):
+    """Parses one segment file into the shared stream `state`."""
+    with open(path, "rb") as f:
+        data = f.read()
+    lines = data.split(b"\n")
+    torn = lines and lines[-1] != b""  # no trailing newline: in-flight tail
+    body = lines[:-1]
+    if torn:
+        state["torn"].append(os.path.basename(path))
+    if not c.check(len(body) >= 1, "%s: segment has no header" % path):
+        return
+    try:
+        header = json.loads(body[0])
+    except ValueError:
+        c.check(False, "%s: unparseable header" % path)
+        return
+    c.check(header.get("schema") == "fcma.tlstream.v1",
+            "%s: header schema is %r" % (path, header.get("schema")))
+    c.check(header.get("lane_id") == lane_id,
+            "%s: header lane_id %r != filename lane %d"
+            % (path, header.get("lane_id"), lane_id))
+    c.check(header.get("seq") == seq,
+            "%s: header seq %r != filename seq %d"
+            % (path, header.get("seq"), seq))
+    c.check(isinstance(header.get("lane"), str) and header["lane"],
+            "%s: header lane name missing" % path)
+    trace = header.get("trace")
+    if c.check(isinstance(trace, str) and TRACE_HEX_RE.match(trace),
+               "%s: header trace id %r is not 16 hex digits" % (path, trace)):
+        if state["trace"] is None:
+            state["trace"] = trace
+        c.check(trace == state["trace"],
+                "%s: trace id %r differs from the stream's %r"
+                % (path, trace, state["trace"]))
+    state["lanes"].add(lane_id)
+    for i, raw in enumerate(body[1:], start=2):
+        try:
+            ev = json.loads(raw)
+        except ValueError:
+            c.check(False, "%s:%d: unparseable event line" % (path, i))
+            continue
+        ok = True
+        for field in STREAM_EVENT_FIELDS:
+            ok = c.check(field in ev,
+                         "%s:%d: missing field %r" % (path, i, field)) and ok
+        if not ok:
+            continue
+        c.check(isinstance(ev["ts"], int) and ev["ts"] >= 0
+                and isinstance(ev["dur"], int) and ev["dur"] >= 0,
+                "%s:%d: ts/dur not non-negative integers" % (path, i))
+        c.check(isinstance(ev["label"], str) and ev["label"],
+                "%s:%d: empty label" % (path, i))
+        c.check(isinstance(ev["span"], int) and ev["span"] >= 0
+                and isinstance(ev["parent"], int) and ev["parent"] >= 0,
+                "%s:%d: span/parent not non-negative integers" % (path, i))
+        c.check(ev["trace"] == trace,
+                "%s:%d: event trace %r != segment trace %r"
+                % (path, i, ev["trace"], trace))
+        # Cluster protocol spans are the cross-rank stitch: every one must
+        # be addressable (a real span id) under the run's trace.
+        if isinstance(ev.get("label"), str) \
+                and ev["label"].startswith("cluster/"):
+            c.check(ev.get("span", 0) != 0,
+                    "%s:%d: cluster span %r has no span id"
+                    % (path, i, ev["label"]))
+        end = ev.get("ts", 0) + ev.get("dur", 0)
+        last = state["last_end"].get(lane_id)
+        c.check(last is None or end >= last,
+                "%s:%d: lane %d end time went backwards (%d after %d)"
+                % (path, i, lane_id, end, last if last is not None else 0))
+        state["last_end"][lane_id] = end
+        if ev.get("span"):
+            state["spans"].add(ev["span"])
+        if ev.get("parent"):
+            state["parent_refs"].append((ev["label"], ev["parent"]))
+        state["events"] += 1
+
+
+def check_stream_dir(c, dirpath):
+    segments = []
+    for name in os.listdir(dirpath):
+        m = SEGMENT_RE.match(name)
+        if m:
+            segments.append((int(m.group(1)), int(m.group(2)),
+                             m.group(3) is not None, name))
+    c.check(segments, "no stream segments under %s" % dirpath)
+    state = {"trace": None, "events": 0, "spans": set(), "parent_refs": [],
+             "lanes": set(), "last_end": {}, "torn": []}
+    for lane_id, seq, _partial, name in sorted(segments):
+        parse_stream_segment(c, os.path.join(dirpath, name), lane_id, seq,
+                             state)
+
+    done_path = os.path.join(dirpath, "stream.done")
+    done = os.path.exists(done_path)
+    if done:
+        try:
+            with open(done_path, "r", encoding="utf-8") as f:
+                manifest = json.load(f)
+        except (OSError, ValueError) as err:
+            c.check(False, "unreadable stream.done: %s" % err)
+            manifest = {}
+        c.check(manifest.get("schema") == "fcma.tlstream.v1",
+                "stream.done schema is %r" % manifest.get("schema"))
+        c.check(manifest.get("done") is True, "stream.done lacks done=true")
+        c.check(manifest.get("trace") == state["trace"],
+                "stream.done trace %r != segments' %r"
+                % (manifest.get("trace"), state["trace"]))
+        c.check(isinstance(manifest.get("dropped"), int)
+                and manifest["dropped"] >= 0,
+                "stream.done dropped missing or negative")
+        c.check(manifest.get("lanes") == len(state["lanes"]),
+                "stream.done lanes %r != %d lanes with segments"
+                % (manifest.get("lanes"), len(state["lanes"])))
+        # The continuous-profiling exactness claim: the finalized merge
+        # holds every event the manifest accounted, with no torn tails.
+        c.check(manifest.get("events") == state["events"],
+                "stream.done events %r != %d parsed from segments"
+                % (manifest.get("events"), state["events"]))
+        c.check(not state["torn"],
+                "finalized stream has torn tails: %s"
+                % ", ".join(state["torn"]))
+        # And the cross-rank causal claim: every parent reference resolves
+        # against some recorded span — no orphans across lanes.
+        orphans = [(label, parent) for label, parent in state["parent_refs"]
+                   if parent not in state["spans"]]
+        for label, parent in orphans[:5]:
+            c.check(False, "orphan parent %d under %r" % (parent, label))
+        if len(orphans) > 5:
+            c.check(False, "... and %d more orphan parents"
+                    % (len(orphans) - 5))
+    return "fcma.tlstream.v1: %d events, %d lanes, %d segments%s" % (
+        state["events"], len(state["lanes"]), len(segments),
+        ", finalized" if done else " (live)")
+
+
 def check_file(path):
+    if os.path.isdir(path):
+        c = Checker(path)
+        try:
+            summary = check_stream_dir(c, path)
+        except OSError as err:
+            print("%s: cannot read stream dir: %s" % (path, err),
+                  file=sys.stderr)
+            return 2
+        if c.failures:
+            for failure in c.failures:
+                print("%s: FAIL: %s" % (path, failure), file=sys.stderr)
+            return 1
+        print("%s: OK (%s)" % (path, summary))
+        return 0
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
